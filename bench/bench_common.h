@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "util/format.h"
+
+/// Shared scaffolding for the table/figure benches.
+///
+/// Every bench reproduces one table or figure of the paper on the default
+/// synthetic universe. Scale knobs:
+///   CS_DOMAINS  - size of the ranked domain universe (default 1500)
+///   CS_SEED     - world seed (default 2013)
+/// The output is the reproduced table plus, where stated, an ablation.
+namespace cs::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    const auto parsed = std::strtoull(value, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline core::StudyConfig default_config(std::size_t default_domains = 1500) {
+  core::StudyConfig config;
+  config.world.domain_count = env_size("CS_DOMAINS", default_domains);
+  config.world.seed = env_size("CS_SEED", 2013);
+  config.dataset.lookup_vantages = 4;
+  return config;
+}
+
+inline void print_header(const std::string& name) {
+  std::cout << "==== " << name << " ====\n";
+}
+
+}  // namespace cs::bench

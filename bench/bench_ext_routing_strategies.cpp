@@ -1,0 +1,36 @@
+// Extension of §5.1's discussion: once deployed in k=3 regions, how much
+// of the oracle's gain does each practical routing strategy capture, and
+// at what request amplification? The paper names the two end points
+// (global request scheduling vs racing to multiple regions); this bench
+// measures the spectrum between them.
+#include "bench_common.h"
+
+#include "analysis/routing.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Extension: routing strategies on a 3-region deploy");
+  auto study = core::Study{bench::default_config(200)};
+  const auto& campaign = study.campaign();
+
+  // Deploy in the latency-optimal k=3 subset (Figure 12's answer).
+  const auto k_results = analysis::optimal_k_regions(campaign);
+  const auto deployment = k_results.at(2).best_regions;
+  std::cout << "deployment:";
+  for (const auto& region : deployment) std::cout << " " << region;
+  std::cout << "\n\n";
+
+  const auto outcomes = analysis::evaluate_routing(campaign, deployment);
+  util::Table t{{"Strategy", "avg RTT (ms)", "near-optimal rounds",
+                 "requests per round"}};
+  for (const auto& outcome : outcomes)
+    t.add(analysis::to_string(outcome.strategy), outcome.avg_rtt_ms,
+          util::fmt("{:.0f}%", 100.0 * outcome.near_optimal_fraction),
+          util::fmt("{:.1f}", outcome.request_amplification));
+  std::cout << t.render();
+  std::cout << "\n(the oracle is the §5.1 'global request scheduling' "
+               "bound; race-two tracks it at 2x server load; naive "
+               "rotation forfeits most of the multi-region gain)\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Figure 11: RTT time series from Boulder to the three US
+// regions — the best-performing region changes over time, so a static
+// region choice is suboptimal for mid-continent clients.
+#include "bench_common.h"
+
+#include "internet/vantage.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 11: Boulder best-region flapping");
+  auto study = core::Study{bench::default_config(200)};
+  std::vector<internet::VantagePoint> vantages = {
+      internet::vantage_named("boulder")};
+  std::vector<const cloud::Region*> regions = {
+      study.world().ec2().region("ec2.us-east-1"),
+      study.world().ec2().region("ec2.us-west-1"),
+      study.world().ec2().region("ec2.us-west-2")};
+  const auto campaign = analysis::run_campaign(study.wan_model(), vantages,
+                                               regions, /*days=*/3.0);
+  const auto series = analysis::flapping_series(campaign, "boulder");
+  std::cout << core::render_fig11(series);
+  return 0;
+}

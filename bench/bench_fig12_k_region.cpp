@@ -1,0 +1,45 @@
+// Reproduces Figure 12: average latency/throughput for the optimal
+// k-region deployment, k = 1..8. Paper's headline: k=3 cuts average
+// latency ~33% vs k=1 with diminishing returns after (k=4 only reaches
+// 39%); us-east-1 anchors every optimal subset.
+// Ablation (DESIGN.md #3): sensitivity to the number of vantage points.
+#include "bench_common.h"
+
+#include "internet/vantage.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 12: optimal k-region deployments");
+  auto study = core::Study{bench::default_config(200)};
+  const auto results = analysis::optimal_k_regions(study.campaign());
+  std::cout << core::render_fig12(results);
+  if (results.size() >= 3 && results[0].avg_rtt_ms > 0) {
+    std::cout << util::fmt(
+        "\nlatency reduction vs k=1: k=2 {:.0f}%, k=3 {:.0f}% (paper: 33%), "
+        "k=4 {:.0f}% (paper: 39%)\n",
+        100.0 * (1.0 - results[1].avg_rtt_ms / results[0].avg_rtt_ms),
+        100.0 * (1.0 - results[2].avg_rtt_ms / results[0].avg_rtt_ms),
+        results.size() > 3
+            ? 100.0 * (1.0 - results[3].avg_rtt_ms / results[0].avg_rtt_ms)
+            : 0.0);
+  }
+
+  bench::print_header("Ablation: vantage-count sensitivity (k=3 gain)");
+  util::Table ablation{{"vantages", "k=1 RTT", "k=3 RTT", "gain"}};
+  for (const std::size_t count : {10ul, 20ul, 40ul, 80ul}) {
+    const auto vantages = internet::planetlab_vantages(count);
+    std::vector<const cloud::Region*> regions;
+    for (const auto& region : study.world().ec2().regions())
+      regions.push_back(&region);
+    const auto campaign = analysis::run_campaign(study.wan_model(), vantages,
+                                                 regions, /*days=*/0.5);
+    const auto sweep = analysis::optimal_k_regions(campaign);
+    ablation.add(count, sweep[0].avg_rtt_ms, sweep[2].avg_rtt_ms,
+                 util::fmt("{:.0f}%",
+                           100.0 * (1.0 - sweep[2].avg_rtt_ms /
+                                              sweep[0].avg_rtt_ms)));
+  }
+  std::cout << ablation.render();
+  return 0;
+}

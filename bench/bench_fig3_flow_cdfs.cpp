@@ -1,0 +1,24 @@
+// Reproduces Figure 3: CDFs of HTTP/HTTPS flow counts per domain and
+// flow sizes. Paper's shape: heavy-tailed; HTTPS flows larger than HTTP
+// (EC2 medians ~10K vs ~2K); top-100 domains carry ~80% of EC2's HTTP
+// flows.
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 3: flow count and size CDFs");
+  auto study = core::Study{bench::default_config(400)};
+  const auto& capture = study.capture();
+  std::cout << core::render_fig3(capture);
+  std::cout << util::fmt(
+      "\ntop-100 domains carry {:.0f}% of EC2 HTTP flows and {:.0f}% of "
+      "Azure's (paper: ~80% / ~100%)\n",
+      100.0 * capture.top100_http_flow_share_ec2,
+      100.0 * capture.top100_http_flow_share_azure);
+  std::cout << util::fmt(
+      "median flow size: EC2 HTTP {:.0f} B, EC2 HTTPS {:.0f} B (paper: 2K / "
+      "10K)\n",
+      capture.http_flow_size_ec2.value_at(0.5),
+      capture.https_flow_size_ec2.value_at(0.5));
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 4: per-subdomain CDFs of (a) front-end VM instances
+// (paper: ~half of VM-using subdomains have 2+ VMs) and (b) physical ELB
+// instances (95% have <=5; rare tails like m.netflix.com's 90).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 4: feature instances per subdomain");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_fig4(study.patterns());
+  return 0;
+}

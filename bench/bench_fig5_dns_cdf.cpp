@@ -1,0 +1,11 @@
+// Reproduces Figure 5: CDF of the number of DNS servers per cloud-using
+// subdomain (paper: ~80% of subdomains use 3-10 name servers).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 5: DNS servers per subdomain");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_fig5(study.patterns());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 6: CDFs of regions per subdomain / per domain
+// (paper: >97% of EC2 and 92% of Azure subdomains in a single region).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 6: regions per (sub)domain");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_fig6(study.regions());
+  return 0;
+}

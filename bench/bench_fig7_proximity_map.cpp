@@ -1,0 +1,12 @@
+// Reproduces Figure 7: the sampled internal-address map — /16 blocks
+// colored by merged zone label, showing zone-pure banding across the
+// 10.0.0.0/8 space after the cross-account label-permutation merge.
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 7: internal /16 -> zone map");
+  auto study = core::Study{bench::default_config(200)};
+  std::cout << core::render_fig7(study);
+  return 0;
+}

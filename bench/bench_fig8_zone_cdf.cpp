@@ -1,0 +1,12 @@
+// Reproduces Figure 8: CDFs of zones per subdomain / per domain
+// (paper: 33.2% one zone, 44.5% two, 22.3% three+; 70% of domains
+// average one zone per subdomain).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figure 8: zones per (sub)domain");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_fig8(study.zone_study());
+  return 0;
+}

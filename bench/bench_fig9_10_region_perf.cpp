@@ -1,0 +1,40 @@
+// Reproduces Figures 9/10: average throughput and latency between
+// representative clients and the three US EC2 regions. Paper's signal:
+// region choice matters enormously (Seattle sees ~6x lower latency via
+// us-west-2 than us-east-1) and the two US-West regions are not
+// equivalent.
+#include "bench_common.h"
+
+#include "internet/vantage.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Figures 9/10: client x US-region performance");
+  auto study = core::Study{bench::default_config(200)};
+  auto& model = study.wan_model();
+
+  // The paper shows 15 representative clients against the 3 US regions.
+  const char* cities[] = {"seattle",  "berkeley",  "losangeles", "boulder",
+                          "houston",  "chicago",   "madison",    "atlanta",
+                          "boston",   "newyork",   "london",     "paris",
+                          "tokyo",    "saopaulo",  "sydney"};
+  std::vector<internet::VantagePoint> vantages;
+  for (const auto* city : cities)
+    vantages.push_back(internet::vantage_named(city));
+  std::vector<const cloud::Region*> regions = {
+      study.world().ec2().region("ec2.us-east-1"),
+      study.world().ec2().region("ec2.us-west-1"),
+      study.world().ec2().region("ec2.us-west-2")};
+
+  const auto campaign = analysis::run_campaign(model, vantages, regions,
+                                               /*days=*/1.0);
+  const auto averages = analysis::average_matrix(campaign);
+  std::cout << core::render_fig9_10(averages);
+
+  // The headline contrasts.
+  const auto& rtt = averages.avg_rtt_ms;
+  std::cout << util::fmt(
+      "\nSeattle: us-east-1 {:.0f} ms vs us-west-2 {:.0f} ms ({:.1f}x)\n",
+      rtt[0][0], rtt[0][2], rtt[0][2] > 0 ? rtt[0][0] / rtt[0][2] : 0.0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 10: region usage of the top cloud-using domains
+// (live.com's 18 subdomains across 3 regions, msn.com's 89 across 5,
+// single-region pinterest.com, ...).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 10: regions of top cloud-using domains");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_table10(study);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 14: estimated (sub)domains per zone — the per-region
+// skew (the paper's most-used us-east-1 zone holds ~2.7x the subdomains
+// of the least-used).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 14: zone usage per region");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_table14(study.zone_study());
+  return 0;
+}

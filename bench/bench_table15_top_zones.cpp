@@ -1,0 +1,12 @@
+// Reproduces Table 15: zone-usage estimates for the top EC2-using
+// domains (pinterest.com's split between 1-zone and 3-zone subdomains,
+// fc2.com's 2-zone bulk, single-zone ask/apple/imdb, ...).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 15: zone usage of top domains");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_table15(study);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 1: percent of traffic volume and flows per cloud in
+// the campus capture. Paper: EC2 81.73% of bytes / 80.70% of flows.
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 1: cloud share of capture traffic");
+  auto study = core::Study{bench::default_config(400)};
+  std::cout << core::render_table1(study.capture());
+  return 0;
+}

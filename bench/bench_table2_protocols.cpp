@@ -1,0 +1,12 @@
+// Reproduces Table 2: protocol mix per cloud. Paper's shape: TCP >99% of
+// bytes; EC2 HTTPS-heavy (80.9% of bytes), Azure HTTP-heavy (59.97%);
+// DNS ~10.6% of flows; Azure with a large other-UDP flow share.
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 2: protocol mix");
+  auto study = core::Study{bench::default_config(400)};
+  std::cout << core::render_table2(study.capture());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Table 3: domains/subdomains by provider mix. Paper: ~4% of
+// domains cloud-using; EC2 dominates (94.9% of cloud domains); most
+// cloud-using domains also use other hosting (EC2+Other 86.1%).
+// Ablation: brute-force wordlist size vs enumeration recall (the
+// methodology's admitted lower-bound bias).
+#include "bench_common.h"
+
+#include "dns/wordlist.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 3: provider breakdown");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_table3(study.cloud_usage());
+
+  const auto& dataset = study.dataset();
+  std::cout << util::fmt(
+      "\ncloud-using domains: {} of {} ({:.1f}%), subdomains found: {}\n",
+      dataset.cloud_using_domain_count(), dataset.domains.size(),
+      100.0 * dataset.cloud_using_domain_count() / dataset.domains.size(),
+      dataset.cloud_subdomains.size());
+  std::cout << util::fmt(
+      "rank skew: {:.1f}% of cloud-using domains in top quartile vs {:.1f}% "
+      "in bottom quartile (paper: 42.3% vs 16.2%)\n",
+      100.0 * study.cloud_usage().top_quartile_fraction,
+      100.0 * study.cloud_usage().bottom_quartile_fraction);
+
+  // Ablation: recall vs wordlist size.
+  bench::print_header("Ablation: wordlist size vs subdomains discovered");
+  util::Table ablation{{"wordlist words", "cloud subdomains found"}};
+  for (const std::size_t words : {8ul, 40ul, 120ul, 160ul}) {
+    auto config = bench::default_config(300);
+    const auto& full = dns::default_wordlist();
+    config.dataset.wordlist.assign(
+        full.begin(), full.begin() + std::min(words, full.size()));
+    config.dataset.collect_name_servers = false;
+    core::Study ablation_study{config};
+    ablation.add(words, ablation_study.dataset().cloud_subdomains.size());
+  }
+  std::cout << ablation.render();
+  return 0;
+}

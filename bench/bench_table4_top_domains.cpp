@@ -1,0 +1,16 @@
+// Reproduces Table 4: the top-10 (by Alexa rank) EC2-using domains with
+// their subdomain counts — the paper's marquee rows (amazon.com at rank 9,
+// pinterest.com with 18 EC2 subdomains, ...).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 4: top EC2-using domains");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_table4(study.cloud_usage());
+  std::cout << "\nTop cloud subdomain prefixes (paper: www, m, ftp, cdn, "
+               "mail, ...):\n";
+  for (const auto& [prefix, count] : study.cloud_usage().top_prefixes)
+    std::cout << "  " << prefix << ": " << count << "\n";
+  return 0;
+}

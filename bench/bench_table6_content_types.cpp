@@ -1,0 +1,12 @@
+// Reproduces Table 6: HTTP content types by byte count with mean/max
+// object sizes. Paper's shape: html + plain text ~half the bytes and
+// small; pdf/zip/mp4 rare but huge.
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 6: HTTP content types");
+  auto study = core::Study{bench::default_config(400)};
+  std::cout << core::render_table6(study.capture());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 8: per-feature breakdown for the highest-ranked
+// EC2-using domains (amazon.com's ELB-heavy posture, pinterest.com's
+// VM-only posture, imdb.com's CDN use, ...).
+#include "bench_common.h"
+
+int main() {
+  using namespace cs;
+  bench::print_header("Table 8: features of top EC2-using domains");
+  auto study = core::Study{bench::default_config()};
+  std::cout << core::render_table8(study);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Wide-area deployment planner: given a set of client cities, measure
+// latency/throughput against every EC2 region (the §5.1 methodology) and
+// recommend a k-region deployment with failure-tolerance notes (§5.2).
+//
+//   ./examples/widearea_planner [city ...]   (default: seattle boulder
+//                                             london tokyo saopaulo)
+#include <iostream>
+#include <vector>
+
+#include "analysis/isp.h"
+#include "analysis/widearea.h"
+#include "core/report.h"
+#include "internet/model.h"
+#include "internet/traceroute.h"
+#include "internet/vantage.h"
+#include "util/format.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+
+  std::vector<std::string> cities;
+  for (int i = 1; i < argc; ++i) cities.emplace_back(argv[i]);
+  if (cities.empty())
+    cities = {"seattle", "boulder", "london", "tokyo", "saopaulo"};
+
+  auto ec2 = cloud::Provider::make_ec2(2013);
+  internet::WideAreaModel model{{.seed = 2013}};
+
+  std::vector<internet::VantagePoint> clients;
+  for (const auto& city : cities) {
+    try {
+      clients.push_back(internet::vantage_named(city));
+    } catch (const std::invalid_argument&) {
+      std::cerr << "unknown city '" << city << "', skipping\n";
+    }
+  }
+  if (clients.empty()) {
+    std::cerr << "no usable client cities\n";
+    return 1;
+  }
+
+  std::vector<const cloud::Region*> regions;
+  for (const auto& region : ec2.regions()) regions.push_back(&region);
+
+  std::cout << "Measuring " << clients.size()
+            << " client sites against 8 EC2 regions (1 day, 15-min "
+               "rounds)...\n\n";
+  const auto campaign =
+      analysis::run_campaign(model, clients, regions, /*days=*/1.0);
+  std::cout << core::render_fig9_10(analysis::average_matrix(campaign))
+            << "\n";
+
+  const auto k_results = analysis::optimal_k_regions(campaign);
+  std::cout << core::render_fig12(k_results) << "\n";
+
+  // Recommend the knee of the curve: the smallest k capturing 85% of the
+  // achievable latency reduction.
+  const double total_gain =
+      k_results.front().avg_rtt_ms - k_results.back().avg_rtt_ms;
+  std::size_t knee = 0;
+  for (std::size_t k = 0; k < k_results.size(); ++k) {
+    if (k_results.front().avg_rtt_ms - k_results[k].avg_rtt_ms >=
+        0.85 * total_gain) {
+      knee = k;
+      break;
+    }
+  }
+  std::cout << "Recommended deployment (" << knee + 1 << " region(s)):";
+  for (const auto& region : k_results[knee].best_regions)
+    std::cout << " " << region;
+  std::cout << "\n\n";
+
+  // Fault-tolerance check: what a busiest-downstream-ISP failure does.
+  internet::AsTopology topology{ec2, 2013};
+  const auto impacts = analysis::single_isp_failure_impact(
+      ec2, topology, internet::planetlab_vantages(80));
+  for (const auto& impact : impacts) {
+    const bool in_plan =
+        std::find(k_results[knee].best_regions.begin(),
+                  k_results[knee].best_regions.end(),
+                  impact.region) != k_results[knee].best_regions.end();
+    if (!in_plan) continue;
+    std::cout << util::fmt(
+        "If {}'s busiest downstream ISP (AS{}) fails: {:.0f}% of clients "
+        "lose a single-region deployment; {:.0f}% with failover via {}.\n",
+        impact.region, impact.failed_asn,
+        100.0 * impact.single_region_unreachable,
+        100.0 * impact.multi_region_unreachable, impact.failover_region);
+  }
+  return 0;
+}

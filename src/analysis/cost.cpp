@@ -1,0 +1,32 @@
+#include "analysis/cost.h"
+
+namespace cs::analysis {
+
+std::vector<DeploymentCost> cost_latency_frontier(const Campaign& campaign,
+                                                  const CostModel& model) {
+  const auto k_results = optimal_k_regions(campaign);
+  std::vector<DeploymentCost> frontier;
+  for (const auto& result : k_results) {
+    DeploymentCost cost;
+    cost.k = result.k;
+    cost.regions = result.best_regions;
+    cost.avg_rtt_ms = result.avg_rtt_ms;
+    cost.compute_usd = result.k * model.instances_per_region *
+                       model.instance_hour_usd * model.hours_per_month;
+    cost.egress_usd = model.demand_gb_per_month * model.egress_per_gb_usd;
+    cost.replication_usd = (result.k - 1) * model.replication_gb_per_month *
+                           model.inter_region_per_gb_usd;
+    cost.total_usd =
+        cost.compute_usd + cost.egress_usd + cost.replication_usd;
+    if (!frontier.empty()) {
+      const auto& prev = frontier.back();
+      const double ms_saved = prev.avg_rtt_ms - cost.avg_rtt_ms;
+      const double extra_usd = cost.total_usd - prev.total_usd;
+      cost.usd_per_ms_saved = ms_saved > 1e-9 ? extra_usd / ms_saved : -1.0;
+    }
+    frontier.push_back(std::move(cost));
+  }
+  return frontier;
+}
+
+}  // namespace cs::analysis

@@ -1,0 +1,119 @@
+#include "analysis/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dns/wordlist.h"
+#include "internet/vantage.h"
+
+namespace cs::analysis {
+
+DatasetBuilder::DatasetBuilder(const synth::World& world, Options options)
+    : world_(world),
+      ranges_(world.ec2(), world.azure()),
+      options_(std::move(options)) {
+  if (options_.wordlist.empty()) options_.wordlist = dns::default_wordlist();
+}
+
+AlexaDataset DatasetBuilder::build() {
+  AlexaDataset dataset;
+  auto resolver = world_.make_resolver(net::Ipv4{199, 16, 0, 10});
+  dns::Enumerator enumerator{
+      resolver,
+      {.wordlist = options_.wordlist, .attempt_axfr = options_.attempt_axfr}};
+  for (const auto& domain : world_.domains())
+    probe_domain(domain, dataset, resolver, enumerator);
+  dataset.dns_queries_spent = resolver.upstream_queries();
+  return dataset;
+}
+
+void DatasetBuilder::probe_domain(const synth::DomainTruth& domain_truth,
+                                  AlexaDataset& dataset,
+                                  dns::Resolver& resolver,
+                                  dns::Enumerator& enumerator) {
+  DomainObservation domain_obs;
+  domain_obs.name = domain_truth.name;
+  domain_obs.rank = domain_truth.rank;
+
+  const auto enumerated = enumerator.enumerate(domain_truth.name);
+  domain_obs.axfr_succeeded = enumerated.axfr_succeeded;
+  domain_obs.subdomains_probed = enumerated.subdomains.size();
+
+  const auto vantages = internet::planetlab_vantages(
+      std::max<std::size_t>(1, options_.lookup_vantages));
+
+  for (const auto& subdomain : enumerated.subdomains) {
+    SubdomainObservation obs;
+    obs.name = subdomain;
+    obs.domain = domain_truth.name;
+    obs.domain_rank = domain_truth.rank;
+
+    std::set<net::Ipv4> addresses;
+    std::set<dns::Name> cnames;
+    // First a single-vantage lookup (the filtering query), then the
+    // distributed lookups from every vantage to capture geo-specific
+    // records; caches are flushed between vantages, as the paper did.
+    for (std::size_t v = 0; v < vantages.size(); ++v) {
+      resolver.flush_cache();
+      resolver.set_client_address(vantages[v].address);
+      const auto result = resolver.resolve(subdomain, dns::RrType::kA);
+      if (!result.ok()) continue;
+      for (const auto& rr : result.records) obs.records.push_back(rr);
+      for (const auto addr : result.addresses()) addresses.insert(addr);
+      for (const auto& cname : result.cname_chain()) cnames.insert(cname);
+      if (v == 0 && result.cname_chain().empty() &&
+          !result.addresses().empty())
+        obs.direct_a_record = true;
+    }
+    resolver.flush_cache();
+
+    bool any_cloud = false;
+    for (const auto addr : addresses) {
+      const auto c = ranges_.classify(addr);
+      switch (c.kind) {
+        case IpClassification::Kind::kEc2:
+          obs.has_ec2_address = true;
+          any_cloud = true;
+          break;
+        case IpClassification::Kind::kAzure:
+          obs.has_azure_address = true;
+          any_cloud = true;
+          break;
+        case IpClassification::Kind::kCloudFront:
+          obs.has_cloudfront_address = true;
+          any_cloud = true;
+          break;
+        case IpClassification::Kind::kOther:
+          obs.has_other_address = true;
+          break;
+      }
+    }
+    if (!any_cloud) {
+      ++domain_obs.other_only_subdomains;
+      continue;
+    }
+
+    obs.addresses.assign(addresses.begin(), addresses.end());
+    obs.cnames.assign(cnames.begin(), cnames.end());
+
+    if (options_.collect_name_servers) {
+      const auto ns_result =
+          resolver.resolve(domain_truth.name, dns::RrType::kNs);
+      for (const auto& rr : ns_result.records) {
+        const auto* ns = std::get_if<dns::NsRecord>(&rr.data);
+        if (!ns) continue;
+        resolver.flush_cache();
+        const auto addr_result =
+            resolver.resolve(ns->nameserver, dns::RrType::kA);
+        obs.name_servers.emplace_back(ns->nameserver,
+                                      addr_result.addresses());
+      }
+    }
+
+    domain_obs.cloud_subdomains.push_back(dataset.cloud_subdomains.size());
+    dataset.cloud_subdomains.push_back(std::move(obs));
+  }
+  dataset.domains.push_back(std::move(domain_obs));
+}
+
+}  // namespace cs::analysis

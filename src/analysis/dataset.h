@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/ranges.h"
+#include "dns/enumerate.h"
+#include "synth/world.h"
+
+/// The Alexa subdomains dataset (§2.1): the product of AXFR attempts,
+/// dnsmap-style brute forcing from distributed vantages, and per-subdomain
+/// DNS lookups filtered against the published cloud ranges. This is the
+/// input to every deployment-posture analysis in §4.
+namespace cs::analysis {
+
+/// One cloud-using subdomain with its observed DNS evidence.
+struct SubdomainObservation {
+  dns::Name name;
+  dns::Name domain;
+  std::size_t domain_rank = 0;
+  /// Full record chains gathered across vantages (CNAMEs + A records).
+  std::vector<dns::ResourceRecord> records;
+  /// Deduplicated resolved addresses.
+  std::vector<net::Ipv4> addresses;
+  /// Deduplicated CNAME targets in chase order.
+  std::vector<dns::Name> cnames;
+  /// Whether the query returned an address with no CNAME indirection.
+  bool direct_a_record = false;
+  /// Any resolved address outside the cloud ranges (hybrid hosting).
+  bool has_other_address = false;
+  bool has_ec2_address = false;
+  bool has_azure_address = false;
+  bool has_cloudfront_address = false;
+  /// Name servers serving this subdomain's zone, with resolved addresses.
+  std::vector<std::pair<dns::Name, std::vector<net::Ipv4>>> name_servers;
+};
+
+struct DomainObservation {
+  dns::Name name;
+  std::size_t rank = 0;
+  bool axfr_succeeded = false;
+  std::size_t subdomains_probed = 0;  ///< names found to exist
+  /// Indices into AlexaDataset::cloud_subdomains.
+  std::vector<std::size_t> cloud_subdomains;
+  /// Count of discovered subdomains with only non-cloud addresses.
+  std::size_t other_only_subdomains = 0;
+};
+
+struct AlexaDataset {
+  std::vector<SubdomainObservation> cloud_subdomains;
+  std::vector<DomainObservation> domains;
+  std::uint64_t dns_queries_spent = 0;
+
+  std::size_t cloud_using_domain_count() const {
+    std::size_t n = 0;
+    for (const auto& d : domains)
+      if (!d.cloud_subdomains.empty()) ++n;
+    return n;
+  }
+};
+
+class DatasetBuilder {
+ public:
+  struct Options {
+    std::vector<std::string> wordlist;  ///< empty = default wordlist
+    bool attempt_axfr = true;
+    /// Number of vantage points used for the distributed lookups (the
+    /// paper used 200) and for NS location probing (50).
+    std::size_t lookup_vantages = 8;
+    bool collect_name_servers = true;
+  };
+
+  DatasetBuilder(const synth::World& world, Options options);
+
+  /// Runs the full §2.1 pipeline over every domain in the world.
+  AlexaDataset build();
+
+ private:
+  void probe_domain(const synth::DomainTruth& domain_truth,
+                    AlexaDataset& dataset, dns::Resolver& resolver,
+                    dns::Enumerator& enumerator);
+
+  const synth::World& world_;
+  CloudRanges ranges_;
+  Options options_;
+};
+
+}  // namespace cs::analysis

@@ -1,0 +1,92 @@
+#include "analysis/outage.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/format.h"
+
+namespace cs::analysis {
+
+std::vector<OutageImpact> region_outage_impact(const AlexaDataset& dataset,
+                                               const RegionReport& regions) {
+  // Collect the region universe.
+  std::set<std::string> region_names;
+  for (const auto& region_list : regions.subdomain_regions)
+    region_names.insert(region_list.begin(), region_list.end());
+
+  const std::size_t cloud_domains = dataset.cloud_using_domain_count();
+  std::vector<OutageImpact> impacts;
+  for (const auto& failed : region_names) {
+    OutageImpact impact;
+    impact.failed_unit = failed;
+    std::set<std::string> affected_domains;
+    for (std::size_t i = 0; i < dataset.cloud_subdomains.size(); ++i) {
+      const auto& attributed = regions.subdomain_regions[i];
+      if (attributed.empty()) continue;
+      const bool uses = std::find(attributed.begin(), attributed.end(),
+                                  failed) != attributed.end();
+      if (!uses) continue;
+      if (attributed.size() == 1) {
+        ++impact.subdomains_down;
+        affected_domains.insert(
+            dataset.cloud_subdomains[i].domain.to_string());
+      } else {
+        ++impact.subdomains_degraded;
+      }
+    }
+    impact.domains_affected = affected_domains.size();
+    impact.domains_affected_fraction =
+        cloud_domains ? static_cast<double>(impact.domains_affected) /
+                            cloud_domains
+                      : 0.0;
+    impacts.push_back(std::move(impact));
+  }
+  std::sort(impacts.begin(), impacts.end(),
+            [](const OutageImpact& a, const OutageImpact& b) {
+              return a.subdomains_down > b.subdomains_down;
+            });
+  return impacts;
+}
+
+std::vector<OutageImpact> zone_outage_impact(const AlexaDataset& dataset,
+                                             const ZoneOutageInput& zones) {
+  // Universe of (region, zone) units with identified users.
+  std::set<std::pair<std::string, int>> units;
+  for (std::size_t i = 0; i < zones.subdomain_zones.size(); ++i)
+    for (const auto zone : zones.subdomain_zones[i])
+      if (!zones.subdomain_primary_region[i].empty())
+        units.insert({zones.subdomain_primary_region[i], zone});
+
+  const std::size_t cloud_domains = dataset.cloud_using_domain_count();
+  std::vector<OutageImpact> impacts;
+  for (const auto& [region, zone] : units) {
+    OutageImpact impact;
+    impact.failed_unit = util::fmt("{}/zone-{}", region, zone);
+    std::set<std::string> affected_domains;
+    for (std::size_t i = 0; i < zones.subdomain_zones.size(); ++i) {
+      if (zones.subdomain_primary_region[i] != region) continue;
+      const auto& zone_set = zones.subdomain_zones[i];
+      if (!zone_set.contains(zone)) continue;
+      if (zone_set.size() == 1) {
+        ++impact.subdomains_down;
+        affected_domains.insert(
+            dataset.cloud_subdomains[i].domain.to_string());
+      } else {
+        ++impact.subdomains_degraded;
+      }
+    }
+    impact.domains_affected = affected_domains.size();
+    impact.domains_affected_fraction =
+        cloud_domains ? static_cast<double>(impact.domains_affected) /
+                            cloud_domains
+                      : 0.0;
+    impacts.push_back(std::move(impact));
+  }
+  std::sort(impacts.begin(), impacts.end(),
+            [](const OutageImpact& a, const OutageImpact& b) {
+              return a.subdomains_down > b.subdomains_down;
+            });
+  return impacts;
+}
+
+}  // namespace cs::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/regions.h"
+
+/// Region- and zone-outage impact (§4.2/§4.3 implications): the paper's
+/// headline that a US East outage would take down critical components of
+/// 61% of EC2-using domains, and that a single-zone failure fully
+/// disables every subdomain confined to that zone.
+namespace cs::analysis {
+
+struct OutageImpact {
+  std::string failed_unit;  ///< region name, or "region/zone-k"
+  /// Subdomains with every front-end address inside the failed unit.
+  std::size_t subdomains_down = 0;
+  /// Subdomains with some but not all front ends inside it.
+  std::size_t subdomains_degraded = 0;
+  /// Domains with at least one fully-down subdomain.
+  std::size_t domains_affected = 0;
+  /// ... as a fraction of cloud-using domains.
+  double domains_affected_fraction = 0.0;
+};
+
+/// Simulates failing each region: a subdomain is down when all of its
+/// region-attributed addresses fall inside the failed region.
+std::vector<OutageImpact> region_outage_impact(const AlexaDataset& dataset,
+                                               const RegionReport& regions);
+
+/// Simulates failing each (region, physical zone): requires the zone
+/// attribution from the cartography study. Subdomains whose zone set is
+/// exactly {zone} go down; multi-zone users degrade.
+struct ZoneOutageInput {
+  /// Per subdomain: primary region and identified physical zones.
+  const std::vector<std::set<int>>& subdomain_zones;
+  const std::vector<std::string>& subdomain_primary_region;
+};
+std::vector<OutageImpact> zone_outage_impact(const AlexaDataset& dataset,
+                                             const ZoneOutageInput& zones);
+
+}  // namespace cs::analysis

@@ -1,0 +1,30 @@
+#include "analysis/ranges.h"
+
+namespace cs::analysis {
+
+CloudRanges::CloudRanges(const cloud::Provider& ec2,
+                         const cloud::Provider& azure)
+    : cloudfront_(ec2.cdn_block()) {
+  for (const auto& entry : ec2.published_ranges().entries())
+    ec2_.insert(entry.block, entry.tag);
+  for (const auto& entry : azure.published_ranges().entries())
+    azure_.insert(entry.block, entry.tag);
+}
+
+IpClassification CloudRanges::classify(net::Ipv4 addr) const {
+  if (const auto region = ec2_.lookup(addr))
+    return {IpClassification::Kind::kEc2, *region};
+  if (const auto region = azure_.lookup(addr))
+    return {IpClassification::Kind::kAzure, *region};
+  if (cloudfront_.contains(addr))
+    return {IpClassification::Kind::kCloudFront, {}};
+  return {};
+}
+
+std::optional<std::string> CloudRanges::region_of(net::Ipv4 addr) const {
+  const auto c = classify(addr);
+  if (c.region.empty()) return std::nullopt;
+  return c.region;
+}
+
+}  // namespace cs::analysis

@@ -1,0 +1,168 @@
+#include "analysis/routing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cloud/provider.h"
+#include "util/geo.h"
+
+namespace cs::analysis {
+namespace {
+
+/// Geographic coordinates for the EC2 regions (for kGeoNearest); taken
+/// from the provider definitions to avoid a provider dependency here.
+util::GeoPoint region_point(const std::string& name) {
+  static const auto ec2 = cloud::Provider::make_ec2(0);
+  if (const auto* region = ec2.region(name)) return region->location.point;
+  throw std::invalid_argument{"evaluate_routing: unknown region " + name};
+}
+
+}  // namespace
+
+std::string to_string(RoutingStrategy strategy) {
+  switch (strategy) {
+    case RoutingStrategy::kStaticBest:
+      return "static-best";
+    case RoutingStrategy::kGeoNearest:
+      return "geo-nearest";
+    case RoutingStrategy::kDynamicBest:
+      return "dynamic-best (oracle)";
+    case RoutingStrategy::kRaceTwo:
+      return "race-two";
+    case RoutingStrategy::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+std::vector<RoutingOutcome> evaluate_routing(
+    const Campaign& campaign, const std::vector<std::string>& deployment) {
+  // Map deployment names to campaign indices.
+  std::vector<std::size_t> members;
+  for (const auto& name : deployment) {
+    const auto it = std::find(campaign.region_names.begin(),
+                              campaign.region_names.end(), name);
+    if (it == campaign.region_names.end())
+      throw std::invalid_argument{
+          "evaluate_routing: region not in campaign: " + name};
+    members.push_back(
+        static_cast<std::size_t>(it - campaign.region_names.begin()));
+  }
+  if (members.empty())
+    throw std::invalid_argument{"evaluate_routing: empty deployment"};
+
+  const std::size_t rounds = campaign.rounds();
+  const std::size_t vantages = campaign.vantages.size();
+
+  // Per-client long-run averages (for static-best) and geo choices.
+  std::vector<std::size_t> static_choice(vantages);
+  std::vector<std::vector<std::size_t>> ranked_members(vantages);
+  std::vector<std::size_t> geo_choice(vantages);
+  for (std::size_t v = 0; v < vantages; ++v) {
+    std::vector<std::pair<double, std::size_t>> avg;
+    for (const auto r : members) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        if (const auto& s = campaign.rtt_ms[v][r][round]) {
+          sum += *s;
+          ++n;
+        }
+      }
+      avg.emplace_back(n ? sum / n : 1e18, r);
+    }
+    std::sort(avg.begin(), avg.end());
+    static_choice[v] = avg.front().second;
+    for (const auto& [rtt, r] : avg) ranked_members[v].push_back(r);
+
+    double best_km = 1e18;
+    for (const auto r : members) {
+      const double km = util::haversine_km(
+          campaign.vantages[v].location.point,
+          region_point(campaign.region_names[r]));
+      if (km < best_km) {
+        best_km = km;
+        geo_choice[v] = r;
+      }
+    }
+  }
+
+  struct Acc {
+    double rtt_sum = 0.0;
+    std::size_t served = 0;
+    std::size_t near_optimal = 0;
+    std::size_t requests = 0;
+  };
+  std::map<RoutingStrategy, Acc> accs;
+
+  for (std::size_t v = 0; v < vantages; ++v) {
+    for (std::size_t round = 0; round < rounds; ++round) {
+      // Per-round optimum among members.
+      double optimum = 1e18;
+      for (const auto r : members)
+        if (const auto& s = campaign.rtt_ms[v][r][round])
+          optimum = std::min(optimum, *s);
+      if (optimum >= 1e17) continue;  // everything lost this round
+
+      auto record = [&](RoutingStrategy strategy, double rtt,
+                        std::size_t requests) {
+        auto& acc = accs[strategy];
+        acc.rtt_sum += rtt;
+        ++acc.served;
+        acc.requests += requests;
+        if (rtt <= optimum * 1.1) ++acc.near_optimal;
+      };
+
+      auto sample_or_worst = [&](std::size_t r) {
+        const auto& s = campaign.rtt_ms[v][r][round];
+        // A lost probe means the request had to be retried elsewhere or
+        // timed out; penalize with twice the worst member RTT this round.
+        if (s) return *s;
+        double worst = optimum;
+        for (const auto m : members)
+          if (const auto& sm = campaign.rtt_ms[v][m][round])
+            worst = std::max(worst, *sm);
+        return worst * 2.0;
+      };
+
+      record(RoutingStrategy::kStaticBest, sample_or_worst(static_choice[v]),
+             1);
+      record(RoutingStrategy::kGeoNearest, sample_or_worst(geo_choice[v]),
+             1);
+      record(RoutingStrategy::kDynamicBest, optimum, 1);
+      // Race-two: the better of the client's two historically best members.
+      {
+        const auto first = ranked_members[v][0];
+        const auto second =
+            ranked_members[v][std::min<std::size_t>(1,
+                                                    ranked_members[v].size() -
+                                                        1)];
+        const double rtt =
+            std::min(sample_or_worst(first), sample_or_worst(second));
+        record(RoutingStrategy::kRaceTwo, rtt, members.size() > 1 ? 2 : 1);
+      }
+      record(RoutingStrategy::kRoundRobin,
+             sample_or_worst(members[round % members.size()]), 1);
+    }
+  }
+
+  std::vector<RoutingOutcome> outcomes;
+  for (const auto& [strategy, acc] : accs) {
+    RoutingOutcome outcome;
+    outcome.strategy = strategy;
+    outcome.avg_rtt_ms = acc.served ? acc.rtt_sum / acc.served : 0.0;
+    outcome.near_optimal_fraction =
+        acc.served ? static_cast<double>(acc.near_optimal) / acc.served
+                   : 0.0;
+    outcome.request_amplification =
+        acc.served ? static_cast<double>(acc.requests) / acc.served : 0.0;
+    outcomes.push_back(outcome);
+  }
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const RoutingOutcome& a, const RoutingOutcome& b) {
+              return a.avg_rtt_ms < b.avg_rtt_ms;
+            });
+  return outcomes;
+}
+
+}  // namespace cs::analysis

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/widearea.h"
+
+/// Client-to-region request-routing strategies (§5.1's closing
+/// discussion): once a tenant deploys in k regions, how should clients be
+/// steered? The paper contrasts global request scheduling ("effective,
+/// but complex") with racing requests to several regions ("simple, but
+/// increases server load"). This module quantifies that trade-off on a
+/// measured campaign.
+namespace cs::analysis {
+
+enum class RoutingStrategy {
+  kStaticBest,     ///< each client pinned to its long-run best region
+  kGeoNearest,     ///< each client pinned to the geographically closest
+  kDynamicBest,    ///< per-round oracle scheduling (upper bound)
+  kRaceTwo,        ///< request races between the client's top two regions
+  kRoundRobin,     ///< naive rotation across the deployment
+};
+
+std::string to_string(RoutingStrategy strategy);
+
+struct RoutingOutcome {
+  RoutingStrategy strategy;
+  double avg_rtt_ms = 0.0;
+  /// Fraction of (client, round) pairs where the choice was within 10% of
+  /// the per-round optimum.
+  double near_optimal_fraction = 0.0;
+  /// Requests issued per served round (1.0 except for racing).
+  double request_amplification = 1.0;
+};
+
+/// Evaluates each strategy over the campaign restricted to `deployment`
+/// (region names; must be a subset of the campaign's regions).
+std::vector<RoutingOutcome> evaluate_routing(
+    const Campaign& campaign, const std::vector<std::string>& deployment);
+
+}  // namespace cs::analysis

@@ -1,0 +1,94 @@
+#include "carto/latency_zone.h"
+
+#include <algorithm>
+
+namespace cs::carto {
+
+LatencyZoneEstimator::LatencyZoneEstimator(cloud::Provider& ec2,
+                                           internet::WideAreaModel& model,
+                                           Options options)
+    : ec2_(ec2), model_(model), options_(std::move(options)) {
+  for (const auto& region : ec2_.regions()) {
+    // US East gets extra small probes, as in the paper.
+    const int per_zone = region.name == "ec2.us-east-1"
+                             ? options_.probe_instances_per_zone + 3
+                             : options_.probe_instances_per_zone;
+    for (int label = 0; label < region.zone_count; ++label) {
+      if (options_.blocked_probe_zones.contains({region.name, label}))
+        continue;
+      for (int i = 0; i < per_zone; ++i) {
+        const auto& probe = ec2_.launch(
+            {.account = options_.probe_account,
+             .region = region.name,
+             .zone_label = label,
+             .type = i < options_.probe_instances_per_zone ? "m1.medium"
+                                                           : "m1.small"});
+        probes_[region.name][label].push_back(&probe);
+      }
+    }
+  }
+}
+
+std::vector<int> LatencyZoneEstimator::probe_labels(
+    const std::string& region) const {
+  std::vector<int> labels;
+  if (const auto it = probes_.find(region); it != probes_.end())
+    for (const auto& [label, instances] : it->second)
+      labels.push_back(label);
+  return labels;
+}
+
+LatencyZoneEstimator::Estimate LatencyZoneEstimator::estimate(
+    net::Ipv4 target_public_ip, const std::string& region) {
+  Estimate result;
+  const auto* target = ec2_.find_by_public_ip(target_public_ip);
+  if (!target || model_.instance_unresponsive(*target)) return result;
+  result.responded = true;
+
+  const auto it = probes_.find(region);
+  if (it == probes_.end()) return result;
+
+  // Min RTT per probe label over rounds x probes (both the internal and
+  // public address were probed in the paper; the minimum is what counts).
+  std::map<int, double> min_rtt;
+  for (const auto& [label, instances] : it->second) {
+    double best = 1e18;
+    for (const auto* probe : instances) {
+      for (int round = 0; round < options_.rounds; ++round) {
+        for (int ping = 0; ping < options_.probes_per_round; ++ping) {
+          clock_ += 0.5;
+          best = std::min(best, model_.instance_rtt_sample(
+                                    ec2_, *probe, *target,
+                                    clock_ + round * 86400.0));
+        }
+      }
+    }
+    min_rtt[label] = best;
+  }
+  if (min_rtt.empty()) return result;
+
+  // Unique fastest label under the threshold wins.
+  int best_label = -1;
+  double best = 1e18, second = 1e18;
+  for (const auto& [label, rtt] : min_rtt) {
+    if (rtt < best) {
+      second = best;
+      best = rtt;
+      best_label = label;
+    } else {
+      second = std::min(second, rtt);
+    }
+  }
+  // A tie (within measurement resolution) yields unknown, as does a
+  // minimum above the threshold.
+  if (best >= options_.threshold_ms || second - best < 1e-3) return result;
+  result.zone_label = best_label;
+  return result;
+}
+
+int LatencyZoneEstimator::label_to_physical(const std::string& region,
+                                            int label) const {
+  return ec2_.physical_zone(options_.probe_account, region, label);
+}
+
+}  // namespace cs::carto

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "internet/model.h"
+
+/// Latency-based zone identification (§4.3): probe instances in each
+/// zone TCP-ping a target; the min RTT per zone is compared against a
+/// threshold T. Same-zone RTT (~0.5 ms) sits well under T = 1.1 ms while
+/// cross-zone RTT (1.2+ ms) sits above, so the zone whose probes are
+/// uniquely fast wins; ties and slow minima yield "unknown".
+namespace cs::carto {
+
+class LatencyZoneEstimator {
+ public:
+  struct Options {
+    std::uint64_t seed = 7;
+    double threshold_ms = 1.1;
+    int probes_per_round = 10;  ///< hping3-style pings per probe instance
+    int rounds = 5;             ///< repetitions across days
+    std::string probe_account = "carto-main";
+    int probe_instances_per_zone = 3;
+    /// (region, zone label) pairs where probe instances cannot be
+    /// launched. The paper could not launch in one ap-northeast-1 zone
+    /// after January 2013, driving that region's 50.7% unknown rate.
+    std::set<std::pair<std::string, int>> blocked_probe_zones = {
+        {"ec2.ap-northeast-1", 1}};
+  };
+
+  /// Launches the probe fleet (mutates the provider).
+  LatencyZoneEstimator(cloud::Provider& ec2, internet::WideAreaModel& model,
+                       Options options);
+
+  struct Estimate {
+    bool responded = false;
+    std::optional<int> zone_label;  ///< probe-account label space
+  };
+
+  /// Estimates the zone of one target public IP in `region`.
+  Estimate estimate(net::Ipv4 target_public_ip, const std::string& region);
+
+  /// Labels with live probe instances for a region.
+  std::vector<int> probe_labels(const std::string& region) const;
+
+  int label_to_physical(const std::string& region, int label) const;
+
+ private:
+  cloud::Provider& ec2_;
+  internet::WideAreaModel& model_;
+  Options options_;
+  /// region -> label -> probe instance ids.
+  std::map<std::string, std::map<int, std::vector<const cloud::Instance*>>>
+      probes_;
+  double clock_ = 0.0;  ///< advances between probe rounds
+};
+
+}  // namespace cs::carto

@@ -1,0 +1,148 @@
+#include "cloud/features.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace cs::cloud {
+namespace {
+
+std::string short_region(const std::string& region) {
+  // "ec2.us-east-1" -> "us-east-1"
+  const auto dot = region.find('.');
+  return dot == std::string::npos ? region : region.substr(dot + 1);
+}
+
+}  // namespace
+
+ElbManager::ElbManager(Provider& ec2, std::uint64_t seed)
+    : ec2_(ec2), rng_(seed ^ 0xE1BULL) {}
+
+LogicalElb ElbManager::create(const std::string& account,
+                              const std::string& region, int proxy_count) {
+  if (proxy_count < 1)
+    throw std::invalid_argument{"ElbManager::create: proxy_count < 1"};
+  auto& pool = pools_[region];
+  LogicalElb lb;
+  lb.region = region;
+  lb.cname = dns::Name::must_parse(util::fmt(
+      "lb-{}.{}.elb.amazonaws.com", next_lb_id_++, short_region(region)));
+
+  // Grow-or-reuse: roughly 60% of picks mint a new shared proxy, so the
+  // proxy:subdomain ratio and the heavy-sharing tail match §4.1.
+  for (int i = 0; i < proxy_count; ++i) {
+    const bool grow = pool.empty() || rng_.chance(0.6);
+    net::Ipv4 ip;
+    if (grow) {
+      const auto& proxy = ec2_.launch(
+          {.account = "amazon-elb", .region = region, .type = "elb-proxy"});
+      pool.push_back(proxy.public_ip);
+      ++total_proxies_;
+      ip = proxy.public_ip;
+    } else {
+      ip = pool[rng_.next_below(pool.size())];
+    }
+    if (std::find(lb.proxy_ips.begin(), lb.proxy_ips.end(), ip) ==
+        lb.proxy_ips.end())
+      lb.proxy_ips.push_back(ip);
+  }
+  (void)account;  // the logical ELB belongs to the tenant; proxies to Amazon
+  return lb;
+}
+
+std::size_t ElbManager::pool_size(const std::string& region) const {
+  const auto it = pools_.find(region);
+  return it == pools_.end() ? 0 : it->second.size();
+}
+
+HerokuManager::HerokuManager(Provider& ec2, std::uint64_t seed)
+    : ec2_(ec2), rng_(seed ^ 0x4E40ULL) {}
+
+net::Ipv4 HerokuManager::fleet_ip() {
+  if (fleet_.size() < kFleetSize && (fleet_.empty() || rng_.chance(0.15))) {
+    const auto& node = ec2_.launch({.account = "heroku",
+                                    .region = "ec2.us-east-1",
+                                    .type = "paas-node"});
+    fleet_.push_back(node.public_ip);
+    return node.public_ip;
+  }
+  return fleet_[rng_.next_below(fleet_.size())];
+}
+
+HerokuApp HerokuManager::create(bool shared_proxy) {
+  HerokuApp app;
+  if (shared_proxy) {
+    app.cname = dns::Name::must_parse("proxy.heroku.com");
+  } else {
+    app.cname = dns::Name::must_parse(
+        util::fmt("app-{}.herokuapp.com", next_app_id_++));
+  }
+  const int ip_count = 1 + static_cast<int>(rng_.next_below(2));
+  for (int i = 0; i < ip_count; ++i) {
+    const auto ip = fleet_ip();
+    if (std::find(app.ips.begin(), app.ips.end(), ip) == app.ips.end())
+      app.ips.push_back(ip);
+  }
+  return app;
+}
+
+BeanstalkManager::BeanstalkManager(ElbManager& elbs, std::uint64_t seed)
+    : elbs_(elbs), rng_(seed ^ 0xBEA7ULL) {}
+
+BeanstalkEnv BeanstalkManager::create(const std::string& account,
+                                      const std::string& region) {
+  BeanstalkEnv env;
+  env.cname = dns::Name::must_parse(
+      util::fmt("app-{}.elasticbeanstalk.com", next_env_id_++));
+  env.elb = elbs_.create(account, region,
+                         1 + static_cast<int>(rng_.next_below(3)));
+  return env;
+}
+
+CloudFrontManager::CloudFrontManager(Provider& ec2, std::uint64_t seed)
+    : ec2_(ec2), rng_(seed ^ 0xCDFULL) {}
+
+CdnDistribution CloudFrontManager::create(int edge_count) {
+  if (edge_count < 1)
+    throw std::invalid_argument{"CloudFrontManager::create: edge_count < 1"};
+  CdnDistribution dist;
+  dist.cname = dns::Name::must_parse(
+      util::fmt("d{}.cloudfront.net", 100000 + next_dist_id_++));
+  for (int i = 0; i < edge_count; ++i)
+    dist.edge_ips.push_back(ec2_.allocate_cdn_ip());
+  return dist;
+}
+
+CloudServiceManager::CloudServiceManager(Provider& azure, std::uint64_t seed)
+    : azure_(azure), rng_(seed ^ 0xC5ULL) {}
+
+CloudService CloudServiceManager::create(const std::string& account,
+                                         const std::string& region) {
+  CloudService cs;
+  cs.cname = dns::Name::must_parse(
+      util::fmt("cs-{}.cloudapp.net", next_cs_id_++));
+  cs.region = region;
+  const auto& inst = azure_.launch(
+      {.account = account, .region = region, .type = "cloud-service"});
+  cs.ip = inst.public_ip;
+  return cs;
+}
+
+TrafficManagerManager::TrafficManagerManager(CloudServiceManager& services,
+                                             std::uint64_t seed)
+    : services_(services), rng_(seed ^ 0x73ULL) {}
+
+TrafficManagerProfile TrafficManagerManager::create(
+    const std::string& account, const std::vector<std::string>& regions) {
+  if (regions.empty())
+    throw std::invalid_argument{"TrafficManager: no member regions"};
+  TrafficManagerProfile profile;
+  profile.cname = dns::Name::must_parse(
+      util::fmt("tm-{}.trafficmanager.net", next_profile_id_++));
+  for (const auto& region : regions)
+    profile.members.push_back(services_.create(account, region));
+  return profile;
+}
+
+}  // namespace cs::cloud

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "dns/name.h"
+#include "util/rng.h"
+
+/// Value-added cloud features from §2 of the paper: Elastic Load Balancers,
+/// PaaS (Elastic Beanstalk / Heroku), CloudFront, Azure Cloud Services and
+/// Traffic Manager. Each manager allocates real instances/addresses from a
+/// Provider and returns the DNS-visible artifacts (CNAME targets and the
+/// addresses they resolve to); the world generator installs these into the
+/// simulated DNS tree.
+namespace cs::cloud {
+
+/// A tenant-facing logical ELB: one CNAME backed by shared physical
+/// proxies ("physical ELB instances" in the paper's terminology).
+struct LogicalElb {
+  dns::Name cname;  ///< e.g. lb-42.us-east-1.elb.amazonaws.com
+  std::string region;
+  std::vector<net::Ipv4> proxy_ips;
+};
+
+class ElbManager {
+ public:
+  ElbManager(Provider& ec2, std::uint64_t seed);
+
+  /// Creates a logical ELB with `proxy_count` physical proxies drawn from
+  /// the regional shared pool (growing it as needed, so unrelated tenants
+  /// come to share proxies — §4.1's observation).
+  LogicalElb create(const std::string& account, const std::string& region,
+                    int proxy_count);
+
+  /// All physical proxies launched so far in a region.
+  std::size_t pool_size(const std::string& region) const;
+  std::size_t total_proxies() const noexcept { return total_proxies_; }
+
+ private:
+  Provider& ec2_;
+  util::Rng rng_;
+  std::uint64_t next_lb_id_ = 1;
+  std::map<std::string, std::vector<net::Ipv4>> pools_;
+  std::size_t total_proxies_ = 0;
+};
+
+/// Heroku: a PaaS whose many customer apps share a small proxy fleet
+/// (the paper found 58K subdomains behind just 94 IPs, a third of them on
+/// the single CNAME proxy.heroku.com).
+struct HerokuApp {
+  dns::Name cname;  ///< proxy.heroku.com or <app>.herokuapp.com
+  std::vector<net::Ipv4> ips;
+};
+
+class HerokuManager {
+ public:
+  /// The fleet size the paper measured.
+  static constexpr std::size_t kFleetSize = 94;
+
+  HerokuManager(Provider& ec2, std::uint64_t seed);
+
+  /// Registers one customer app; `shared_proxy` selects the
+  /// proxy.heroku.com style (vs a dedicated app CNAME).
+  HerokuApp create(bool shared_proxy);
+
+  const std::vector<net::Ipv4>& fleet() const noexcept { return fleet_; }
+
+ private:
+  net::Ipv4 fleet_ip();
+
+  Provider& ec2_;
+  util::Rng rng_;
+  std::vector<net::Ipv4> fleet_;
+  std::uint64_t next_app_id_ = 1;
+};
+
+/// Elastic Beanstalk: an app CNAME that always fronts an ELB.
+struct BeanstalkEnv {
+  dns::Name cname;  ///< <app>.elasticbeanstalk.com
+  LogicalElb elb;
+};
+
+class BeanstalkManager {
+ public:
+  BeanstalkManager(ElbManager& elbs, std::uint64_t seed);
+  BeanstalkEnv create(const std::string& account, const std::string& region);
+
+ private:
+  ElbManager& elbs_;
+  util::Rng rng_;
+  std::uint64_t next_env_id_ = 1;
+};
+
+/// CloudFront-like CDN distribution: a CNAME into a dedicated IP range.
+struct CdnDistribution {
+  dns::Name cname;  ///< d<id>.cloudfront.net
+  std::vector<net::Ipv4> edge_ips;
+};
+
+class CloudFrontManager {
+ public:
+  CloudFrontManager(Provider& ec2, std::uint64_t seed);
+  CdnDistribution create(int edge_count);
+
+ private:
+  Provider& ec2_;
+  util::Rng rng_;
+  std::uint64_t next_dist_id_ = 1;
+};
+
+/// Azure Cloud Service: one public IP behind the provider NAT; clients
+/// cannot tell VM / PaaS / LB apart (§4.1).
+struct CloudService {
+  dns::Name cname;  ///< <name>.cloudapp.net
+  net::Ipv4 ip;
+  std::string region;
+};
+
+class CloudServiceManager {
+ public:
+  CloudServiceManager(Provider& azure, std::uint64_t seed);
+  CloudService create(const std::string& account, const std::string& region);
+
+ private:
+  Provider& azure_;
+  util::Rng rng_;
+  std::uint64_t next_cs_id_ = 1;
+};
+
+/// Azure Traffic Manager: a DNS-level balancer whose CNAME resolves to a
+/// member Cloud Service CNAME.
+struct TrafficManagerProfile {
+  dns::Name cname;  ///< <name>.trafficmanager.net
+  std::vector<CloudService> members;
+};
+
+class TrafficManagerManager {
+ public:
+  TrafficManagerManager(CloudServiceManager& services, std::uint64_t seed);
+  TrafficManagerProfile create(const std::string& account,
+                               const std::vector<std::string>& regions);
+
+ private:
+  CloudServiceManager& services_;
+  util::Rng rng_;
+  std::uint64_t next_profile_id_ = 1;
+};
+
+}  // namespace cs::cloud

@@ -1,0 +1,118 @@
+#include "core/study.h"
+
+#include "pcap/flow.h"
+
+namespace cs::core {
+
+Study::Study(StudyConfig config) : config_(std::move(config)) {
+  world_ = std::make_unique<synth::World>(config_.world);
+}
+
+const analysis::CloudRanges& Study::ranges() {
+  if (!ranges_) ranges_.emplace(world_->ec2(), world_->azure());
+  return *ranges_;
+}
+
+const std::map<std::string, std::size_t>& Study::rank_map() {
+  if (!rank_map_) {
+    rank_map_.emplace();
+    for (const auto& domain : world_->domains())
+      (*rank_map_)[domain.name.to_string()] = domain.rank;
+  }
+  return *rank_map_;
+}
+
+const analysis::AlexaDataset& Study::dataset() {
+  if (!dataset_) {
+    analysis::DatasetBuilder builder{*world_, config_.dataset};
+    dataset_ = builder.build();
+  }
+  return *dataset_;
+}
+
+const analysis::CloudUsageReport& Study::cloud_usage() {
+  if (!cloud_usage_) cloud_usage_ = analysis::analyze_cloud_usage(dataset());
+  return *cloud_usage_;
+}
+
+const analysis::PatternReport& Study::patterns() {
+  if (!patterns_) patterns_ = analysis::analyze_patterns(dataset(), ranges());
+  return *patterns_;
+}
+
+const analysis::RegionReport& Study::regions() {
+  if (!regions_) regions_ = analysis::analyze_regions(dataset(), ranges());
+  return *regions_;
+}
+
+const proto::TraceLogs& Study::capture_logs() {
+  if (!capture_logs_) {
+    synth::TrafficGenerator generator{*world_, config_.traffic};
+    const auto packets = generator.generate();
+    pcap::FlowTable table;
+    for (const auto& packet : packets) table.add(packet);
+    capture_logs_ = proto::analyze_flows(table.finish());
+  }
+  return *capture_logs_;
+}
+
+const analysis::CaptureReport& Study::capture() {
+  if (!capture_)
+    capture_ = analysis::analyze_capture(capture_logs(), ranges(),
+                                         rank_map());
+  return *capture_;
+}
+
+internet::WideAreaModel& Study::wan_model() {
+  if (!wan_model_)
+    wan_model_.emplace(
+        internet::WideAreaModel::Config{.seed = config_.world.seed ^ 0x3A});
+  return *wan_model_;
+}
+
+internet::AsTopology& Study::as_topology() {
+  if (!as_topology_)
+    as_topology_.emplace(world_->ec2(), config_.world.seed ^ 0xA5);
+  return *as_topology_;
+}
+
+const analysis::ZoneStudy& Study::zone_study() {
+  if (!zone_study_) {
+    if (!proximity_)
+      proximity_.emplace(
+          world_->ec2(),
+          carto::ProximityEstimator::Options{.seed = config_.world.seed ^ 1});
+    if (!latency_)
+      latency_.emplace(
+          world_->ec2(), wan_model(),
+          carto::LatencyZoneEstimator::Options{.seed =
+                                                   config_.world.seed ^ 2});
+    zone_study_ = analysis::run_zone_study(dataset(), ranges(), *world_,
+                                           *proximity_, *latency_);
+  }
+  return *zone_study_;
+}
+
+const analysis::Campaign& Study::campaign() {
+  if (!campaign_) {
+    const auto vantages =
+        internet::planetlab_vantages(config_.campaign_vantages);
+    std::vector<const cloud::Region*> regions;
+    for (const auto& region : world_->ec2().regions())
+      regions.push_back(&region);
+    campaign_ = analysis::run_campaign(wan_model(), vantages, regions,
+                                       config_.campaign_days);
+  }
+  return *campaign_;
+}
+
+const analysis::IspStudy& Study::isp_study() {
+  if (!isp_study_) {
+    const auto vantages = internet::planetlab_vantages(config_.isp_vantages);
+    isp_study_ =
+        analysis::run_isp_study(world_->ec2(), as_topology(), vantages);
+  }
+  return *isp_study_;
+}
+
+}  // namespace cs::core

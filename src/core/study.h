@@ -1,0 +1,85 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/capture.h"
+#include "analysis/cloud_usage.h"
+#include "analysis/dataset.h"
+#include "analysis/isp.h"
+#include "analysis/patterns.h"
+#include "analysis/regions.h"
+#include "analysis/widearea.h"
+#include "analysis/zones.h"
+#include "internet/traceroute.h"
+#include "synth/traffic.h"
+#include "synth/world.h"
+
+/// CloudScope's front door: one object that owns the simulated universe
+/// and lazily runs each stage of the paper's pipeline, caching results so
+/// several experiments can share one expensive build.
+///
+/// Typical use:
+///   cs::core::Study study{cs::core::StudyConfig{}};
+///   const auto& usage = study.cloud_usage();     // §3.2
+///   const auto& patterns = study.patterns();     // §4.1
+///   const auto& zones = study.zone_study();      // §4.3
+namespace cs::core {
+
+struct StudyConfig {
+  synth::WorldConfig world;
+  synth::TrafficConfig traffic;
+  analysis::DatasetBuilder::Options dataset;
+  /// Scale for §5 experiments.
+  std::size_t campaign_vantages = 40;
+  double campaign_days = 1.0;
+  std::size_t isp_vantages = 100;
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config);
+
+  const StudyConfig& config() const noexcept { return config_; }
+  synth::World& world() noexcept { return *world_; }
+  const analysis::CloudRanges& ranges();
+
+  /// Alexa-style rank per registered domain (for capture-table joins).
+  const std::map<std::string, std::size_t>& rank_map();
+
+  // --- pipeline stages, built on first use and cached -------------------
+  const analysis::AlexaDataset& dataset();
+  const analysis::CloudUsageReport& cloud_usage();
+  const analysis::PatternReport& patterns();
+  const analysis::RegionReport& regions();
+  const proto::TraceLogs& capture_logs();
+  const analysis::CaptureReport& capture();
+  const analysis::ZoneStudy& zone_study();
+  const analysis::Campaign& campaign();
+  const analysis::IspStudy& isp_study();
+  internet::WideAreaModel& wan_model();
+  internet::AsTopology& as_topology();
+
+ private:
+  StudyConfig config_;
+  std::unique_ptr<synth::World> world_;
+  std::optional<analysis::CloudRanges> ranges_;
+  std::optional<std::map<std::string, std::size_t>> rank_map_;
+  std::optional<analysis::AlexaDataset> dataset_;
+  std::optional<analysis::CloudUsageReport> cloud_usage_;
+  std::optional<analysis::PatternReport> patterns_;
+  std::optional<analysis::RegionReport> regions_;
+  std::optional<proto::TraceLogs> capture_logs_;
+  std::optional<analysis::CaptureReport> capture_;
+  std::optional<analysis::ZoneStudy> zone_study_;
+  std::optional<analysis::Campaign> campaign_;
+  std::optional<analysis::IspStudy> isp_study_;
+  std::optional<internet::WideAreaModel> wan_model_;
+  std::optional<internet::AsTopology> as_topology_;
+  std::optional<carto::ProximityEstimator> proximity_;
+  std::optional<carto::LatencyZoneEstimator> latency_;
+};
+
+}  // namespace cs::core

@@ -1,0 +1,52 @@
+#include "dns/enumerate.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cs::dns {
+
+Enumerator::Enumerator(Resolver& resolver, Options options)
+    : resolver_(resolver), options_(std::move(options)) {}
+
+EnumerationResult Enumerator::enumerate(const Name& domain) {
+  EnumerationResult result;
+  result.domain = domain;
+  const std::uint64_t queries_before = resolver_.upstream_queries();
+
+  std::set<Name> found;
+
+  if (options_.attempt_axfr) {
+    if (const auto records = resolver_.try_axfr(domain)) {
+      result.axfr_succeeded = true;
+      for (const auto& rr : *records) {
+        if (rr.name == domain || !rr.name.is_subdomain_of(domain)) continue;
+        if (rr.type() == RrType::kSoa) continue;
+        found.insert(rr.name);
+      }
+    }
+  }
+
+  if (!result.axfr_succeeded) {
+    for (const auto& word : options_.wordlist) {
+      const auto candidate = domain.child(word);
+      if (!candidate) continue;
+      const auto res = resolver_.resolve(*candidate, RrType::kA);
+      // A name "exists" if resolution did not NXDOMAIN — NODATA names are
+      // real nodes (they may hold other types), matching dnsmap semantics.
+      if (res.rcode == Rcode::kNoError &&
+          (!res.records.empty() || res.ok()))
+        if (!res.records.empty()) found.insert(*candidate);
+    }
+  }
+
+  if (options_.include_apex) {
+    const auto res = resolver_.resolve(domain, RrType::kA);
+    if (res.ok() && !res.records.empty()) found.insert(domain);
+  }
+
+  result.subdomains.assign(found.begin(), found.end());
+  result.queries_spent = resolver_.upstream_queries() - queries_before;
+  return result;
+}
+
+}  // namespace cs::dns

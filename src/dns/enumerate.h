@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.h"
+
+/// Subdomain enumeration: the paper's §2.1 dataset-construction method.
+///
+/// For each domain, first attempt a zone transfer (AXFR); if it is refused
+/// (the common case — ~8% of the paper's domains allowed it), fall back to
+/// dnsmap-style brute force with a wordlist, confirming candidate names
+/// with real queries through the resolver.
+namespace cs::dns {
+
+struct EnumerationResult {
+  Name domain;
+  bool axfr_succeeded = false;
+  /// Discovered existing subdomains (not including the apex), with the
+  /// records found for them.
+  std::vector<Name> subdomains;
+  std::uint64_t queries_spent = 0;
+};
+
+class Enumerator {
+ public:
+  struct Options {
+    std::vector<std::string> wordlist;
+    bool attempt_axfr = true;
+    /// Probe the apex itself too (the paper's dataset keys on subdomains,
+    /// apex A records count as the bare domain).
+    bool include_apex = false;
+  };
+
+  Enumerator(Resolver& resolver, Options options);
+
+  /// Enumerates subdomains of one registered domain.
+  EnumerationResult enumerate(const Name& domain);
+
+ private:
+  Resolver& resolver_;
+  Options options_;
+};
+
+}  // namespace cs::dns

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/rr.h"
+
+/// DNS message model and full RFC 1035 wire codec, including name
+/// compression on encode and pointer chasing (with loop guards) on decode.
+///
+/// The enumerator and resolver speak this wire format end to end — queries
+/// are encoded to bytes and responses decoded from bytes even inside the
+/// simulator, so the codec is exercised by every experiment that touches
+/// DNS, exactly as dig/dnsmap would exercise a real resolver path.
+namespace cs::dns {
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string to_string(Rcode rcode);
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+};
+
+/// Message header (RFC 1035 §4.1.1). Counts live implicitly in the
+/// section vectors of Message.
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  ///< false = query, true = response
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  ///< authoritative answer
+  bool tc = false;  ///< truncated
+  bool rd = false;  ///< recursion desired ("norecurse" clears this)
+  bool ra = false;  ///< recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  bool operator==(const Header&) const = default;
+};
+
+struct Question {
+  Name name;
+  RrType type = RrType::kA;
+
+  bool operator==(const Question&) const = default;
+};
+
+/// A complete DNS message.
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  bool operator==(const Message&) const = default;
+
+  /// Builds a standard query for one (name, type) pair.
+  static Message query(std::uint16_t id, Name name, RrType type,
+                       bool recursion_desired = false);
+
+  /// Builds a response skeleton echoing the query's id and question.
+  static Message response_to(const Message& query, Rcode rcode,
+                             bool authoritative);
+
+  /// Serializes to wire format. Never fails for messages built through this
+  /// API (names are pre-validated).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses wire format; nullopt on any malformed input (truncation,
+  /// compression loops, bad rdata lengths, unknown classes).
+  static std::optional<Message> decode(std::span<const std::uint8_t> wire);
+};
+
+}  // namespace cs::dns

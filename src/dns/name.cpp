@@ -1,0 +1,113 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cs::dns {
+namespace {
+
+bool valid_label(std::string_view label) {
+  if (label.empty() || label.size() > 63) return false;
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Name> Name::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text == ".") return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  const std::string lowered = util::to_lower(text);
+  std::vector<std::string> labels;
+  for (auto piece : util::split(lowered, '.')) {
+    if (!valid_label(piece)) return std::nullopt;
+    labels.emplace_back(piece);
+  }
+  return from_labels(std::move(labels));
+}
+
+Name Name::must_parse(std::string_view text) {
+  auto n = parse(text);
+  if (!n)
+    throw std::invalid_argument{"Name::must_parse: invalid name: " +
+                                std::string{text}};
+  return *std::move(n);
+}
+
+std::optional<Name> Name::from_labels(std::vector<std::string> labels) {
+  std::size_t wire = 1;  // terminal root length octet
+  for (auto& l : labels) {
+    l = util::to_lower(l);
+    if (!valid_label(l)) return std::nullopt;
+    wire += 1 + l.size();
+  }
+  if (wire > 255) return std::nullopt;
+  Name n;
+  n.labels_ = std::move(labels);
+  return n;
+}
+
+std::string_view Name::leftmost() const noexcept {
+  static const std::string kEmpty;
+  return labels_.empty() ? std::string_view{kEmpty} : labels_.front();
+}
+
+Name Name::parent() const {
+  Name p;
+  if (labels_.size() > 1)
+    p.labels_.assign(labels_.begin() + 1, labels_.end());
+  return p;
+}
+
+std::optional<Name> Name::child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const noexcept {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  return std::equal(ancestor.labels_.rbegin(), ancestor.labels_.rend(),
+                    labels_.rbegin());
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t n = 1;
+  for (const auto& l : labels_) n += 1 + l.size();
+  return n;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+bool Name::canonical_less(const Name& a, const Name& b) noexcept {
+  auto ia = a.labels_.rbegin();
+  auto ib = b.labels_.rbegin();
+  for (; ia != a.labels_.rend() && ib != b.labels_.rend(); ++ia, ++ib) {
+    if (*ia != *ib) return *ia < *ib;
+  }
+  return a.labels_.size() < b.labels_.size();
+}
+
+std::size_t NameHash::operator()(const Name& n) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& label : n.labels()) {
+    h ^= util::stable_hash(label);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace cs::dns

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// DNS domain names (RFC 1035 §3.1).
+///
+/// A Name is an ordered sequence of labels, stored lower-cased because DNS
+/// comparison is case-insensitive. The empty sequence is the root ".".
+namespace cs::dns {
+
+class Name {
+ public:
+  /// The root name ".".
+  Name() = default;
+
+  /// Parses presentation format ("www.example.com", trailing dot optional).
+  /// Returns nullopt for invalid names: empty labels, labels over 63 octets,
+  /// total wire length over 255, or characters outside [-_a-z0-9].
+  static std::optional<Name> parse(std::string_view text);
+
+  /// Like parse() but throws std::invalid_argument; for literals in tests
+  /// and generators where a typo should be loud.
+  static Name must_parse(std::string_view text);
+
+  /// Builds from already-validated labels (most-significant last, i.e.
+  /// {"www","example","com"}).
+  static std::optional<Name> from_labels(std::vector<std::string> labels);
+
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+
+  /// Leftmost (host-most) label; empty string for root.
+  std::string_view leftmost() const noexcept;
+
+  /// Name with the leftmost label removed ("www.example.com" -> "example.com").
+  /// The parent of root is root.
+  Name parent() const;
+
+  /// New name with an extra leftmost label. Returns nullopt if the label or
+  /// resulting name is invalid.
+  std::optional<Name> child(std::string_view label) const;
+
+  /// True if this name equals `ancestor` or is inside its subtree.
+  bool is_subdomain_of(const Name& ancestor) const noexcept;
+
+  /// Number of octets this name occupies uncompressed on the wire.
+  std::size_t wire_length() const noexcept;
+
+  /// Presentation format without trailing dot; "." for root.
+  std::string to_string() const;
+
+  auto operator<=>(const Name&) const = default;
+
+  /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences from
+  /// the rightmost label; used for deterministic zone iteration.
+  static bool canonical_less(const Name& a, const Name& b) noexcept;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Functor for unordered_map keys.
+struct NameHash {
+  std::size_t operator()(const Name& n) const noexcept;
+};
+
+}  // namespace cs::dns

@@ -1,0 +1,205 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+
+namespace cs::dns {
+
+std::vector<net::Ipv4> ResolveResult::addresses() const {
+  std::vector<net::Ipv4> out;
+  for (const auto& rr : records)
+    if (const auto* a = std::get_if<ARecord>(&rr.data))
+      out.push_back(a->address);
+  return out;
+}
+
+std::vector<Name> ResolveResult::cname_chain() const {
+  std::vector<Name> out;
+  for (const auto& rr : records)
+    if (const auto* c = std::get_if<CnameRecord>(&rr.data))
+      out.push_back(c->target);
+  return out;
+}
+
+Resolver::Resolver(DnsTransport& transport, Options options)
+    : transport_(transport), options_(std::move(options)) {}
+
+ResolveResult Resolver::resolve(const Name& name, RrType type) {
+  ResolveResult result;
+  result.rcode = resolve_step(name, type, result.records, 0);
+  return result;
+}
+
+std::optional<Message> Resolver::ask(net::Ipv4 server, const Name& name,
+                                     RrType type) {
+  const auto query = Message::query(next_id_++, name, type,
+                                    options_.recursion_desired);
+  ++upstream_queries_;
+  const auto wire =
+      transport_.exchange(options_.client_address, server, query.encode());
+  if (!wire) return std::nullopt;
+  auto response = Message::decode(*wire);
+  if (!response || response->header.id != query.header.id ||
+      !response->header.qr)
+    return std::nullopt;
+  return response;
+}
+
+void Resolver::cache_put(const Name& name, RrType type, Rcode rcode,
+                         const std::vector<ResourceRecord>& records) {
+  if (!options_.use_cache) return;
+  std::uint32_t ttl = 300;
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  CacheEntry entry;
+  entry.records = records;
+  entry.rcode = rcode;
+  entry.expires_at = now_ + ttl;
+  cache_[CacheKey{name, type}] = std::move(entry);
+}
+
+const Resolver::CacheEntry* Resolver::cache_get(const Name& name,
+                                                RrType type) {
+  if (!options_.use_cache) return nullptr;
+  const auto it = cache_.find(CacheKey{name, type});
+  if (it == cache_.end()) return nullptr;
+  if (it->second.expires_at <= now_) {
+    cache_.erase(it);
+    return nullptr;
+  }
+  ++cache_hits_;
+  return &it->second;
+}
+
+std::vector<net::Ipv4> Resolver::referral_addresses(const Message& response,
+                                                    int depth) {
+  std::vector<Name> ns_names;
+  for (const auto& rr : response.authority)
+    if (const auto* ns = std::get_if<NsRecord>(&rr.data))
+      ns_names.push_back(ns->nameserver);
+
+  std::vector<net::Ipv4> out;
+  // Prefer glue.
+  for (const auto& rr : response.additional) {
+    if (const auto* a = std::get_if<ARecord>(&rr.data)) {
+      if (std::find(ns_names.begin(), ns_names.end(), rr.name) !=
+          ns_names.end())
+        out.push_back(a->address);
+    }
+  }
+  if (!out.empty()) return out;
+
+  // Glueless delegation: resolve the NS names themselves.
+  for (const auto& ns : ns_names) {
+    std::vector<ResourceRecord> chain;
+    if (resolve_step(ns, RrType::kA, chain, depth + 1) == Rcode::kNoError) {
+      for (const auto& rr : chain)
+        if (const auto* a = std::get_if<ARecord>(&rr.data))
+          out.push_back(a->address);
+    }
+    if (!out.empty()) break;
+  }
+  return out;
+}
+
+Rcode Resolver::resolve_step(const Name& name, RrType type,
+                             std::vector<ResourceRecord>& chain, int depth) {
+  if (depth > options_.max_cname_hops) return Rcode::kServFail;
+
+  if (const auto* cached = cache_get(name, type)) {
+    chain.insert(chain.end(), cached->records.begin(), cached->records.end());
+    // A cached CNAME terminal still needs chasing if it doesn't carry the
+    // requested type (we cache full chains, so this is rare but possible
+    // after partial expiry).
+    return cached->rcode;
+  }
+
+  std::vector<net::Ipv4> servers = options_.root_servers;
+  std::vector<ResourceRecord> collected;
+
+  for (int hop = 0; hop < options_.max_referrals; ++hop) {
+    if (servers.empty()) return Rcode::kServFail;
+
+    std::optional<Message> response;
+    // Try servers in order until one responds (timeout tolerance).
+    int attempts = 0;
+    for (const auto server : servers) {
+      if (attempts++ > options_.server_retries) break;
+      response = ask(server, name, type);
+      if (response) break;
+    }
+    if (!response) return Rcode::kServFail;
+
+    if (response->header.rcode != Rcode::kNoError) {
+      cache_put(name, type, response->header.rcode, collected);
+      chain.insert(chain.end(), collected.begin(), collected.end());
+      return response->header.rcode;
+    }
+
+    if (!response->answers.empty()) {
+      // Separate terminal answers from a CNAME that needs cross-zone
+      // chasing: if the final answer record is a CNAME and we asked for
+      // something else, restart at its target.
+      collected.insert(collected.end(), response->answers.begin(),
+                       response->answers.end());
+      const auto& last = response->answers.back();
+      if (type != RrType::kCname && type != RrType::kAny &&
+          last.type() == RrType::kCname) {
+        const auto target = std::get<CnameRecord>(last.data).target;
+        std::vector<ResourceRecord> tail;
+        const Rcode rc = resolve_step(target, type, tail, depth + 1);
+        collected.insert(collected.end(), tail.begin(), tail.end());
+        cache_put(name, type, rc, collected);
+        chain.insert(chain.end(), collected.begin(), collected.end());
+        return rc;
+      }
+      cache_put(name, type, Rcode::kNoError, collected);
+      chain.insert(chain.end(), collected.begin(), collected.end());
+      return Rcode::kNoError;
+    }
+
+    // NODATA (authoritative empty answer with SOA) terminates.
+    const bool has_ns_referral = std::any_of(
+        response->authority.begin(), response->authority.end(),
+        [](const ResourceRecord& rr) { return rr.type() == RrType::kNs; });
+    if (!has_ns_referral) {
+      cache_put(name, type, Rcode::kNoError, collected);
+      chain.insert(chain.end(), collected.begin(), collected.end());
+      return Rcode::kNoError;
+    }
+
+    // Referral: descend.
+    servers = referral_addresses(*response, depth);
+  }
+  return Rcode::kServFail;
+}
+
+std::optional<std::vector<ResourceRecord>> Resolver::try_axfr(
+    const Name& zone_origin) {
+  // Find the zone's name servers first, then ask each directly.
+  ResolveResult ns = resolve(zone_origin, RrType::kNs);
+  if (!ns.ok()) return std::nullopt;
+  std::vector<Name> ns_names;
+  for (const auto& rr : ns.records)
+    if (const auto* rec = std::get_if<NsRecord>(&rr.data))
+      ns_names.push_back(rec->nameserver);
+  for (const auto& ns_name : ns_names) {
+    ResolveResult addr = resolve(ns_name, RrType::kA);
+    for (const auto server : addr.addresses()) {
+      const auto response = ask(server, zone_origin, RrType::kAxfr);
+      if (response && response->header.rcode == Rcode::kNoError &&
+          !response->answers.empty())
+        return response->answers;
+    }
+  }
+  return std::nullopt;
+}
+
+void Resolver::flush_cache() { cache_.clear(); }
+
+void Resolver::advance_time(std::uint32_t seconds) {
+  now_ += seconds;
+  std::erase_if(cache_, [this](const auto& kv) {
+    return kv.second.expires_at <= now_;
+  });
+}
+
+}  // namespace cs::dns

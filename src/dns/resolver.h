@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/transport.h"
+
+/// Iterative caching resolver (the role `dig` + the local resolver played
+/// in the paper's measurement pipeline).
+///
+/// Resolution starts from root hints and follows referrals down the
+/// delegation tree, resolving out-of-bailiwick name servers as needed,
+/// chasing CNAME chains across zones, and caching by TTL against a
+/// simulated clock. The cache can be flushed and recursion-desired can be
+/// cleared, mirroring the paper's `norecurse` + cache-reset methodology
+/// for locating authoritative name servers.
+namespace cs::dns {
+
+/// Outcome of one resolution.
+struct ResolveResult {
+  Rcode rcode = Rcode::kServFail;
+  /// Full record chain as a client would see it: CNAMEs first (in chase
+  /// order), then the terminal records.
+  std::vector<ResourceRecord> records;
+
+  /// Convenience: all A-record addresses in `records`.
+  std::vector<net::Ipv4> addresses() const;
+  /// Convenience: all CNAME targets in chase order.
+  std::vector<Name> cname_chain() const;
+  bool ok() const noexcept { return rcode == Rcode::kNoError; }
+};
+
+class Resolver {
+ public:
+  struct Options {
+    std::vector<net::Ipv4> root_servers;
+    net::Ipv4 client_address{net::Ipv4{192, 0, 2, 1}};
+    bool use_cache = true;
+    bool recursion_desired = false;  ///< the paper queried with norecurse
+    int max_referrals = 32;          ///< delegation-depth guard
+    int max_cname_hops = 12;
+    int server_retries = 2;  ///< alternates servers on timeouts
+  };
+
+  Resolver(DnsTransport& transport, Options options);
+
+  /// Resolves (name, type) iteratively from the roots.
+  ResolveResult resolve(const Name& name, RrType type);
+
+  /// Attempts a zone transfer directly against each authoritative server
+  /// of `zone_origin`; returns records on the first success.
+  std::optional<std::vector<ResourceRecord>> try_axfr(const Name& zone_origin);
+
+  /// Changes the source address used for upstream queries — the dataset
+  /// builder re-homes the resolver onto each vantage point so
+  /// client-dependent answers (Traffic Manager) are observed from every
+  /// location, as the paper's 200-node lookups did.
+  void set_client_address(net::Ipv4 address) {
+    options_.client_address = address;
+  }
+
+  /// Drops all cached entries (the paper flushed caches between NS probes).
+  void flush_cache();
+
+  /// Advances the simulated clock, expiring cache entries whose TTL passed.
+  void advance_time(std::uint32_t seconds);
+
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t upstream_queries() const noexcept {
+    return upstream_queries_;
+  }
+
+ private:
+  struct CacheKey {
+    Name name;
+    RrType type;
+    bool operator<(const CacheKey& other) const {
+      if (name != other.name) return Name::canonical_less(name, other.name);
+      return type < other.type;
+    }
+  };
+  struct CacheEntry {
+    std::vector<ResourceRecord> records;
+    Rcode rcode = Rcode::kNoError;
+    std::uint64_t expires_at = 0;
+  };
+
+  /// One full iterative walk for (name, type); appends to `chain`.
+  Rcode resolve_step(const Name& name, RrType type,
+                     std::vector<ResourceRecord>& chain, int depth);
+
+  /// Queries one server over the transport; nullopt on timeout/decode error.
+  std::optional<Message> ask(net::Ipv4 server, const Name& name, RrType type);
+
+  /// Finds usable name-server addresses from a referral, resolving NS
+  /// targets without glue as needed.
+  std::vector<net::Ipv4> referral_addresses(const Message& response,
+                                            int depth);
+
+  void cache_put(const Name& name, RrType type, Rcode rcode,
+                 const std::vector<ResourceRecord>& records);
+  const CacheEntry* cache_get(const Name& name, RrType type);
+
+  DnsTransport& transport_;
+  Options options_;
+  std::map<CacheKey, CacheEntry> cache_;
+  std::uint64_t now_ = 0;
+  std::uint16_t next_id_ = 1;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t upstream_queries_ = 0;
+};
+
+}  // namespace cs::dns

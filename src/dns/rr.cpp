@@ -1,0 +1,84 @@
+#include "dns/rr.h"
+
+#include "util/format.h"
+
+namespace cs::dns {
+
+std::string to_string(RrType type) {
+  switch (type) {
+    case RrType::kA:
+      return "A";
+    case RrType::kNs:
+      return "NS";
+    case RrType::kCname:
+      return "CNAME";
+    case RrType::kSoa:
+      return "SOA";
+    case RrType::kTxt:
+      return "TXT";
+    case RrType::kAxfr:
+      return "AXFR";
+    case RrType::kAny:
+      return "ANY";
+  }
+  return cs::util::fmt("TYPE{}", static_cast<std::uint16_t>(type));
+}
+
+RrType ResourceRecord::type() const noexcept {
+  struct Visitor {
+    RrType operator()(const ARecord&) const { return RrType::kA; }
+    RrType operator()(const NsRecord&) const { return RrType::kNs; }
+    RrType operator()(const CnameRecord&) const { return RrType::kCname; }
+    RrType operator()(const SoaRecord&) const { return RrType::kSoa; }
+    RrType operator()(const TxtRecord&) const { return RrType::kTxt; }
+  };
+  return std::visit(Visitor{}, data);
+}
+
+std::string ResourceRecord::to_string() const {
+  struct Visitor {
+    std::string operator()(const ARecord& r) const {
+      return r.address.to_string();
+    }
+    std::string operator()(const NsRecord& r) const {
+      return r.nameserver.to_string();
+    }
+    std::string operator()(const CnameRecord& r) const {
+      return r.target.to_string();
+    }
+    std::string operator()(const SoaRecord& r) const {
+      return cs::util::fmt("{} {} {}", r.mname.to_string(), r.rname.to_string(),
+                         r.serial);
+    }
+    std::string operator()(const TxtRecord& r) const {
+      std::string out;
+      for (const auto& s : r.strings) out += "\"" + s + "\" ";
+      if (!out.empty()) out.pop_back();
+      return out;
+    }
+  };
+  return cs::util::fmt("{} {} IN {} {}", name.to_string(), ttl,
+                     cs::dns::to_string(type()), std::visit(Visitor{}, data));
+}
+
+ResourceRecord ResourceRecord::a(Name name, net::Ipv4 addr,
+                                 std::uint32_t ttl) {
+  return {std::move(name), ttl, ARecord{addr}};
+}
+ResourceRecord ResourceRecord::ns(Name name, Name server, std::uint32_t ttl) {
+  return {std::move(name), ttl, NsRecord{std::move(server)}};
+}
+ResourceRecord ResourceRecord::cname(Name name, Name target,
+                                     std::uint32_t ttl) {
+  return {std::move(name), ttl, CnameRecord{std::move(target)}};
+}
+ResourceRecord ResourceRecord::soa(Name name, SoaRecord soa,
+                                   std::uint32_t ttl) {
+  return {std::move(name), ttl, std::move(soa)};
+}
+ResourceRecord ResourceRecord::txt(Name name, std::vector<std::string> strings,
+                                   std::uint32_t ttl) {
+  return {std::move(name), ttl, TxtRecord{std::move(strings)}};
+}
+
+}  // namespace cs::dns

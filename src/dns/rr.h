@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "net/ipv4.h"
+
+/// DNS resource records. We implement the record types the study's
+/// methodology actually exercises: A (address matching against cloud
+/// ranges), CNAME (deployment-pattern heuristics), NS (name-server
+/// location), SOA (zone apex / AXFR framing) and TXT (generic payloads).
+namespace cs::dns {
+
+enum class RrType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+  kAxfr = 252,  ///< query-only pseudo-type
+  kAny = 255,   ///< query-only pseudo-type
+};
+
+std::string to_string(RrType type);
+
+/// Typed record data.
+struct ARecord {
+  net::Ipv4 address;
+  bool operator==(const ARecord&) const = default;
+};
+struct NsRecord {
+  Name nameserver;
+  bool operator==(const NsRecord&) const = default;
+};
+struct CnameRecord {
+  Name target;
+  bool operator==(const CnameRecord&) const = default;
+};
+struct SoaRecord {
+  Name mname;  ///< primary name server
+  Name rname;  ///< responsible mailbox, encoded as a name
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 7200;
+  std::uint32_t retry = 900;
+  std::uint32_t expire = 1209600;
+  std::uint32_t minimum = 300;
+  bool operator==(const SoaRecord&) const = default;
+};
+struct TxtRecord {
+  std::vector<std::string> strings;
+  bool operator==(const TxtRecord&) const = default;
+};
+
+using Rdata = std::variant<ARecord, NsRecord, CnameRecord, SoaRecord,
+                           TxtRecord>;
+
+/// One resource record.
+struct ResourceRecord {
+  Name name;
+  std::uint32_t ttl = 300;
+  Rdata data;
+
+  RrType type() const noexcept;
+  bool operator==(const ResourceRecord&) const = default;
+
+  /// Zone-file-ish presentation ("www.example.com 300 IN A 1.2.3.4").
+  std::string to_string() const;
+
+  static ResourceRecord a(Name name, net::Ipv4 addr, std::uint32_t ttl = 300);
+  static ResourceRecord ns(Name name, Name server, std::uint32_t ttl = 3600);
+  static ResourceRecord cname(Name name, Name target,
+                              std::uint32_t ttl = 300);
+  static ResourceRecord soa(Name name, SoaRecord soa,
+                            std::uint32_t ttl = 3600);
+  static ResourceRecord txt(Name name, std::vector<std::string> strings,
+                            std::uint32_t ttl = 300);
+};
+
+}  // namespace cs::dns

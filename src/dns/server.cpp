@@ -1,0 +1,133 @@
+#include "dns/server.h"
+
+namespace cs::dns {
+
+Zone& AuthoritativeServer::add_zone(Name origin, SoaRecord soa) {
+  auto zone = std::make_unique<Zone>(origin, std::move(soa));
+  auto [it, inserted] = zones_.insert_or_assign(origin, std::move(zone));
+  return *it->second;
+}
+
+Zone* AuthoritativeServer::zone(const Name& origin) {
+  const auto it = zones_.find(origin);
+  return it == zones_.end() ? nullptr : it->second.get();
+}
+
+const Zone* AuthoritativeServer::zone(const Name& origin) const {
+  const auto it = zones_.find(origin);
+  return it == zones_.end() ? nullptr : it->second.get();
+}
+
+const Zone* AuthoritativeServer::best_zone(const Name& name) const {
+  const Zone* best = nullptr;
+  for (const auto& [origin, zone] : zones_) {
+    if (name.is_subdomain_of(origin) &&
+        (!best || origin.label_count() > best->origin().label_count()))
+      best = zone.get();
+  }
+  return best;
+}
+
+Message AuthoritativeServer::handle(net::Ipv4 client,
+                                    const Message& query) const {
+  if (query.header.qr || query.questions.empty())
+    return Message::response_to(query, Rcode::kFormErr, false);
+  Message response = Message::response_to(query, Rcode::kNoError, false);
+  // Standard servers answer the first question; we keep that behaviour.
+  answer_question(client, query.questions.front(), response);
+  return response;
+}
+
+void AuthoritativeServer::answer_question(net::Ipv4 client, const Question& q,
+                                          Message& response) const {
+  const Zone* zone = best_zone(q.name);
+  if (!zone) {
+    response.header.rcode = Rcode::kRefused;
+    return;
+  }
+
+  if (q.type == RrType::kAxfr) {
+    if (q.name != zone->origin() ||
+        !(axfr_policy_ && axfr_policy_(client, zone->origin()))) {
+      response.header.rcode = Rcode::kRefused;
+      return;
+    }
+    response.header.aa = true;
+    response.answers = zone->axfr();
+    return;
+  }
+
+  // Delegation below this zone's apex?
+  if (const auto cut = zone->delegation_cut(q.name);
+      cut && *cut != zone->origin()) {
+    // Referral: NS records at the cut plus any glue we host.
+    response.header.aa = false;
+    for (auto& ns : zone->find(*cut, RrType::kNs)) {
+      if (const auto* target = std::get_if<NsRecord>(&ns.data)) {
+        for (auto& glue : zone->find(target->nameserver, RrType::kA))
+          response.additional.push_back(std::move(glue));
+      }
+      response.authority.push_back(std::move(ns));
+    }
+    return;
+  }
+
+  response.header.aa = true;
+  Name qname = q.name;
+  // In-zone CNAME chasing with a hop guard against record cycles.
+  for (int hops = 0; hops < 16; ++hops) {
+    // Dynamic (client-dependent) answers take precedence at each step.
+    if (dynamic_answer_) {
+      if (auto dynamic = dynamic_answer_(client, qname)) {
+        const bool is_cname = dynamic->type() == RrType::kCname;
+        response.answers.push_back(*dynamic);
+        if (is_cname && q.type != RrType::kCname &&
+            q.type != RrType::kAny) {
+          const auto target =
+              std::get<CnameRecord>(response.answers.back().data).target;
+          if (!target.is_subdomain_of(zone->origin())) return;
+          qname = target;
+          continue;
+        }
+        return;
+      }
+    }
+    auto cnames = zone->find(qname, RrType::kCname);
+    if (!cnames.empty() && q.type != RrType::kCname &&
+        q.type != RrType::kAny) {
+      const auto target = std::get<CnameRecord>(cnames.front().data).target;
+      response.answers.push_back(std::move(cnames.front()));
+      if (!target.is_subdomain_of(zone->origin())) return;  // out of zone
+      qname = target;
+      continue;
+    }
+    auto records = zone->find(qname, q.type);
+    if (!records.empty()) {
+      for (auto& rr : records) response.answers.push_back(std::move(rr));
+      return;
+    }
+    break;
+  }
+
+  // Nothing at the terminal name: NODATA if the name exists, else NXDOMAIN.
+  if (!zone->has_name(qname)) response.header.rcode = Rcode::kNxDomain;
+  ResourceRecord soa;
+  soa.name = zone->origin();
+  soa.ttl = zone->soa().minimum;
+  soa.data = zone->soa();
+  response.authority.push_back(std::move(soa));
+}
+
+std::vector<std::uint8_t> AuthoritativeServer::handle_wire(
+    net::Ipv4 client, std::span<const std::uint8_t> wire) const {
+  const auto query = Message::decode(wire);
+  if (!query) {
+    Message err;
+    err.header.qr = true;
+    err.header.rcode = Rcode::kFormErr;
+    return err.encode();
+  }
+  return handle(client, *query).encode();
+}
+
+}  // namespace cs::dns

@@ -1,0 +1,30 @@
+#include "dns/transport.h"
+
+namespace cs::dns {
+
+void SimulatedDnsNetwork::attach(net::Ipv4 address,
+                                 std::shared_ptr<AuthoritativeServer> server) {
+  servers_[address.value()] = Entry{std::move(server), false};
+}
+
+void SimulatedDnsNetwork::set_down(net::Ipv4 address, bool down) {
+  if (const auto it = servers_.find(address.value()); it != servers_.end())
+    it->second.down = down;
+}
+
+std::optional<std::vector<std::uint8_t>> SimulatedDnsNetwork::exchange(
+    net::Ipv4 client, net::Ipv4 server, std::span<const std::uint8_t> query) {
+  ++query_count_;
+  if (observer_) observer_(client, server);
+  const auto it = servers_.find(server.value());
+  if (it == servers_.end() || it->second.down) return std::nullopt;
+  return it->second.server->handle_wire(client, query);
+}
+
+std::shared_ptr<AuthoritativeServer> SimulatedDnsNetwork::server_at(
+    net::Ipv4 address) const {
+  const auto it = servers_.find(address.value());
+  return it == servers_.end() ? nullptr : it->second.server;
+}
+
+}  // namespace cs::dns

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/server.h"
+#include "net/ipv4.h"
+
+/// Transport between resolvers and authoritative servers.
+///
+/// The resolver only sees wire bytes, so the same resolver code would run
+/// over a real UDP socket; in this repository the transport routes the
+/// bytes to in-process AuthoritativeServer instances, with optional loss
+/// so failure handling is testable.
+namespace cs::dns {
+
+class DnsTransport {
+ public:
+  virtual ~DnsTransport() = default;
+
+  /// Sends one query datagram from `client` to `server`; returns the raw
+  /// response or nullopt for a timeout/unreachable server.
+  virtual std::optional<std::vector<std::uint8_t>> exchange(
+      net::Ipv4 client, net::Ipv4 server,
+      std::span<const std::uint8_t> query) = 0;
+};
+
+/// In-process transport mapping server IPs to AuthoritativeServer objects.
+class SimulatedDnsNetwork final : public DnsTransport {
+ public:
+  /// Registers a server reachable at `address`. One server object may be
+  /// registered at several addresses (anycast/fleet behaviour).
+  void attach(net::Ipv4 address, std::shared_ptr<AuthoritativeServer> server);
+
+  /// Marks an address unreachable (queries time out) / reachable again.
+  void set_down(net::Ipv4 address, bool down);
+
+  /// Optional hook observing every exchanged query (for stats and tests).
+  using Observer = std::function<void(net::Ipv4 client, net::Ipv4 server)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  std::optional<std::vector<std::uint8_t>> exchange(
+      net::Ipv4 client, net::Ipv4 server,
+      std::span<const std::uint8_t> query) override;
+
+  std::uint64_t query_count() const noexcept { return query_count_; }
+  std::size_t server_count() const noexcept { return servers_.size(); }
+
+  /// Finds the server object registered at an address, if any.
+  std::shared_ptr<AuthoritativeServer> server_at(net::Ipv4 address) const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<AuthoritativeServer> server;
+    bool down = false;
+  };
+  std::unordered_map<std::uint32_t, Entry> servers_;
+  Observer observer_;
+  std::uint64_t query_count_ = 0;
+};
+
+}  // namespace cs::dns

@@ -1,0 +1,41 @@
+#include "dns/wordlist.h"
+
+namespace cs::dns {
+
+const std::vector<std::string>& default_wordlist() {
+  static const std::vector<std::string> kWords = {
+      // Top prefixes reported by the paper (§3.2), most common first.
+      "www", "m", "ftp", "cdn", "mail", "staging", "blog", "support", "test",
+      "dev",
+      // Common service prefixes from the dnsmap/knock lists.
+      "api", "app", "apps", "assets", "beta", "static", "img", "images",
+      "media", "video", "videos", "shop", "store", "secure", "login", "auth",
+      "account", "accounts", "admin", "portal", "dashboard", "console",
+      "status", "news", "forum", "forums", "wiki", "docs", "help", "search",
+      "download", "downloads", "upload", "files", "data", "db", "sql",
+      "smtp", "pop", "imap", "webmail", "mx", "ns", "ns1", "ns2", "dns",
+      "vpn", "proxy", "gateway", "gw", "remote", "intranet", "internal",
+      "extranet", "partner", "partners", "client", "clients", "customer",
+      "demo", "sandbox", "qa", "uat", "preprod", "prod", "live", "origin",
+      "edge", "cache", "mirror", "backup", "old", "new", "v1", "v2", "web",
+      "web1", "web2", "server", "host", "cloud", "s3", "storage", "git",
+      "svn", "ci", "build", "jenkins", "monitor", "metrics", "stats",
+      "analytics", "track", "tracking", "ads", "ad", "email", "newsletter",
+      "events", "calendar", "chat", "im", "sip", "voip", "mobile", "wap",
+      "i", "t", "a", "b", "c", "e", "go", "get", "my", "us", "en", "de",
+      "fr", "jp", "cn", "uk", "payments", "pay", "billing", "invoice",
+      "careers", "jobs", "press", "about", "labs", "research", "developer",
+      "developers", "community", "social", "feeds", "rss", "widget",
+      "widgets", "embed", "player", "stream", "streaming",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& small_wordlist() {
+  static const std::vector<std::string> kWords = {
+      "www", "m", "ftp", "cdn", "mail", "blog", "api", "dev",
+  };
+  return kWords;
+}
+
+}  // namespace cs::dns

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Subdomain wordlists for brute-force enumeration, in the spirit of the
+/// dnsmap/knock lists the paper combined. The built-in list covers the
+/// prefixes the paper reports as most frequent (www, m, ftp, cdn, mail,
+/// staging, blog, support, test, dev, ...) plus a broader tail.
+namespace cs::dns {
+
+/// The default combined wordlist, ordered by how common each prefix is.
+const std::vector<std::string>& default_wordlist();
+
+/// A deliberately small list for quick tests and recall ablations.
+const std::vector<std::string>& small_wordlist();
+
+}  // namespace cs::dns

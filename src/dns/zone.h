@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/rr.h"
+
+/// An authoritative DNS zone: an apex SOA, the records at and below the
+/// apex, and delegation (zone-cut) tracking via NS records owned by names
+/// other than the apex.
+namespace cs::dns {
+
+class Zone {
+ public:
+  /// Creates a zone rooted at `origin` with the given SOA.
+  Zone(Name origin, SoaRecord soa);
+
+  const Name& origin() const noexcept { return origin_; }
+  const SoaRecord& soa() const noexcept { return soa_; }
+
+  /// Adds a record. The record's name must be at or below the origin;
+  /// returns false (and ignores the record) otherwise, or when adding a
+  /// CNAME beside other data / other data beside a CNAME (RFC 1034 §3.6.2).
+  bool add(ResourceRecord rr);
+
+  /// True if any records exist at exactly this name.
+  bool has_name(const Name& name) const;
+
+  /// Records of one type at exactly this name (no CNAME chasing here).
+  std::vector<ResourceRecord> find(const Name& name, RrType type) const;
+
+  /// All records at a name, any type.
+  std::vector<ResourceRecord> find_all(const Name& name) const;
+
+  /// If `name` sits at or below a delegation cut (a non-apex owner of NS
+  /// records), returns the cut owner name.
+  std::optional<Name> delegation_cut(const Name& name) const;
+
+  /// Full zone contents in canonical order for AXFR: SOA first, then all
+  /// other records, then the SOA again (RFC 5936 framing).
+  std::vector<ResourceRecord> axfr() const;
+
+  /// All names owned by the zone in canonical order (SOA apex included).
+  std::vector<Name> names() const;
+
+  std::size_t record_count() const noexcept { return record_count_; }
+
+ private:
+  struct NodeData {
+    std::map<RrType, std::vector<ResourceRecord>> by_type;
+  };
+
+  Name origin_;
+  SoaRecord soa_;
+  std::map<Name, NodeData, bool (*)(const Name&, const Name&)> nodes_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace cs::dns

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/zone.h"
+
+/// RFC 1035 master-file (zone file) serialization.
+///
+/// Supports the subset of the format our record types need: an $ORIGIN
+/// directive, one record per line as `owner TTL IN TYPE rdata`, relative
+/// and absolute owner names, `@` for the origin, and `;` comments. This
+/// lets worlds and test fixtures round-trip zones through the same text
+/// representation BIND-style tooling uses.
+namespace cs::dns {
+
+/// Serializes a zone to master-file text ($ORIGIN + SOA first).
+std::string to_zonefile(const Zone& zone);
+
+/// Parse outcome: the zone plus any lines that were skipped.
+struct ZonefileResult {
+  std::optional<Zone> zone;
+  std::vector<std::string> errors;  ///< one message per rejected line
+};
+
+/// Parses master-file text. Requires an $ORIGIN directive (or an
+/// absolute SOA owner) and exactly one SOA. Unknown record types and
+/// malformed lines are reported in `errors`; a missing/invalid SOA or
+/// origin makes `zone` empty.
+ZonefileResult parse_zonefile(std::string_view text);
+
+}  // namespace cs::dns

@@ -1,0 +1,144 @@
+#include "internet/traceroute.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace cs::internet {
+namespace {
+
+/// Region pool sizes shaped after Table 16 (per-zone counts there are the
+/// pool minus an occasional missing ISP).
+int pool_size_for(const std::string& region) {
+  if (region == "ec2.us-east-1") return 37;
+  if (region == "ec2.us-west-1") return 19;
+  if (region == "ec2.us-west-2") return 19;
+  if (region == "ec2.eu-west-1") return 12;
+  if (region == "ec2.ap-northeast-1") return 9;
+  if (region == "ec2.ap-southeast-1") return 12;
+  if (region == "ec2.ap-southeast-2") return 4;
+  if (region == "ec2.sa-east-1") return 4;
+  return 8;  // Azure and anything else: moderate multihoming
+}
+
+}  // namespace
+
+AsTopology::AsTopology(const cloud::Provider& provider, std::uint64_t seed)
+    : seed_(seed) {
+  std::uint32_t next_asn = 7000;
+  int next_block = 0;
+  util::Rng rng{seed ^ 0xA5A5ULL};
+  for (const auto& region : provider.regions()) {
+    RegionPlan plan;
+    const int pool = pool_size_for(region.name);
+    for (int i = 0; i < pool; ++i) {
+      AsInfo as;
+      as.asn = next_asn++;
+      as.name = util::fmt("isp-{}-{}", region.name, i);
+      // Carrier space from 100.64.0.0/10 (never overlaps cloud ranges).
+      as.block = net::Cidr{
+          net::Ipv4{static_cast<std::uint32_t>((100u << 24) |
+                                               ((64 + next_block / 256) << 16) |
+                                               ((next_block % 256) << 8))},
+          24};
+      ++next_block;
+      whois_.insert(as.block, as.asn);
+      plan.pool.push_back(std::move(as));
+      // Zipf-ish weights: top ISP carries ~1/3 of routes in big regions.
+      plan.weights.push_back(1.0 / std::pow(i + 1.5, 0.85));
+    }
+    plan.zone_missing.resize(region.zone_count);
+    for (int z = 0; z < region.zone_count; ++z) {
+      // A zone occasionally lacks one or two of the region's ISPs.
+      if (pool > 4 && rng.chance(0.5))
+        plan.zone_missing[z].insert(
+            static_cast<int>(rng.next_below(pool)));
+      if (pool > 10 && rng.chance(0.3))
+        plan.zone_missing[z].insert(
+            static_cast<int>(rng.next_below(pool)));
+    }
+    plans_[region.name] = std::move(plan);
+  }
+}
+
+const AsTopology::RegionPlan& AsTopology::plan_of(
+    const std::string& region) const {
+  const auto it = plans_.find(region);
+  if (it == plans_.end())
+    throw std::invalid_argument{"AsTopology: unknown region " + region};
+  return it->second;
+}
+
+const std::vector<AsInfo>& AsTopology::region_pool(
+    const std::string& region) const {
+  return plan_of(region).pool;
+}
+
+std::vector<AsInfo> AsTopology::downstream_of(const std::string& region,
+                                              int zone) const {
+  const auto& plan = plan_of(region);
+  std::vector<AsInfo> out;
+  const auto& missing =
+      plan.zone_missing.at(static_cast<std::size_t>(zone));
+  for (std::size_t i = 0; i < plan.pool.size(); ++i)
+    if (!missing.contains(static_cast<int>(i))) out.push_back(plan.pool[i]);
+  return out;
+}
+
+std::optional<AsInfo> AsTopology::downstream_for_path(
+    const std::string& region, int zone, const VantagePoint& to) const {
+  const auto& plan = plan_of(region);
+  const auto& missing = plan.zone_missing.at(static_cast<std::size_t>(zone));
+  // Stable weighted choice per (region, zone, vantage).
+  util::Rng rng{seed_ ^ util::stable_hash(region) * 3 ^
+                util::stable_hash(to.name) ^
+                (static_cast<std::uint64_t>(zone) << 40)};
+  std::vector<double> weights = plan.weights;
+  for (const int i : missing) weights[static_cast<std::size_t>(i)] = 0.0;
+  const std::size_t pick = rng.weighted_pick(weights);
+  const auto& as = plan.pool[pick];
+  if (down_.contains(as.asn)) return std::nullopt;
+  return as;
+}
+
+std::vector<Hop> AsTopology::traceroute(const cloud::Instance& from,
+                                        const VantagePoint& to) const {
+  const auto downstream = downstream_for_path(from.region, from.zone, to);
+  if (!downstream) return {};  // path blackholed
+
+  util::Rng rng{seed_ ^ from.id * 7 ^ util::stable_hash(to.name)};
+  std::vector<Hop> hops;
+  // Cloud-internal hops: the instance's gateway then a border router, both
+  // in internal space (whois yields nothing for them, ASN 0).
+  hops.push_back({net::Ipv4{10, from.internal_ip.octet(1), 0, 1}, 0});
+  hops.push_back({net::Ipv4{10, from.internal_ip.octet(1), 0, 254}, 0});
+  // First non-cloud hop: the downstream ISP's border (what the paper
+  // whois'ed to count ISPs).
+  hops.push_back({downstream->block.at(1 + rng.next_below(200)),
+                  downstream->asn});
+  // Transit hops in unallocated-to-us space mapped to synthetic transit ASes.
+  const int transit = 2 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < transit; ++i) {
+    hops.push_back({net::Ipv4{192, 175,
+                              static_cast<std::uint8_t>(rng.next_below(250)),
+                              static_cast<std::uint8_t>(1 +
+                                                        rng.next_below(250))},
+                    0});
+  }
+  hops.push_back({to.address, to.asn});
+  return hops;
+}
+
+std::optional<std::uint32_t> AsTopology::asn_of(net::Ipv4 addr) const {
+  return whois_.lookup(addr);
+}
+
+void AsTopology::set_as_down(std::uint32_t asn, bool down) {
+  if (down)
+    down_.insert(asn);
+  else
+    down_.erase(asn);
+}
+
+}  // namespace cs::internet

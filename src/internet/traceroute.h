@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "internet/vantage.h"
+#include "net/prefix_set.h"
+#include "util/rng.h"
+
+/// AS-level topology and traceroute simulation for the §5.2 ISP-diversity
+/// study. Each cloud region is multihomed to a pool of downstream ISPs
+/// (ASes) with an uneven route spread: the paper found up to ~33% of a
+/// region's routes exiting through a single ISP, and region pool sizes
+/// ranging from 36 (US East) down to 4 (Sydney, São Paulo).
+namespace cs::internet {
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;
+  net::Cidr block;  ///< address space whose whois resolves to this AS
+};
+
+struct Hop {
+  net::Ipv4 address;
+  std::uint32_t asn = 0;  ///< 0 for unmapped/cloud-internal hops
+};
+
+class AsTopology {
+ public:
+  /// Builds the downstream plan for a provider's regions. Pool sizes are
+  /// drawn per region to match Table 16's shape (well-multihomed US/EU,
+  /// poorly multihomed Sydney/São Paulo).
+  AsTopology(const cloud::Provider& provider, std::uint64_t seed);
+
+  /// Downstream ISPs available to a zone of a region. Zones of a region
+  /// see almost the same set (a zone may miss one ISP of the pool).
+  std::vector<AsInfo> downstream_of(const std::string& region,
+                                    int zone) const;
+
+  /// The downstream AS a route from (region, zone) to a vantage uses.
+  /// Stable per path; weighted by the region's uneven spread. Returns
+  /// nullopt when the selected AS is failed and the path has no refuge
+  /// (routes do not re-home in this model — that is the vulnerability the
+  /// paper points at).
+  std::optional<AsInfo> downstream_for_path(const std::string& region,
+                                            int zone,
+                                            const VantagePoint& to) const;
+
+  /// Simulates `traceroute` from an instance to a vantage. Cloud-internal
+  /// hops come first (ASN 0), then the downstream ISP's border (the hop
+  /// the paper ran whois on), transit, and the vantage. Empty when the
+  /// path's downstream AS is failed.
+  std::vector<Hop> traceroute(const cloud::Instance& from,
+                              const VantagePoint& to) const;
+
+  /// whois: longest-prefix ASN lookup.
+  std::optional<std::uint32_t> asn_of(net::Ipv4 addr) const;
+
+  /// Fails/restores a downstream AS (for availability experiments).
+  void set_as_down(std::uint32_t asn, bool down);
+  bool is_down(std::uint32_t asn) const { return down_.contains(asn); }
+
+  /// Full regional pool (union over zones).
+  const std::vector<AsInfo>& region_pool(const std::string& region) const;
+
+ private:
+  struct RegionPlan {
+    std::vector<AsInfo> pool;
+    std::vector<double> weights;          ///< uneven route spread
+    std::vector<std::set<int>> zone_missing;  ///< pool indices absent per zone
+  };
+
+  const RegionPlan& plan_of(const std::string& region) const;
+
+  std::uint64_t seed_;
+  std::map<std::string, RegionPlan> plans_;
+  net::PrefixMap<std::uint32_t> whois_;
+  std::set<std::uint32_t> down_;
+};
+
+}  // namespace cs::internet

@@ -1,0 +1,120 @@
+#include "internet/vantage.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cs::internet {
+namespace {
+
+struct City {
+  const char* name;
+  double lat, lon;
+  const char* country;
+  const char* continent;
+};
+
+/// 50 distinct cities; the catalogue cycles through them with per-site
+/// suffixes to reach 200 nodes, preserving the Figure 2 geographic skew.
+constexpr City kCities[] = {
+    // North America (heaviest presence, like PlanetLab).
+    {"seattle", 47.61, -122.33, "US", "NA"},
+    {"berkeley", 37.87, -122.27, "US", "NA"},
+    {"losangeles", 34.05, -118.24, "US", "NA"},
+    {"boulder", 40.01, -105.27, "US", "NA"},
+    {"saltlake", 40.76, -111.89, "US", "NA"},
+    {"houston", 29.76, -95.37, "US", "NA"},
+    {"chicago", 41.88, -87.63, "US", "NA"},
+    {"madison", 43.07, -89.40, "US", "NA"},
+    {"atlanta", 33.75, -84.39, "US", "NA"},
+    {"miami", 25.76, -80.19, "US", "NA"},
+    {"boston", 42.36, -71.06, "US", "NA"},
+    {"newyork", 40.71, -74.01, "US", "NA"},
+    {"princeton", 40.34, -74.66, "US", "NA"},
+    {"washington", 38.91, -77.04, "US", "NA"},
+    {"toronto", 43.65, -79.38, "CA", "NA"},
+    {"vancouver", 49.28, -123.12, "CA", "NA"},
+    {"montreal", 45.50, -73.57, "CA", "NA"},
+    {"mexicocity", 19.43, -99.13, "MX", "NA"},
+    // Europe.
+    {"london", 51.51, -0.13, "GB", "EU"},
+    {"cambridge", 52.21, 0.12, "GB", "EU"},
+    {"paris", 48.86, 2.35, "FR", "EU"},
+    {"madrid", 40.42, -3.70, "ES", "EU"},
+    {"lisbon", 38.72, -9.14, "PT", "EU"},
+    {"zurich", 47.38, 8.54, "CH", "EU"},
+    {"berlin", 52.52, 13.40, "DE", "EU"},
+    {"munich", 48.14, 11.58, "DE", "EU"},
+    {"amsterdam", 52.37, 4.90, "NL", "EU"},
+    {"brussels", 50.85, 4.35, "BE", "EU"},
+    {"stockholm", 59.33, 18.07, "SE", "EU"},
+    {"helsinki", 60.17, 24.94, "FI", "EU"},
+    {"warsaw", 52.23, 21.01, "PL", "EU"},
+    {"prague", 50.08, 14.44, "CZ", "EU"},
+    {"rome", 41.90, 12.50, "IT", "EU"},
+    {"athens", 37.98, 23.73, "GR", "EU"},
+    {"dublin", 53.33, -6.25, "IE", "EU"},
+    // Asia.
+    {"tokyo", 35.68, 139.69, "JP", "AS"},
+    {"osaka", 34.69, 135.50, "JP", "AS"},
+    {"seoul", 37.57, 126.98, "KR", "AS"},
+    {"beijing", 39.90, 116.41, "CN", "AS"},
+    {"shanghai", 31.23, 121.47, "CN", "AS"},
+    {"hongkong", 22.32, 114.17, "HK", "AS"},
+    {"taipei", 25.03, 121.57, "TW", "AS"},
+    {"singapore", 1.35, 103.82, "SG", "AS"},
+    {"bangalore", 12.97, 77.59, "IN", "AS"},
+    {"delhi", 28.61, 77.21, "IN", "AS"},
+    // South America + Oceania.
+    {"saopaulo", -23.55, -46.63, "BR", "SA"},
+    {"santiago", -33.45, -70.67, "CL", "SA"},
+    {"buenosaires", -34.60, -58.38, "AR", "SA"},
+    {"sydney", -33.87, 151.21, "AU", "OC"},
+    {"auckland", -36.85, 174.76, "NZ", "OC"},
+  };
+
+constexpr std::size_t kCityCount = std::size(kCities);
+constexpr std::size_t kMaxVantages = 200;
+
+VantagePoint make_vantage(std::size_t index) {
+  const City& city = kCities[index % kCityCount];
+  const std::size_t site = index / kCityCount + 1;
+  VantagePoint v;
+  v.name = "planetlab" + std::to_string(site) + "." + city.name;
+  v.location = {{city.lat, city.lon}, city.country, city.continent};
+  // Client addresses in 199.x space (outside every cloud range we publish).
+  v.address = net::Ipv4{199, static_cast<std::uint8_t>(16 + index / 250),
+                        static_cast<std::uint8_t>(index % 250), 10};
+  // Each city sits in its own access AS; sites share the city AS.
+  v.asn = static_cast<std::uint32_t>(64500 + index % kCityCount);
+  return v;
+}
+
+}  // namespace
+
+std::vector<VantagePoint> planetlab_vantages(std::size_t count) {
+  count = std::min(count, kMaxVantages);
+  std::vector<VantagePoint> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(make_vantage(i));
+  return out;
+}
+
+VantagePoint university_vantage() {
+  VantagePoint v;
+  v.name = "border.wisc.edu";
+  v.location = {{43.07, -89.40}, "US", "NA"};
+  v.address = net::Ipv4{198, 51, 100, 1};
+  v.asn = 59;  // UW-Madison's real ASN, a nice touch for log realism
+  return v;
+}
+
+VantagePoint vantage_named(std::string_view city) {
+  for (std::size_t i = 0; i < kCityCount; ++i) {
+    if (util::icontains(kCities[i].name, city)) return make_vantage(i);
+  }
+  throw std::invalid_argument{"vantage_named: unknown city " +
+                              std::string{city}};
+}
+
+}  // namespace cs::internet

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/geo.h"
+
+/// Measurement vantage points — the PlanetLab stand-ins.
+///
+/// The paper used 80 geographically distributed PlanetLab nodes for
+/// latency/throughput (§5.1), 150 for subdomain enumeration, 200 for
+/// distributed DNS lookups, and 50 for name-server location. We provide a
+/// deterministic catalogue of named nodes with real-city coordinates and
+/// synthetic client addresses; callers take prefixes of the list.
+namespace cs::internet {
+
+struct VantagePoint {
+  std::string name;       ///< "planetlab1.seattle.us"
+  util::Location location;
+  net::Ipv4 address;      ///< synthetic client address (non-cloud space)
+  std::uint32_t asn = 0;  ///< the vantage's home AS
+};
+
+/// Returns the first `count` vantage points of the catalogue (max 200).
+/// The catalogue is globally distributed with the paper's Figure 2 skew:
+/// North America > Europe > Asia > South America/Oceania.
+std::vector<VantagePoint> planetlab_vantages(std::size_t count);
+
+/// The campus capture vantage (UW-Madison).
+VantagePoint university_vantage();
+
+/// A specific vantage by city substring (e.g. "boulder", "seattle");
+/// throws std::invalid_argument if absent from the catalogue.
+VantagePoint vantage_named(std::string_view city);
+
+}  // namespace cs::internet

@@ -1,0 +1,41 @@
+#include "net/checksum.h"
+
+#include <vector>
+
+namespace cs::net {
+namespace {
+
+std::uint32_t sum16(std::span<const std::uint8_t> data,
+                    std::uint32_t acc) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    acc += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  if (i < data.size()) acc += std::uint32_t{data[i]} << 8;
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) noexcept {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return fold(sum16(data, 0));
+}
+
+std::uint16_t transport_checksum(Ipv4 src, Ipv4 dst, std::uint8_t proto,
+                                 std::span<const std::uint8_t> segment)
+    noexcept {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += proto;
+  acc += static_cast<std::uint32_t>(segment.size());
+  return fold(sum16(segment, acc));
+}
+
+}  // namespace cs::net

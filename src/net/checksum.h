@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ipv4.h"
+
+/// Internet checksum (RFC 1071) used by our IPv4/TCP/UDP encoders so that
+/// traces we synthesize are well-formed for third-party tools too.
+namespace cs::net {
+
+/// One's-complement sum over the buffer, folded to 16 bits. An odd final
+/// byte is padded with zero, per the RFC.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// TCP/UDP checksum with the IPv4 pseudo-header prepended.
+std::uint16_t transport_checksum(Ipv4 src, Ipv4 dst, std::uint8_t proto,
+                                 std::span<const std::uint8_t> segment)
+    noexcept;
+
+}  // namespace cs::net

@@ -1,0 +1,30 @@
+#include "net/five_tuple.h"
+
+#include "util/format.h"
+
+namespace cs::net {
+
+std::string to_string(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp:
+      return "icmp";
+    case IpProto::kTcp:
+      return "tcp";
+    case IpProto::kUdp:
+      return "udp";
+    case IpProto::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+std::string Endpoint::to_string() const {
+  return cs::util::fmt("{}:{}", addr.to_string(), port);
+}
+
+std::string FiveTuple::to_string() const {
+  return cs::util::fmt("{} -> {} ({})", src.to_string(), dst.to_string(),
+                     cs::net::to_string(proto));
+}
+
+}  // namespace cs::net

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ipv4.h"
+
+/// Transport-layer identifiers shared by the pcap and analysis layers.
+namespace cs::net {
+
+/// IP protocol numbers we care about (IANA values).
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kOther = 255,
+};
+
+std::string to_string(IpProto proto);
+
+/// A transport endpoint.
+struct Endpoint {
+  Ipv4 addr;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const;
+};
+
+/// Classic 5-tuple. `canonical()` orders the endpoints so that both
+/// directions of a conversation map to the same key.
+struct FiveTuple {
+  Endpoint src;
+  Endpoint dst;
+  IpProto proto = IpProto::kOther;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// Direction-insensitive key: smaller endpoint first.
+  FiveTuple canonical() const {
+    if (dst < src) return {dst, src, proto};
+    return *this;
+  }
+
+  std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept {
+    std::uint64_t h = t.src.addr.value();
+    h = h * 0x9e3779b97f4a7c15ULL + t.dst.addr.value();
+    h = h * 0x9e3779b97f4a7c15ULL +
+        ((std::uint64_t{t.src.port} << 24) | (std::uint64_t{t.dst.port} << 8) |
+         static_cast<std::uint64_t>(t.proto));
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace cs::net

@@ -1,0 +1,55 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include "util/format.h"
+
+namespace cs::net {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = p + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    unsigned v = 0;
+    const auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255 || next == p || next - p > 3)
+      return std::nullopt;
+    p = next;
+    value = (value << 8) | v;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4{value};
+}
+
+std::string Ipv4::to_string() const {
+  return cs::util::fmt("{}.{}.{}.{}", octet(0), octet(1), octet(2), octet(3));
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = Ipv4::parse(text);
+    if (!addr) return std::nullopt;
+    return Cidr{*addr, 32};
+  }
+  const auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = -1;
+  const auto tail = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || next != tail.data() + tail.size() || len < 0 ||
+      len > 32)
+    return std::nullopt;
+  return Cidr{*addr, len};
+}
+
+std::string Cidr::to_string() const {
+  return cs::util::fmt("{}/{}", base_.to_string(), prefix_len_);
+}
+
+}  // namespace cs::net

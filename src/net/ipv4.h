@@ -1,0 +1,95 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// IPv4 value types. The study only concerns IPv4 (the 2013 EC2/Azure
+/// published ranges were IPv4-only), so we keep a dedicated, cheap value
+/// type rather than a protocol-generic address class.
+namespace cs::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad notation ("203.0.113.9"). Rejects anything else.
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR block, e.g. 10.12.0.0/16.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+
+  /// Builds a block from any address inside it; host bits are masked off.
+  constexpr Cidr(Ipv4 addr, int prefix_len)
+      : base_(Ipv4{prefix_len == 0 ? 0 : addr.value() & mask(prefix_len)}),
+        prefix_len_(prefix_len) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32.
+  static std::optional<Cidr> parse(std::string_view text);
+
+  constexpr Ipv4 base() const noexcept { return base_; }
+  constexpr int prefix_len() const noexcept { return prefix_len_; }
+
+  /// First and last addresses in the block.
+  constexpr Ipv4 first() const noexcept { return base_; }
+  constexpr Ipv4 last() const noexcept {
+    return Ipv4{base_.value() | ~mask(prefix_len_)};
+  }
+
+  /// Number of addresses covered (2^(32-len); 2^32 clamps to 0xFFFFFFFF+1
+  /// via a 64-bit return type).
+  constexpr std::uint64_t size() const noexcept {
+    return 1ULL << (32 - prefix_len_);
+  }
+
+  constexpr bool contains(Ipv4 addr) const noexcept {
+    if (prefix_len_ == 0) return true;
+    return (addr.value() & mask(prefix_len_)) == base_.value();
+  }
+
+  constexpr bool contains(const Cidr& other) const noexcept {
+    return other.prefix_len_ >= prefix_len_ && contains(other.base_);
+  }
+
+  /// The i-th address inside the block (i < size()).
+  constexpr Ipv4 at(std::uint64_t i) const noexcept {
+    return Ipv4{static_cast<std::uint32_t>(base_.value() + i)};
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Cidr&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask(int len) noexcept {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  }
+
+  Ipv4 base_{};
+  int prefix_len_ = 0;
+};
+
+}  // namespace cs::net

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+/// Longest-prefix-match set of CIDR blocks with per-block tags.
+///
+/// This is the workhorse of the study: "is this IP inside EC2, and if so in
+/// which region?" is a tagged longest-prefix match against the provider's
+/// published ranges. Implemented as a binary trie over address bits, the
+/// same structure routers use for FIB lookups.
+namespace cs::net {
+
+template <typename Tag>
+class PrefixMap {
+ public:
+  PrefixMap() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts (or overwrites) a block with its tag.
+  void insert(const Cidr& block, Tag tag) {
+    Node* node = root_.get();
+    for (int depth = 0; depth < block.prefix_len(); ++depth) {
+      const int bit = (block.base().value() >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->tag) ++size_;
+    node->tag = std::move(tag);
+    node->block = block;
+  }
+
+  /// Longest-prefix match; nullopt when no block covers the address.
+  std::optional<Tag> lookup(Ipv4 addr) const {
+    const Node* best = nullptr;
+    const Node* node = root_.get();
+    for (int depth = 0; node != nullptr && depth <= 32; ++depth) {
+      if (node->tag) best = node;
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+    }
+    return best ? best->tag : std::optional<Tag>{};
+  }
+
+  /// The matched block itself along with its tag.
+  struct Match {
+    Cidr block;
+    Tag tag;
+  };
+  std::optional<Match> lookup_block(Ipv4 addr) const {
+    const Node* best = nullptr;
+    const Node* node = root_.get();
+    for (int depth = 0; node != nullptr && depth <= 32; ++depth) {
+      if (node->tag) best = node;
+      if (depth == 32) break;
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+    }
+    if (!best) return std::nullopt;
+    return Match{best->block, *best->tag};
+  }
+
+  bool contains(Ipv4 addr) const { return lookup(addr).has_value(); }
+
+  /// Number of inserted blocks.
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// All blocks in trie (address) order.
+  std::vector<Match> entries() const {
+    std::vector<Match> out;
+    collect(root_.get(), out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> children[2];
+    std::optional<Tag> tag;
+    Cidr block;
+  };
+
+  static void collect(const Node* node, std::vector<Match>& out) {
+    if (!node) return;
+    if (node->tag) out.push_back({node->block, *node->tag});
+    collect(node->children[0].get(), out);
+    collect(node->children[1].get(), out);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Untagged convenience wrapper: pure membership testing.
+class PrefixSet {
+ public:
+  void insert(const Cidr& block) { map_.insert(block, true); }
+  bool contains(Ipv4 addr) const { return map_.contains(addr); }
+  std::optional<Cidr> covering_block(Ipv4 addr) const {
+    const auto m = map_.lookup_block(addr);
+    if (!m) return std::nullopt;
+    return m->block;
+  }
+  std::size_t size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+
+ private:
+  PrefixMap<bool> map_;
+};
+
+}  // namespace cs::net

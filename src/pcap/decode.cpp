@@ -1,0 +1,193 @@
+#include "pcap/decode.h"
+
+#include "net/checksum.h"
+
+namespace cs::pcap {
+namespace {
+
+constexpr std::size_t kEthHeaderLen = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::size_t kIpv4MinHeaderLen = 20;
+constexpr std::size_t kTcpMinHeaderLen = 20;
+constexpr std::size_t kUdpHeaderLen = 8;
+constexpr std::size_t kIcmpMinHeaderLen = 8;
+
+// Synthetic MAC addresses for generated frames (locally administered).
+constexpr std::uint8_t kSrcMac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+constexpr std::uint8_t kDstMac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+
+std::uint16_t read_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+std::uint32_t read_u32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+void write_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+void write_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+/// Fills the Ethernet + IPv4 envelope; returns the buffer with the
+/// transport segment appended and checksums finalized.
+std::vector<std::uint8_t> build_frame(net::Ipv4 src, net::Ipv4 dst,
+                                      std::uint8_t proto,
+                                      std::span<const std::uint8_t> segment) {
+  std::vector<std::uint8_t> frame(kEthHeaderLen + kIpv4MinHeaderLen +
+                                  segment.size());
+  std::uint8_t* eth = frame.data();
+  std::copy(std::begin(kDstMac), std::end(kDstMac), eth);
+  std::copy(std::begin(kSrcMac), std::end(kSrcMac), eth + 6);
+  write_u16(eth + 12, kEtherTypeIpv4);
+
+  std::uint8_t* ip = eth + kEthHeaderLen;
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0;     // DSCP/ECN
+  write_u16(ip + 2,
+            static_cast<std::uint16_t>(kIpv4MinHeaderLen + segment.size()));
+  write_u16(ip + 4, 0);       // identification
+  write_u16(ip + 6, 0x4000);  // DF
+  ip[8] = 64;                 // TTL
+  ip[9] = proto;
+  write_u16(ip + 10, 0);  // checksum placeholder
+  write_u32(ip + 12, src.value());
+  write_u32(ip + 16, dst.value());
+  const auto ip_cksum =
+      net::internet_checksum({ip, kIpv4MinHeaderLen});
+  write_u16(ip + 10, ip_cksum);
+
+  std::copy(segment.begin(), segment.end(), ip + kIpv4MinHeaderLen);
+  return frame;
+}
+
+}  // namespace
+
+std::optional<Decoded> decode_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthHeaderLen + kIpv4MinHeaderLen) return std::nullopt;
+  if (read_u16(frame.data() + 12) != kEtherTypeIpv4) return std::nullopt;
+
+  const std::uint8_t* ip = frame.data() + kEthHeaderLen;
+  const std::size_t ip_avail = frame.size() - kEthHeaderLen;
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (ihl < kIpv4MinHeaderLen || ihl > ip_avail) return std::nullopt;
+  const std::size_t total_len = read_u16(ip + 2);
+  if (total_len < ihl || total_len > ip_avail) return std::nullopt;
+
+  Decoded out;
+  out.ip_total_length = total_len;
+  out.tuple.src.addr = net::Ipv4{read_u32(ip + 12)};
+  out.tuple.dst.addr = net::Ipv4{read_u32(ip + 16)};
+
+  const std::uint8_t* transport = ip + ihl;
+  const std::size_t transport_len = total_len - ihl;
+
+  switch (ip[9]) {
+    case 6: {  // TCP
+      if (transport_len < kTcpMinHeaderLen) return std::nullopt;
+      out.tuple.proto = net::IpProto::kTcp;
+      out.tuple.src.port = read_u16(transport);
+      out.tuple.dst.port = read_u16(transport + 2);
+      out.tcp_seq = read_u32(transport + 4);
+      const std::size_t data_offset =
+          static_cast<std::size_t>(transport[12] >> 4) * 4;
+      if (data_offset < kTcpMinHeaderLen || data_offset > transport_len)
+        return std::nullopt;
+      out.tcp_flags = TcpFlags::from_byte(transport[13]);
+      out.payload = std::span<const std::uint8_t>{
+          transport + data_offset, transport_len - data_offset};
+      break;
+    }
+    case 17: {  // UDP
+      if (transport_len < kUdpHeaderLen) return std::nullopt;
+      out.tuple.proto = net::IpProto::kUdp;
+      out.tuple.src.port = read_u16(transport);
+      out.tuple.dst.port = read_u16(transport + 2);
+      const std::size_t udp_len = read_u16(transport + 4);
+      if (udp_len < kUdpHeaderLen || udp_len > transport_len)
+        return std::nullopt;
+      out.payload = std::span<const std::uint8_t>{transport + kUdpHeaderLen,
+                                                  udp_len - kUdpHeaderLen};
+      break;
+    }
+    case 1: {  // ICMP
+      if (transport_len < kIcmpMinHeaderLen) return std::nullopt;
+      out.tuple.proto = net::IpProto::kIcmp;
+      out.icmp_type = transport[0];
+      out.payload = std::span<const std::uint8_t>{
+          transport + kIcmpMinHeaderLen, transport_len - kIcmpMinHeaderLen};
+      break;
+    }
+    default:
+      out.tuple.proto = net::IpProto::kOther;
+      out.payload =
+          std::span<const std::uint8_t>{transport, transport_len};
+      break;
+  }
+  return out;
+}
+
+Packet make_tcp_packet(double timestamp, net::Endpoint src, net::Endpoint dst,
+                       TcpFlags flags, std::uint32_t seq,
+                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> segment(kTcpMinHeaderLen + payload.size());
+  std::uint8_t* tcp = segment.data();
+  write_u16(tcp, src.port);
+  write_u16(tcp + 2, dst.port);
+  write_u32(tcp + 4, seq);
+  write_u32(tcp + 8, 0);  // ack number (synthetic traces don't track it)
+  tcp[12] = 5 << 4;       // data offset: 5 words
+  tcp[13] = flags.to_byte();
+  write_u16(tcp + 14, 65535);  // window
+  write_u16(tcp + 16, 0);      // checksum placeholder
+  write_u16(tcp + 18, 0);      // urgent
+  std::copy(payload.begin(), payload.end(), tcp + kTcpMinHeaderLen);
+  write_u16(tcp + 16,
+            net::transport_checksum(src.addr, dst.addr, 6, segment));
+  Packet p;
+  p.timestamp = timestamp;
+  p.data = build_frame(src.addr, dst.addr, 6, segment);
+  return p;
+}
+
+Packet make_udp_packet(double timestamp, net::Endpoint src, net::Endpoint dst,
+                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> segment(kUdpHeaderLen + payload.size());
+  std::uint8_t* udp = segment.data();
+  write_u16(udp, src.port);
+  write_u16(udp + 2, dst.port);
+  write_u16(udp + 4, static_cast<std::uint16_t>(segment.size()));
+  write_u16(udp + 6, 0);
+  std::copy(payload.begin(), payload.end(), udp + kUdpHeaderLen);
+  write_u16(udp + 6,
+            net::transport_checksum(src.addr, dst.addr, 17, segment));
+  Packet p;
+  p.timestamp = timestamp;
+  p.data = build_frame(src.addr, dst.addr, 17, segment);
+  return p;
+}
+
+Packet make_icmp_packet(double timestamp, net::Ipv4 src, net::Ipv4 dst,
+                        std::uint8_t type,
+                        std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> segment(kIcmpMinHeaderLen + payload.size());
+  segment[0] = type;
+  segment[1] = 0;  // code
+  std::copy(payload.begin(), payload.end(),
+            segment.begin() + kIcmpMinHeaderLen);
+  const auto cksum = net::internet_checksum(segment);
+  segment[2] = static_cast<std::uint8_t>(cksum >> 8);
+  segment[3] = static_cast<std::uint8_t>(cksum);
+  Packet p;
+  p.timestamp = timestamp;
+  p.data = build_frame(src, dst, 1, segment);
+  return p;
+}
+
+}  // namespace cs::pcap

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "pcap/packet.h"
+
+/// Ethernet/IPv4/TCP/UDP/ICMP encoders and decoders.
+///
+/// Encoders produce fully-formed frames with correct lengths and Internet
+/// checksums; decoders validate structure and bounds (but tolerate bad
+/// checksums, as capture analyzers conventionally do).
+namespace cs::pcap {
+
+/// TCP flag bits (subset we use).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  std::uint8_t to_byte() const noexcept {
+    return static_cast<std::uint8_t>((fin ? 0x01 : 0) | (syn ? 0x02 : 0) |
+                                     (rst ? 0x04 : 0) | (psh ? 0x08 : 0) |
+                                     (ack ? 0x10 : 0));
+  }
+  static TcpFlags from_byte(std::uint8_t b) noexcept {
+    return {.syn = (b & 0x02) != 0,
+            .ack = (b & 0x10) != 0,
+            .fin = (b & 0x01) != 0,
+            .rst = (b & 0x04) != 0,
+            .psh = (b & 0x08) != 0};
+  }
+};
+
+/// A decoded packet: transport identifiers plus a view of the payload
+/// within the original frame buffer (valid only while that buffer lives).
+struct Decoded {
+  net::FiveTuple tuple;
+  TcpFlags tcp_flags;           ///< meaningful only when proto == kTcp
+  std::uint32_t tcp_seq = 0;    ///< meaningful only when proto == kTcp
+  std::uint8_t icmp_type = 0;   ///< meaningful only when proto == kIcmp
+  std::size_t ip_total_length = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Parses an Ethernet/IPv4 frame. Returns nullopt for non-IPv4 ethertypes,
+/// truncated headers, bad IHL, or lengths inconsistent with the buffer.
+std::optional<Decoded> decode_frame(std::span<const std::uint8_t> frame);
+
+/// Builders (all produce complete Ethernet frames).
+Packet make_tcp_packet(double timestamp, net::Endpoint src, net::Endpoint dst,
+                       TcpFlags flags, std::uint32_t seq,
+                       std::span<const std::uint8_t> payload);
+Packet make_udp_packet(double timestamp, net::Endpoint src, net::Endpoint dst,
+                       std::span<const std::uint8_t> payload);
+Packet make_icmp_packet(double timestamp, net::Ipv4 src, net::Ipv4 dst,
+                        std::uint8_t type,
+                        std::span<const std::uint8_t> payload = {});
+
+}  // namespace cs::pcap

@@ -1,0 +1,132 @@
+#include "pcap/file.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cs::pcap {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // usec timestamps, host order
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 262144;
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  std::fwrite(&v, sizeof(v), 1, f);
+}
+void put_u16(std::FILE* f, std::uint16_t v) {
+  std::fwrite(&v, sizeof(v), 1, f);
+}
+
+bool get_u32(std::FILE* f, std::uint32_t& v) {
+  return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+}  // namespace
+
+struct PcapWriter::Impl {
+  std::FILE* file = nullptr;
+};
+
+PcapWriter::PcapWriter(const std::string& path) : impl_(new Impl) {
+  impl_->file = std::fopen(path.c_str(), "wb");
+  if (!impl_->file) {
+    delete impl_;
+    throw std::runtime_error{"PcapWriter: cannot open " + path};
+  }
+  put_u32(impl_->file, kMagic);
+  put_u16(impl_->file, 2);  // version major
+  put_u16(impl_->file, 4);  // version minor
+  put_u32(impl_->file, 0);  // thiszone
+  put_u32(impl_->file, 0);  // sigfigs
+  put_u32(impl_->file, kSnapLen);
+  put_u32(impl_->file, kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() {
+  close();
+  delete impl_;
+}
+
+void PcapWriter::close() {
+  if (impl_->file) {
+    std::fclose(impl_->file);
+    impl_->file = nullptr;
+  }
+}
+
+void PcapWriter::write(const Packet& packet) {
+  if (!impl_->file) throw std::runtime_error{"PcapWriter: already closed"};
+  const auto sec = static_cast<std::uint32_t>(packet.timestamp);
+  const auto usec = static_cast<std::uint32_t>(
+      std::llround((packet.timestamp - sec) * 1e6) % 1000000);
+  put_u32(impl_->file, sec);
+  put_u32(impl_->file, usec);
+  put_u32(impl_->file, static_cast<std::uint32_t>(packet.data.size()));
+  put_u32(impl_->file, static_cast<std::uint32_t>(packet.data.size()));
+  if (!packet.data.empty())
+    std::fwrite(packet.data.data(), 1, packet.data.size(), impl_->file);
+  ++count_;
+}
+
+struct PcapReader::Impl {
+  std::FILE* file = nullptr;
+};
+
+PcapReader::PcapReader(const std::string& path) : impl_(new Impl) {
+  impl_->file = std::fopen(path.c_str(), "rb");
+  if (!impl_->file) {
+    delete impl_;
+    throw std::runtime_error{"PcapReader: cannot open " + path};
+  }
+  std::uint32_t magic = 0;
+  if (!get_u32(impl_->file, magic) || magic != kMagic) {
+    std::fclose(impl_->file);
+    delete impl_;
+    throw std::runtime_error{"PcapReader: bad magic in " + path};
+  }
+  // Skip the remaining 20 header bytes.
+  if (std::fseek(impl_->file, 20, SEEK_CUR) != 0) {
+    std::fclose(impl_->file);
+    delete impl_;
+    throw std::runtime_error{"PcapReader: truncated header in " + path};
+  }
+}
+
+PcapReader::~PcapReader() {
+  if (impl_->file) std::fclose(impl_->file);
+  delete impl_;
+}
+
+std::optional<Packet> PcapReader::next() {
+  std::uint32_t sec = 0;
+  if (!get_u32(impl_->file, sec)) return std::nullopt;  // clean EOF
+  std::uint32_t usec = 0, caplen = 0, wirelen = 0;
+  if (!get_u32(impl_->file, usec) || !get_u32(impl_->file, caplen) ||
+      !get_u32(impl_->file, wirelen))
+    throw std::runtime_error{"PcapReader: truncated record header"};
+  if (caplen > kSnapLen)
+    throw std::runtime_error{"PcapReader: capture length exceeds snaplen"};
+  Packet packet;
+  packet.timestamp = sec + usec * 1e-6;
+  packet.data.resize(caplen);
+  if (caplen &&
+      std::fread(packet.data.data(), 1, caplen, impl_->file) != caplen)
+    throw std::runtime_error{"PcapReader: truncated packet body"};
+  ++count_;
+  return packet;
+}
+
+std::vector<Packet> read_all(const std::string& path) {
+  PcapReader reader{path};
+  std::vector<Packet> out;
+  while (auto p = reader.next()) out.push_back(*std::move(p));
+  return out;
+}
+
+void write_all(const std::string& path, const std::vector<Packet>& packets) {
+  PcapWriter writer{path};
+  for (const auto& p : packets) writer.write(p);
+}
+
+}  // namespace cs::pcap

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcap/packet.h"
+
+/// Classic libpcap file format (magic 0xa1b2c3d4, microsecond timestamps,
+/// LINKTYPE_ETHERNET). Traces synthesized by cs_synth are written through
+/// PcapWriter and re-read by PcapReader, so the analysis pipeline consumes
+/// the same on-disk artifact tcpdump would have produced.
+namespace cs::pcap {
+
+/// Streaming writer. All packets are written with equal capture and wire
+/// lengths (we synthesize full packets; there is no snaplen truncation).
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  void write(const Packet& packet);
+  std::uint64_t packets_written() const noexcept { return count_; }
+
+  /// Flushes and closes early (also done by the destructor).
+  void close();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::uint64_t count_ = 0;
+};
+
+/// Streaming reader.
+class PcapReader {
+ public:
+  /// Opens `path` and validates the global header.
+  /// Throws std::runtime_error on open failure or bad magic.
+  explicit PcapReader(const std::string& path);
+  ~PcapReader();
+
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  /// Next packet, or nullopt at end of file. Throws on a corrupt record.
+  std::optional<Packet> next();
+
+  std::uint64_t packets_read() const noexcept { return count_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::uint64_t count_ = 0;
+};
+
+/// Convenience: reads a whole file into memory.
+std::vector<Packet> read_all(const std::string& path);
+
+/// Convenience: writes a whole vector.
+void write_all(const std::string& path, const std::vector<Packet>& packets);
+
+}  // namespace cs::pcap

@@ -1,0 +1,88 @@
+#include "pcap/flow.h"
+
+#include <algorithm>
+
+namespace cs::pcap {
+
+FlowTable::FlowTable() : FlowTable(Options{}) {}
+
+FlowTable::FlowTable(Options options) : options_(options) {}
+
+void FlowTable::add(const Packet& packet) {
+  const auto decoded = decode_frame(packet.bytes());
+  if (!decoded) {
+    ++undecodable_;
+    return;
+  }
+  add_decoded(*decoded, packet.timestamp);
+}
+
+void FlowTable::add_decoded(const Decoded& decoded, double timestamp) {
+  const auto key = decoded.tuple.canonical();
+  auto it = open_.find(key);
+
+  if (it != open_.end()) {
+    Flow& flow = it->second;
+    const bool idle =
+        timestamp - flow.last_ts > options_.idle_timeout_sec;
+    const bool reopened = flow.tuple.proto == net::IpProto::kTcp &&
+                          (flow.saw_fin || flow.saw_rst) &&
+                          decoded.tcp_flags.syn && !decoded.tcp_flags.ack;
+    if (idle || reopened) {
+      finalize(std::move(flow));
+      open_.erase(it);
+      it = open_.end();
+    }
+  }
+
+  if (it == open_.end()) {
+    Flow flow;
+    flow.tuple = decoded.tuple;  // first packet's direction = initiator
+    flow.first_ts = timestamp;
+    flow.last_ts = timestamp;
+    it = open_.emplace(key, std::move(flow)).first;
+  }
+
+  Flow& flow = it->second;
+  flow.last_ts = std::max(flow.last_ts, timestamp);
+  ++flow.packets;
+  flow.bytes += decoded.ip_total_length;
+
+  const bool from_initiator = decoded.tuple == flow.tuple;
+  auto& dir_bytes =
+      from_initiator ? flow.bytes_to_responder : flow.bytes_to_initiator;
+  dir_bytes += decoded.ip_total_length;
+
+  if (decoded.tuple.proto == net::IpProto::kTcp) {
+    flow.saw_syn |= decoded.tcp_flags.syn;
+    flow.saw_fin |= decoded.tcp_flags.fin;
+    flow.saw_rst |= decoded.tcp_flags.rst;
+  } else if (decoded.tuple.proto == net::IpProto::kIcmp && flow.packets == 1) {
+    flow.icmp_type = decoded.icmp_type;
+  }
+
+  if (!decoded.payload.empty()) {
+    auto& buf = from_initiator ? flow.payload_to_responder
+                               : flow.payload_to_initiator;
+    const std::size_t room =
+        buf.size() < options_.payload_cap ? options_.payload_cap - buf.size()
+                                          : 0;
+    const std::size_t take = std::min(room, decoded.payload.size());
+    buf.insert(buf.end(), decoded.payload.begin(),
+               decoded.payload.begin() + take);
+  }
+}
+
+void FlowTable::finalize(Flow&& flow) { done_.push_back(std::move(flow)); }
+
+std::vector<Flow> FlowTable::finish() {
+  for (auto& [key, flow] : open_) done_.push_back(std::move(flow));
+  open_.clear();
+  std::sort(done_.begin(), done_.end(),
+            [](const Flow& a, const Flow& b) {
+              return a.first_ts < b.first_ts;
+            });
+  return std::move(done_);
+}
+
+}  // namespace cs::pcap

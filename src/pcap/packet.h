@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// A captured (or synthesized) packet: a timestamp plus raw link-layer
+/// bytes, exactly what one libpcap record holds.
+namespace cs::pcap {
+
+struct Packet {
+  /// Seconds since the epoch; sub-second precision carried in the double
+  /// (written to pcap as sec/usec).
+  double timestamp = 0.0;
+  std::vector<std::uint8_t> data;
+
+  std::size_t size() const noexcept { return data.size(); }
+  std::span<const std::uint8_t> bytes() const noexcept { return data; }
+};
+
+}  // namespace cs::pcap

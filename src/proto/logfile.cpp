@@ -1,0 +1,130 @@
+#include "proto/logfile.h"
+
+#include <charconv>
+
+#include "util/format.h"
+#include "util/strings.h"
+
+namespace cs::proto {
+namespace {
+
+const char* service_token(Service service) {
+  switch (service) {
+    case Service::kIcmp:
+      return "icmp";
+    case Service::kHttp:
+      return "http";
+    case Service::kHttps:
+      return "ssl";
+    case Service::kDns:
+      return "dns";
+    case Service::kOtherTcp:
+      return "other-tcp";
+    case Service::kOtherUdp:
+      return "other-udp";
+  }
+  return "-";
+}
+
+std::optional<Service> service_from_token(std::string_view token) {
+  if (token == "icmp") return Service::kIcmp;
+  if (token == "http") return Service::kHttp;
+  if (token == "ssl") return Service::kHttps;
+  if (token == "dns") return Service::kDns;
+  if (token == "other-tcp") return Service::kOtherTcp;
+  if (token == "other-udp") return Service::kOtherUdp;
+  return std::nullopt;
+}
+
+std::string opt(const std::optional<std::string>& value) {
+  return value && !value->empty() ? *value : "-";
+}
+
+template <typename T>
+std::optional<T> number_of(std::string_view token) {
+  T value{};
+  const auto [p, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || p != token.data() + token.size())
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string to_conn_log(const TraceLogs& logs) {
+  std::string out =
+      "#fields\tts\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tproto\t"
+      "service\tduration\ttotal_bytes\ttotal_pkts\thost\n";
+  for (const auto& conn : logs.conns) {
+    out += util::fmt("{:.6f}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6f}\t{}\t{}\t{}\n",
+                     conn.first_ts, conn.tuple.src.addr.to_string(),
+                     conn.tuple.src.port, conn.tuple.dst.addr.to_string(),
+                     conn.tuple.dst.port, net::to_string(conn.tuple.proto),
+                     service_token(conn.service), conn.duration, conn.bytes,
+                     conn.packets, opt(conn.hostname));
+  }
+  return out;
+}
+
+std::string to_http_log(const TraceLogs& logs) {
+  std::string out =
+      "#fields\thost\tmethod\turi\tstatus_code\tresp_mime_types\t"
+      "response_body_len\n";
+  for (const auto& http : logs.http) {
+    out += util::fmt(
+        "{}\t{}\t{}\t{}\t{}\t{}\n", http.host.empty() ? "-" : http.host,
+        http.method.empty() ? "-" : http.method,
+        http.target.empty() ? "-" : http.target, http.status,
+        opt(http.content_type),
+        http.content_length ? std::to_string(*http.content_length) : "-");
+  }
+  return out;
+}
+
+std::string to_ssl_log(const TraceLogs& logs) {
+  std::string out = "#fields\tserver_name\tsubject_cn\n";
+  for (const auto& ssl : logs.ssl)
+    out += util::fmt("{}\t{}\n", opt(ssl.sni), opt(ssl.certificate_cn));
+  return out;
+}
+
+std::vector<ConnRecord> parse_conn_log(std::string_view text) {
+  std::vector<ConnRecord> out;
+  for (const auto line : util::split(text, '\n')) {
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = util::split(line, '\t');
+    if (fields.size() != 11) continue;
+    ConnRecord conn;
+    const auto ts = number_of<double>(fields[0]);
+    const auto src = net::Ipv4::parse(fields[1]);
+    const auto sport = number_of<std::uint16_t>(fields[2]);
+    const auto dst = net::Ipv4::parse(fields[3]);
+    const auto dport = number_of<std::uint16_t>(fields[4]);
+    const auto service = service_from_token(fields[6]);
+    const auto duration = number_of<double>(fields[7]);
+    const auto bytes = number_of<std::uint64_t>(fields[8]);
+    const auto packets = number_of<std::uint64_t>(fields[9]);
+    if (!ts || !src || !sport || !dst || !dport || !service || !duration ||
+        !bytes || !packets)
+      continue;
+    conn.first_ts = *ts;
+    conn.tuple.src = {*src, *sport};
+    conn.tuple.dst = {*dst, *dport};
+    if (fields[5] == "tcp")
+      conn.tuple.proto = net::IpProto::kTcp;
+    else if (fields[5] == "udp")
+      conn.tuple.proto = net::IpProto::kUdp;
+    else if (fields[5] == "icmp")
+      conn.tuple.proto = net::IpProto::kIcmp;
+    conn.service = *service;
+    conn.duration = *duration;
+    conn.bytes = *bytes;
+    conn.packets = *packets;
+    if (fields[10] != "-") conn.hostname = std::string{fields[10]};
+    out.push_back(std::move(conn));
+  }
+  return out;
+}
+
+}  // namespace cs::proto

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "proto/logs.h"
+
+/// Bro/Zeek-style TSV log serialization for the analyzer output, so the
+/// library's results can be exported to (and re-imported from) the format
+/// downstream network-analysis tooling expects: a `#fields` header line
+/// followed by one tab-separated record per line, `-` for unset fields.
+namespace cs::proto {
+
+/// conn.log-style rendering of the connection records.
+std::string to_conn_log(const TraceLogs& logs);
+
+/// http.log-style rendering.
+std::string to_http_log(const TraceLogs& logs);
+
+/// ssl.log-style rendering.
+std::string to_ssl_log(const TraceLogs& logs);
+
+/// Parses a conn.log produced by to_conn_log back into records (fields
+/// this library did not write are ignored). Malformed lines are skipped.
+std::vector<ConnRecord> parse_conn_log(std::string_view text);
+
+}  // namespace cs::proto

@@ -1,0 +1,64 @@
+#include "proto/logs.h"
+
+#include "proto/tls.h"
+#include "util/strings.h"
+
+namespace cs::proto {
+
+TraceLogs analyze_flows(const std::vector<pcap::Flow>& flows) {
+  TraceLogs logs;
+  logs.conns.reserve(flows.size());
+
+  for (const auto& flow : flows) {
+    ConnRecord conn;
+    conn.tuple = flow.tuple;
+    conn.service = classify(flow);
+    conn.first_ts = flow.first_ts;
+    conn.duration = flow.duration();
+    conn.bytes = flow.bytes;
+    conn.packets = flow.packets;
+
+    if (conn.service == Service::kHttp) {
+      const auto requests = parse_requests(flow.payload_to_responder);
+      const auto responses = parse_responses(flow.payload_to_initiator);
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        HttpRecord rec;
+        if (i < requests.size()) {
+          rec.host = requests[i].host().value_or("");
+          rec.method = requests[i].method;
+          rec.target = requests[i].target;
+        } else if (!requests.empty()) {
+          rec.host = requests.front().host().value_or("");
+        }
+        rec.status = responses[i].status;
+        rec.content_type = responses[i].content_type();
+        rec.content_length = responses[i].content_length();
+        logs.http.push_back(std::move(rec));
+      }
+      // Requests without responses (capture truncation) still record hosts.
+      if (responses.empty()) {
+        for (const auto& req : requests) {
+          HttpRecord rec;
+          rec.host = req.host().value_or("");
+          rec.method = req.method;
+          rec.target = req.target;
+          logs.http.push_back(std::move(rec));
+        }
+      }
+      if (!requests.empty()) conn.hostname = requests.front().host();
+    } else if (conn.service == Service::kHttps) {
+      SslRecord rec;
+      rec.sni = extract_sni(flow.payload_to_responder);
+      rec.certificate_cn = extract_certificate_cn(flow.payload_to_initiator);
+      // The paper used the certificate CN as the hostname proxy for HTTPS;
+      // fall back to SNI when the certificate is unreadable.
+      conn.hostname = rec.certificate_cn ? rec.certificate_cn : rec.sni;
+      logs.ssl.push_back(std::move(rec));
+    }
+
+    logs.conns.push_back(std::move(conn));
+  }
+  return logs;
+}
+
+}  // namespace cs::proto

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcap/flow.h"
+#include "proto/classify.h"
+#include "proto/http.h"
+
+/// Bro-style log records distilled from assembled flows: one conn record
+/// per flow plus HTTP/SSL application records. These are the inputs to
+/// every packet-capture analysis in §3.
+namespace cs::proto {
+
+/// Per-flow connection record (Bro's conn.log analogue).
+struct ConnRecord {
+  net::FiveTuple tuple;
+  Service service = Service::kOtherTcp;
+  double first_ts = 0.0;
+  double duration = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+  /// Hostname evidence: HTTP Host header, or TLS SNI, or the certificate
+  /// common name — whichever the flow yields first (Table 5's keying).
+  std::optional<std::string> hostname;
+};
+
+/// One HTTP response observed inside a flow (http.log analogue).
+struct HttpRecord {
+  std::string host;             ///< from the paired request (may be empty)
+  std::string method;
+  std::string target;
+  int status = 0;
+  std::optional<std::string> content_type;
+  std::optional<std::uint64_t> content_length;
+};
+
+/// One TLS handshake observed (ssl.log analogue).
+struct SslRecord {
+  std::optional<std::string> sni;
+  std::optional<std::string> certificate_cn;
+};
+
+struct TraceLogs {
+  std::vector<ConnRecord> conns;
+  std::vector<HttpRecord> http;
+  std::vector<SslRecord> ssl;
+};
+
+/// Runs classification plus HTTP/TLS extraction over all flows.
+TraceLogs analyze_flows(const std::vector<pcap::Flow>& flows);
+
+}  // namespace cs::proto

@@ -1,0 +1,96 @@
+#include "util/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include "util/format.h"
+
+namespace cs::util {
+
+Cdf::Cdf(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()), sorted_(false) {}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::value_at(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t idx = std::min(
+      samples_.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples_.size())));
+  return samples_[idx];
+}
+
+std::vector<Cdf::Point> Cdf::points() const {
+  ensure_sorted();
+  std::vector<Point> pts;
+  const double n = static_cast<double>(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    // Emit one point per distinct value, carrying the highest fraction.
+    if (i + 1 < samples_.size() && samples_[i + 1] == samples_[i]) continue;
+    pts.push_back({samples_[i], static_cast<double>(i + 1) / n});
+  }
+  return pts;
+}
+
+std::vector<Cdf::Point> Cdf::sampled_points(std::size_t max_points) const {
+  auto pts = points();
+  if (pts.size() <= max_points || max_points == 0) return pts;
+  std::vector<Point> out;
+  out.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx =
+        i * (pts.size() - 1) / (max_points - 1 ? max_points - 1 : 1);
+    out.push_back(pts[idx]);
+  }
+  return out;
+}
+
+std::string Cdf::to_tsv(std::size_t max_points, std::string_view name) const {
+  std::string out;
+  if (!name.empty()) out += cs::util::fmt("# {} (n={})\n", name, samples_.size());
+  for (const auto& p : sampled_points(max_points))
+    out += cs::util::fmt("{:.4g}\t{:.4f}\n", p.value, p.fraction);
+  return out;
+}
+
+std::string render_cdf_comparison(
+    std::span<const std::pair<std::string, const Cdf*>> series,
+    std::size_t points) {
+  std::string out = "quantile";
+  for (const auto& [name, cdf] : series) {
+    (void)cdf;
+    out += "\t" + name;
+  }
+  out += "\n";
+  for (std::size_t i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out += cs::util::fmt("{:.2f}", q);
+    for (const auto& [name, cdf] : series) {
+      (void)name;
+      out += cs::util::fmt("\t{:.4g}", cdf->value_at(q));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cs::util

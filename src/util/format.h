@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+/// Minimal std::format replacement (the toolchain here is GCC 12, which
+/// lacks <format>). Supports positional `{}` placeholders with an optional
+/// printf-style floating spec: `{:.2f}`, `{:.4g}`, `{:.0f}`, `{:x}`.
+/// `{{` and `}}` escape literal braces. Unmatched placeholders throw.
+namespace cs::util {
+
+namespace detail {
+
+inline void append_spec_number(std::string& out, std::string_view spec,
+                               double value) {
+  char printf_spec[16];
+  char buf[64];
+  if (spec.size() + 3 >= sizeof(printf_spec))
+    throw std::invalid_argument{"fmt: spec too long"};
+  printf_spec[0] = '%';
+  std::size_t n = 1;
+  for (char c : spec) printf_spec[n++] = c;
+  printf_spec[n] = '\0';
+  std::snprintf(buf, sizeof(buf), printf_spec, value);
+  out += buf;
+}
+
+inline void append_spec_number(std::string& out, std::string_view spec,
+                               std::uint64_t value) {
+  char printf_spec[16];
+  char buf[64];
+  if (spec.size() + 4 >= sizeof(printf_spec))
+    throw std::invalid_argument{"fmt: spec too long"};
+  printf_spec[0] = '%';
+  std::size_t n = 1;
+  // Integer specs need the ll length modifier before the conversion char.
+  for (std::size_t i = 0; i + 1 < spec.size(); ++i) printf_spec[n++] = spec[i];
+  printf_spec[n++] = 'l';
+  printf_spec[n++] = 'l';
+  printf_spec[n++] = spec.empty() ? 'u' : spec.back();
+  printf_spec[n] = '\0';
+  std::snprintf(buf, sizeof(buf), printf_spec,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+template <typename T>
+void append_arg(std::string& out, std::string_view spec, const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    out += value ? "true" : "false";
+  } else if constexpr (std::is_floating_point_v<T>) {
+    if (spec.empty())
+      append_spec_number(out, "g", static_cast<double>(value));
+    else
+      append_spec_number(out, spec, static_cast<double>(value));
+  } else if constexpr (std::is_integral_v<T>) {
+    if (spec.empty()) {
+      if constexpr (std::is_signed_v<T>)
+        out += std::to_string(static_cast<long long>(value));
+      else
+        out += std::to_string(static_cast<unsigned long long>(value));
+    } else if (spec.back() == 'f' || spec.back() == 'g' ||
+               spec.back() == 'e') {
+      append_spec_number(out, spec, static_cast<double>(value));
+    } else {
+      append_spec_number(out, spec, static_cast<std::uint64_t>(value));
+    }
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    out += std::string_view{value};
+  } else {
+    static_assert(std::is_convertible_v<T, std::string_view> ||
+                      std::is_arithmetic_v<T>,
+                  "fmt: unsupported argument type");
+  }
+}
+
+inline void format_impl(std::string& out, std::string_view fmt) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out += '{';
+      ++i;
+    } else if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out += '}';
+      ++i;
+    } else if (fmt[i] == '{') {
+      throw std::invalid_argument{"fmt: more placeholders than arguments"};
+    } else {
+      out += fmt[i];
+    }
+  }
+}
+
+template <typename T, typename... Rest>
+void format_impl(std::string& out, std::string_view fmt, const T& first,
+                 const Rest&... rest) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out += '{';
+      ++i;
+      continue;
+    }
+    if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out += '}';
+      ++i;
+      continue;
+    }
+    if (fmt[i] == '{') {
+      const auto close = fmt.find('}', i);
+      if (close == std::string_view::npos)
+        throw std::invalid_argument{"fmt: unterminated placeholder"};
+      std::string_view spec = fmt.substr(i + 1, close - i - 1);
+      if (!spec.empty() && spec.front() == ':') spec.remove_prefix(1);
+      append_arg(out, spec, first);
+      format_impl(out, fmt.substr(close + 1), rest...);
+      return;
+    }
+    out += fmt[i];
+  }
+  throw std::invalid_argument{"fmt: more arguments than placeholders"};
+}
+
+}  // namespace detail
+
+/// Formats `args` into `fmt`'s `{}` placeholders.
+template <typename... Args>
+std::string fmt(std::string_view fmt_string, const Args&... args) {
+  std::string out;
+  out.reserve(fmt_string.size() + sizeof...(args) * 8);
+  detail::format_impl(out, fmt_string, args...);
+  return out;
+}
+
+}  // namespace cs::util

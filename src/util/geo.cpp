@@ -1,0 +1,29 @@
+#include "util/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cs::util {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFibreSpeedKmPerMs = 299792.458 / 1000.0 * (2.0 / 3.0);
+
+double rad(double deg) noexcept { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double dlat = rad(b.lat_deg - a.lat_deg);
+  const double dlon = rad(b.lon_deg - a.lon_deg);
+  const double h =
+      std::sin(dlat / 2) * std::sin(dlat / 2) +
+      std::cos(rad(a.lat_deg)) * std::cos(rad(b.lat_deg)) *
+          std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                            double route_inflation) noexcept {
+  return haversine_km(a, b) * route_inflation / kFibreSpeedKmPerMs;
+}
+
+}  // namespace cs::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+/// Geographic primitives for the wide-area latency model.
+namespace cs::util {
+
+/// A point on the Earth's surface, degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// One-way propagation delay in milliseconds for a fibre path between two
+/// points: distance / (2/3 c) with a route-inflation factor to account for
+/// non-geodesic physical paths (defaults to the commonly measured ~1.5x).
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                            double route_inflation = 1.5) noexcept;
+
+/// ISO-3166-ish country tag used by the customer-country analysis.
+struct Location {
+  GeoPoint point;
+  std::string country;    ///< e.g. "US"
+  std::string continent;  ///< e.g. "NA"
+};
+
+}  // namespace cs::util

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// Small statistics helpers shared by analysis and benchmarking code.
+namespace cs::util {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation; returns 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Exact median (copies and partially sorts). Returns 0 for empty input.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Returns 0 for empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Smallest element; 0 for empty input.
+double min_of(std::span<const double> xs) noexcept;
+
+/// Largest element; 0 for empty input.
+double max_of(std::span<const double> xs) noexcept;
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the full summary in one pass over a sorted copy.
+Summary summarize(std::span<const double> xs);
+
+/// Accumulates a streaming mean/variance (Welford) without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace cs::util

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cs::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument{"Table: no headers"};
+}
+
+Table& Table::caption(std::string text) {
+  caption_ = std::move(text);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size())
+    throw std::invalid_argument{"Table::row: more cells than headers"};
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    // Trim trailing padding for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  if (!caption_.empty()) out += caption_ + "\n";
+  emit_row(headers_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+}  // namespace cs::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Fixed-width text table renderer.
+///
+/// Every bench harness prints its reproduction of a paper table through this
+/// class so output is uniform and easy to diff against EXPERIMENTS.md.
+namespace cs::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  /// (Deliberately only the vector overload: an initializer_list of
+  /// string_view invites the C++20 iterator-pair string_view constructor
+  /// to misinterpret `{{"a","b"}}` as one view spanning two literals.)
+  explicit Table(std::vector<std::string> headers);
+
+  /// Optional caption printed above the table ("Table 3: ...").
+  Table& caption(std::string text);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with std::format("{}").
+  template <typename... Ts>
+  Table& add(const Ts&... cells) {
+    return row({format_cell(cells)...});
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and right-padded columns.
+  std::string render() const;
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v);
+
+  std::string caption_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cs::util
+
+#include "util/format.h"
+
+template <typename T>
+std::string cs::util::Table::format_cell(const T& v) {
+  if constexpr (std::is_floating_point_v<T>)
+    return fmt("{:.2f}", v);
+  else
+    return fmt("{}", v);
+}

@@ -1,0 +1,173 @@
+#include "analysis/capture.h"
+
+#include <gtest/gtest.h>
+
+#include "pcap/flow.h"
+#include "synth/traffic.h"
+
+namespace cs::analysis {
+namespace {
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldConfig world_config;
+    world_config.domain_count = 200;
+    world_ = new synth::World{world_config};
+    synth::TrafficConfig traffic_config;
+    traffic_config.total_web_bytes = 8ull * 1024 * 1024;
+    synth::TrafficGenerator generator{*world_, traffic_config};
+    pcap::FlowTable table;
+    for (const auto& packet : generator.generate()) table.add(packet);
+    logs_ = new proto::TraceLogs{proto::analyze_flows(table.finish())};
+    ranges_ = new CloudRanges{world_->ec2(), world_->azure()};
+    std::map<std::string, std::size_t> rank_of;
+    for (const auto& domain : world_->domains())
+      rank_of[domain.name.to_string()] = domain.rank;
+    report_ = new CaptureReport{analyze_capture(*logs_, *ranges_, rank_of)};
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete ranges_;
+    delete logs_;
+    delete world_;
+  }
+
+  static synth::World* world_;
+  static proto::TraceLogs* logs_;
+  static CloudRanges* ranges_;
+  static CaptureReport* report_;
+};
+
+synth::World* CaptureTest::world_ = nullptr;
+proto::TraceLogs* CaptureTest::logs_ = nullptr;
+CloudRanges* CaptureTest::ranges_ = nullptr;
+CaptureReport* CaptureTest::report_ = nullptr;
+
+TEST(RegisteredDomain, Reduction) {
+  EXPECT_EQ(registered_domain("www.dropbox.com"), "dropbox.com");
+  EXPECT_EQ(registered_domain("a.b.c.example.org"), "example.org");
+  EXPECT_EQ(registered_domain("example.org"), "example.org");
+  EXPECT_EQ(registered_domain("localhost"), "localhost");
+  EXPECT_EQ(registered_domain("*.dropbox.com"), "dropbox.com");
+  EXPECT_EQ(registered_domain("WWW.MSN.COM"), "msn.com");
+}
+
+TEST_F(CaptureTest, Table1Shape) {
+  const auto& p = report_->protocols;
+  EXPECT_GT(p.total.bytes, 0u);
+  EXPECT_EQ(p.total.bytes, p.ec2_total.bytes + p.azure_total.bytes);
+  EXPECT_EQ(p.total.flows, p.ec2_total.flows + p.azure_total.flows);
+  // EC2 dominates bytes ~4:1 (Table 1: 81.73 / 18.27).
+  EXPECT_GT(p.ec2_total.bytes, p.azure_total.bytes * 2);
+}
+
+TEST_F(CaptureTest, Table2Shape) {
+  const auto& p = report_->protocols;
+  const auto& ec2 = p.cloud_service.at("EC2");
+  const auto& azure = p.cloud_service.at("Azure");
+  // EC2 bytes dominated by HTTPS; Azure bytes by HTTP.
+  EXPECT_GT(ec2.at("HTTPS (TCP)").bytes, ec2.at("HTTP (TCP)").bytes);
+  EXPECT_GT(azure.at("HTTP (TCP)").bytes, azure.at("HTTPS (TCP)").bytes);
+  // HTTP dominates flows on both clouds.
+  EXPECT_GT(ec2.at("HTTP (TCP)").flows, ec2.at("HTTPS (TCP)").flows * 3);
+  // Azure's other-UDP flow bulge (14.77% vs EC2's 0.19%).
+  const double azure_udp =
+      static_cast<double>(azure.at("Other (UDP)").flows) /
+      p.azure_total.flows;
+  const double ec2_udp = static_cast<double>(
+                             ec2.count("Other (UDP)")
+                                 ? ec2.at("Other (UDP)").flows
+                                 : 0) /
+                         p.ec2_total.flows;
+  EXPECT_GT(azure_udp, 0.08);
+  EXPECT_LT(ec2_udp, 0.02);
+}
+
+TEST_F(CaptureTest, Table5DropboxTops) {
+  ASSERT_FALSE(report_->top_ec2_domains.empty());
+  EXPECT_EQ(report_->top_ec2_domains[0].domain, "dropbox.com");
+  EXPECT_GT(report_->top_ec2_domains[0].percent_of_web, 50.0);
+  // Percentages are monotone down the list.
+  for (std::size_t i = 1; i < report_->top_ec2_domains.size(); ++i)
+    EXPECT_GE(report_->top_ec2_domains[i - 1].percent_of_web,
+              report_->top_ec2_domains[i].percent_of_web);
+}
+
+TEST_F(CaptureTest, Table5AzureListIsMicrosoftHeavy) {
+  ASSERT_GE(report_->top_azure_domains.size(), 3u);
+  std::set<std::string> top;
+  for (const auto& row : report_->top_azure_domains) top.insert(row.domain);
+  EXPECT_TRUE(top.contains("atdmt.com"));
+  EXPECT_TRUE(top.contains("msn.com"));
+}
+
+TEST_F(CaptureTest, Table5RankJoins) {
+  // pinterest.com is both a heavy hitter and an Alexa domain (rank 35).
+  bool found = false;
+  for (const auto& row : report_->top_ec2_domains)
+    if (row.domain == "pinterest.com") {
+      EXPECT_EQ(row.alexa_rank, 35u);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+  EXPECT_GT(report_->domains_in_alexa, 0u);
+}
+
+TEST_F(CaptureTest, Table6ContentTypes) {
+  ASSERT_GE(report_->content_types.size(), 5u);
+  double total_pct = 0.0;
+  for (const auto& row : report_->content_types) {
+    EXPECT_GT(row.bytes, 0u);
+    EXPECT_GT(row.mean_kb, 0.0);
+    EXPECT_GE(row.max_mb * 1024.0, row.mean_kb);
+    total_pct += row.percent;
+  }
+  EXPECT_LE(total_pct, 100.0 + 1e-9);
+  // html and plain text are the top two byte carriers (Table 6).
+  std::set<std::string> top2 = {report_->content_types[0].content_type,
+                                report_->content_types[1].content_type};
+  EXPECT_TRUE(top2.contains("text/html") || top2.contains("text/plain"));
+}
+
+TEST_F(CaptureTest, Fig3HttpsFlowsLarger) {
+  ASSERT_FALSE(report_->http_flow_size_ec2.empty());
+  ASSERT_FALSE(report_->https_flow_size_ec2.empty());
+  EXPECT_GT(report_->https_flow_size_ec2.value_at(0.5),
+            report_->http_flow_size_ec2.value_at(0.5) * 3);
+}
+
+TEST_F(CaptureTest, Fig3FlowCountsHeavyTailed) {
+  const auto& cdf = report_->http_flows_per_domain_ec2;
+  ASSERT_FALSE(cdf.empty());
+  // Most domains have few flows, a few have many (heavy tail).
+  EXPECT_LT(cdf.value_at(0.5) * 5, cdf.value_at(0.99));
+}
+
+TEST_F(CaptureTest, Top100ShareHigh) {
+  EXPECT_GT(report_->top100_http_flow_share_ec2, 0.7);
+}
+
+TEST_F(CaptureTest, EmptyLogsYieldEmptyReport) {
+  const proto::TraceLogs empty;
+  const auto report = analyze_capture(empty, *ranges_);
+  EXPECT_EQ(report.protocols.total.bytes, 0u);
+  EXPECT_TRUE(report.top_ec2_domains.empty());
+  EXPECT_TRUE(report.content_types.empty());
+}
+
+TEST_F(CaptureTest, NonCloudFlowsIgnored) {
+  proto::TraceLogs logs;
+  proto::ConnRecord conn;
+  conn.tuple = {{net::Ipv4(128, 104, 0, 1), 40000},
+                {net::Ipv4(8, 8, 8, 8), 80},
+                net::IpProto::kTcp};
+  conn.service = proto::Service::kHttp;
+  conn.bytes = 1000;
+  logs.conns.push_back(conn);
+  const auto report = analyze_capture(logs, *ranges_);
+  EXPECT_EQ(report.protocols.total.flows, 0u);
+}
+
+}  // namespace
+}  // namespace cs::analysis

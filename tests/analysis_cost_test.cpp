@@ -1,0 +1,80 @@
+#include "analysis/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::analysis {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  CostTest()
+      : ec2(cloud::Provider::make_ec2(71)),
+        model(internet::WideAreaModel::Config{.seed = 71}) {
+    const auto vantages = internet::planetlab_vantages(8);
+    std::vector<const cloud::Region*> regions;
+    for (const auto& region : ec2.regions()) regions.push_back(&region);
+    campaign = run_campaign(model, vantages, regions, 0.25);
+  }
+
+  cloud::Provider ec2;
+  internet::WideAreaModel model;
+  Campaign campaign;
+};
+
+TEST_F(CostTest, FrontierCoversEveryK) {
+  const auto frontier = cost_latency_frontier(campaign, {});
+  ASSERT_EQ(frontier.size(), 8u);
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    EXPECT_EQ(frontier[i].k, static_cast<int>(i + 1));
+    EXPECT_EQ(frontier[i].regions.size(), i + 1);
+  }
+}
+
+TEST_F(CostTest, CostsMonotoneLatencyMonotone) {
+  const auto frontier = cost_latency_frontier(campaign, {});
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].total_usd, frontier[i - 1].total_usd);
+    EXPECT_LE(frontier[i].avg_rtt_ms, frontier[i - 1].avg_rtt_ms + 1e-9);
+  }
+}
+
+TEST_F(CostTest, ComponentsAddUp) {
+  CostModel model;
+  model.demand_gb_per_month = 1000.0;
+  const auto frontier = cost_latency_frontier(campaign, model);
+  for (const auto& cost : frontier) {
+    EXPECT_NEAR(cost.total_usd,
+                cost.compute_usd + cost.egress_usd + cost.replication_usd,
+                1e-9);
+    // Egress is independent of k.
+    EXPECT_NEAR(cost.egress_usd, 1000.0 * model.egress_per_gb_usd, 1e-9);
+  }
+  // Replication starts at zero for k=1 and grows linearly.
+  EXPECT_NEAR(frontier[0].replication_usd, 0.0, 1e-9);
+  EXPECT_NEAR(frontier[3].replication_usd,
+              3 * model.replication_gb_per_month *
+                  model.inter_region_per_gb_usd,
+              1e-9);
+}
+
+TEST_F(CostTest, MarginalCostPerMsGrowsAtTheTail) {
+  const auto frontier = cost_latency_frontier(campaign, {});
+  // Early additions buy real latency; late ones buy little or nothing, so
+  // $/ms either grows or becomes "no gain" (-1).
+  const double early = frontier[1].usd_per_ms_saved;
+  const double late = frontier[7].usd_per_ms_saved;
+  ASSERT_GT(early, 0.0);
+  EXPECT_TRUE(late < 0.0 || late > early);
+}
+
+TEST_F(CostTest, CustomModelScales) {
+  CostModel expensive;
+  expensive.instance_hour_usd = 1.2;  // 10x
+  const auto cheap = cost_latency_frontier(campaign, {});
+  const auto costly = cost_latency_frontier(campaign, expensive);
+  for (std::size_t i = 0; i < cheap.size(); ++i)
+    EXPECT_NEAR(costly[i].compute_usd, 10.0 * cheap[i].compute_usd, 1e-6);
+}
+
+}  // namespace
+}  // namespace cs::analysis

@@ -1,0 +1,171 @@
+#include "analysis/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cloud_usage.h"
+#include "dns/wordlist.h"
+
+namespace cs::analysis {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldConfig config;
+    config.domain_count = 250;
+    world_ = new synth::World{config};
+    DatasetBuilder builder{*world_, {.lookup_vantages = 3}};
+    dataset_ = new AlexaDataset{builder.build()};
+    ranges_ = new CloudRanges{world_->ec2(), world_->azure()};
+  }
+  static void TearDownTestSuite() {
+    delete ranges_;
+    delete dataset_;
+    delete world_;
+  }
+
+  static synth::World* world_;
+  static AlexaDataset* dataset_;
+  static CloudRanges* ranges_;
+};
+
+synth::World* DatasetTest::world_ = nullptr;
+AlexaDataset* DatasetTest::dataset_ = nullptr;
+CloudRanges* DatasetTest::ranges_ = nullptr;
+
+TEST_F(DatasetTest, EveryDomainProbed) {
+  EXPECT_EQ(dataset_->domains.size(), world_->domains().size());
+  EXPECT_GT(dataset_->dns_queries_spent, 10000u);
+}
+
+TEST_F(DatasetTest, NoFalsePositives) {
+  // Every dataset subdomain must be genuinely cloud-using per truth.
+  for (const auto& obs : dataset_->cloud_subdomains) {
+    const auto* truth = world_->subdomain_truth(obs.name);
+    ASSERT_NE(truth, nullptr) << obs.name.to_string();
+    EXPECT_TRUE(truth->on_cloud) << obs.name.to_string();
+  }
+}
+
+TEST_F(DatasetTest, RecallOnDiscoverableSubdomains) {
+  std::set<std::string> found;
+  for (const auto& obs : dataset_->cloud_subdomains)
+    found.insert(obs.name.to_string());
+  std::size_t discoverable = 0, hit = 0;
+  for (const auto* truth : world_->cloud_subdomains()) {
+    const auto* domain = world_->domain(truth->name.parent().to_string());
+    const bool axfr = domain && domain->axfr_open;
+    if (!truth->discoverable && !axfr) continue;
+    ++discoverable;
+    if (found.contains(truth->name.to_string())) ++hit;
+  }
+  ASSERT_GT(discoverable, 50u);
+  EXPECT_GT(static_cast<double>(hit) / discoverable, 0.95);
+}
+
+TEST_F(DatasetTest, LowerBoundProperty) {
+  // Undiscoverable names of closed domains must be absent.
+  std::set<std::string> found;
+  for (const auto& obs : dataset_->cloud_subdomains)
+    found.insert(obs.name.to_string());
+  for (const auto& domain : world_->domains()) {
+    if (domain.axfr_open) continue;
+    for (const auto& sub : domain.subdomains)
+      if (!sub.discoverable)
+        EXPECT_FALSE(found.contains(sub.name.to_string()))
+            << sub.name.to_string();
+  }
+}
+
+TEST_F(DatasetTest, AxfrFlagsMatchWorldTruth) {
+  for (std::size_t i = 0; i < dataset_->domains.size(); ++i) {
+    const auto& obs = dataset_->domains[i];
+    const auto* truth = world_->domain(obs.name.to_string());
+    ASSERT_NE(truth, nullptr);
+    // AXFR succeeds iff the domain is open (and its servers reachable).
+    EXPECT_EQ(obs.axfr_succeeded, truth->axfr_open) << obs.name.to_string();
+  }
+}
+
+TEST_F(DatasetTest, AddressClassificationFlagsConsistent) {
+  for (const auto& obs : dataset_->cloud_subdomains) {
+    bool ec2 = false, azure = false, cdn = false, other = false;
+    for (const auto addr : obs.addresses) {
+      const auto c = ranges_->classify(addr);
+      ec2 |= c.kind == IpClassification::Kind::kEc2;
+      azure |= c.kind == IpClassification::Kind::kAzure;
+      cdn |= c.kind == IpClassification::Kind::kCloudFront;
+      other |= c.kind == IpClassification::Kind::kOther;
+    }
+    EXPECT_EQ(obs.has_ec2_address, ec2);
+    EXPECT_EQ(obs.has_azure_address, azure);
+    EXPECT_EQ(obs.has_cloudfront_address, cdn);
+    EXPECT_EQ(obs.has_other_address, other);
+  }
+}
+
+TEST_F(DatasetTest, DirectARecordMatchesVmTruth) {
+  for (const auto& obs : dataset_->cloud_subdomains) {
+    const auto* truth = world_->subdomain_truth(obs.name);
+    if (!truth) continue;
+    if (truth->front_end == synth::FrontEnd::kVm)
+      EXPECT_TRUE(obs.direct_a_record) << obs.name.to_string();
+    if (truth->front_end == synth::FrontEnd::kElb ||
+        truth->front_end == synth::FrontEnd::kHeroku)
+      EXPECT_FALSE(obs.direct_a_record) << obs.name.to_string();
+  }
+}
+
+TEST_F(DatasetTest, NameServersCollected) {
+  std::size_t with_ns = 0;
+  for (const auto& obs : dataset_->cloud_subdomains) {
+    if (obs.name_servers.empty()) continue;
+    ++with_ns;
+    for (const auto& [name, addrs] : obs.name_servers)
+      EXPECT_FALSE(addrs.empty()) << name.to_string();
+  }
+  EXPECT_GT(with_ns, dataset_->cloud_subdomains.size() / 2);
+}
+
+TEST_F(DatasetTest, MarqueeSubdomainsAllFound) {
+  std::map<std::string, std::size_t> per_domain;
+  for (const auto& obs : dataset_->cloud_subdomains)
+    ++per_domain[obs.domain.to_string()];
+  EXPECT_EQ(per_domain["pinterest.com"], 18u);
+  EXPECT_EQ(per_domain["msn.com"], 89u);
+  EXPECT_EQ(per_domain["live.com"], 18u);
+  EXPECT_EQ(per_domain["amazon.com"], 2u);
+}
+
+TEST_F(DatasetTest, CloudUsageBreakdownShape) {
+  const auto report = analyze_cloud_usage(*dataset_);
+  EXPECT_EQ(report.subdomains.total, dataset_->cloud_subdomains.size());
+  EXPECT_GT(report.domains.ec2_total(), report.domains.azure_total());
+  // The buckets partition the totals.
+  EXPECT_EQ(report.domains.ec2_only + report.domains.ec2_plus_other +
+                report.domains.azure_only + report.domains.azure_plus_other +
+                report.domains.ec2_plus_azure,
+            report.domains.total);
+  // Rank skew toward the top (paper: 42.3% vs 16.2%).
+  EXPECT_GT(report.top_quartile_fraction, report.bottom_quartile_fraction);
+}
+
+TEST_F(DatasetTest, TopDomainsAreRankSorted) {
+  const auto report = analyze_cloud_usage(*dataset_);
+  ASSERT_FALSE(report.top_ec2_domains.empty());
+  for (std::size_t i = 1; i < report.top_ec2_domains.size(); ++i)
+    EXPECT_LT(report.top_ec2_domains[i - 1].rank,
+              report.top_ec2_domains[i].rank);
+  // Azure list headed by live.com (rank 7).
+  ASSERT_FALSE(report.top_azure_domains.empty());
+  EXPECT_EQ(report.top_azure_domains[0].domain, "live.com");
+}
+
+TEST_F(DatasetTest, WwwIsTheTopPrefix) {
+  const auto report = analyze_cloud_usage(*dataset_);
+  ASSERT_FALSE(report.top_prefixes.empty());
+  EXPECT_EQ(report.top_prefixes[0].first, "www");
+}
+
+}  // namespace
+}  // namespace cs::analysis

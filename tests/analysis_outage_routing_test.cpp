@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "analysis/outage.h"
+#include "analysis/routing.h"
+
+namespace cs::analysis {
+namespace {
+
+// ---------------------------------------------------------------------
+// Outage impact on a hand-built dataset (no world needed).
+AlexaDataset tiny_dataset() {
+  AlexaDataset dataset;
+  auto add_sub = [&dataset](const char* name, const char* domain) {
+    SubdomainObservation obs;
+    obs.name = dns::Name::must_parse(name);
+    obs.domain = dns::Name::must_parse(domain);
+    dataset.cloud_subdomains.push_back(std::move(obs));
+    return dataset.cloud_subdomains.size() - 1;
+  };
+  DomainObservation a;
+  a.name = dns::Name::must_parse("a.com");
+  a.cloud_subdomains = {add_sub("www.a.com", "a.com"),
+                        add_sub("m.a.com", "a.com")};
+  DomainObservation b;
+  b.name = dns::Name::must_parse("b.com");
+  b.cloud_subdomains = {add_sub("www.b.com", "b.com")};
+  dataset.domains = {a, b};
+  return dataset;
+}
+
+RegionReport tiny_regions() {
+  RegionReport regions;
+  regions.subdomain_regions = {
+      {"ec2.us-east-1"},                    // www.a.com: single region
+      {"ec2.us-east-1", "ec2.eu-west-1"},   // m.a.com: two regions
+      {"ec2.eu-west-1"},                    // www.b.com: single region
+  };
+  return regions;
+}
+
+TEST(Outage, RegionImpactCountsDownAndDegraded) {
+  const auto dataset = tiny_dataset();
+  const auto impacts = region_outage_impact(dataset, tiny_regions());
+  ASSERT_EQ(impacts.size(), 2u);
+  std::map<std::string, OutageImpact> by_region;
+  for (const auto& impact : impacts) by_region[impact.failed_unit] = impact;
+
+  const auto& east = by_region.at("ec2.us-east-1");
+  EXPECT_EQ(east.subdomains_down, 1u);      // www.a.com
+  EXPECT_EQ(east.subdomains_degraded, 1u);  // m.a.com survives via eu-west
+  EXPECT_EQ(east.domains_affected, 1u);     // a.com
+  EXPECT_DOUBLE_EQ(east.domains_affected_fraction, 0.5);
+
+  const auto& west = by_region.at("ec2.eu-west-1");
+  EXPECT_EQ(west.subdomains_down, 1u);  // www.b.com
+  EXPECT_EQ(west.subdomains_degraded, 1u);
+}
+
+TEST(Outage, SortedByImpact) {
+  const auto dataset = tiny_dataset();
+  auto regions = tiny_regions();
+  regions.subdomain_regions[1] = {"ec2.us-east-1"};  // now single region too
+  const auto impacts = region_outage_impact(dataset, regions);
+  ASSERT_EQ(impacts.size(), 2u);
+  EXPECT_EQ(impacts[0].failed_unit, "ec2.us-east-1");
+  EXPECT_GE(impacts[0].subdomains_down, impacts[1].subdomains_down);
+}
+
+TEST(Outage, ZoneImpact) {
+  const auto dataset = tiny_dataset();
+  const std::vector<std::set<int>> zones = {{0}, {0, 1}, {2}};
+  const std::vector<std::string> primary = {
+      "ec2.us-east-1", "ec2.us-east-1", "ec2.eu-west-1"};
+  const auto impacts = zone_outage_impact(
+      dataset, {.subdomain_zones = zones, .subdomain_primary_region = primary});
+  ASSERT_EQ(impacts.size(), 3u);  // east/0, east/1, west/2
+  std::map<std::string, OutageImpact> by_unit;
+  for (const auto& impact : impacts) by_unit[impact.failed_unit] = impact;
+  EXPECT_EQ(by_unit.at("ec2.us-east-1/zone-0").subdomains_down, 1u);
+  EXPECT_EQ(by_unit.at("ec2.us-east-1/zone-0").subdomains_degraded, 1u);
+  EXPECT_EQ(by_unit.at("ec2.us-east-1/zone-1").subdomains_down, 0u);
+  EXPECT_EQ(by_unit.at("ec2.eu-west-1/zone-2").subdomains_down, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Routing strategies over a real (small) campaign.
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest()
+      : ec2(cloud::Provider::make_ec2(61)),
+        model(internet::WideAreaModel::Config{.seed = 61}) {
+    const auto vantages = internet::planetlab_vantages(10);
+    std::vector<const cloud::Region*> regions;
+    for (const auto& region : ec2.regions()) regions.push_back(&region);
+    campaign = run_campaign(model, vantages, regions, 0.5);
+  }
+
+  cloud::Provider ec2;
+  internet::WideAreaModel model;
+  Campaign campaign;
+};
+
+TEST_F(RoutingTest, OracleDominatesEverything) {
+  const auto outcomes = evaluate_routing(
+      campaign, {"ec2.us-east-1", "ec2.eu-west-1", "ec2.ap-northeast-1"});
+  ASSERT_EQ(outcomes.size(), 5u);
+  double oracle = 0.0;
+  for (const auto& outcome : outcomes)
+    if (outcome.strategy == RoutingStrategy::kDynamicBest)
+      oracle = outcome.avg_rtt_ms;
+  ASSERT_GT(oracle, 0.0);
+  for (const auto& outcome : outcomes)
+    EXPECT_GE(outcome.avg_rtt_ms + 1e-9, oracle)
+        << to_string(outcome.strategy);
+  // Results are sorted best-first, so the oracle leads.
+  EXPECT_EQ(outcomes.front().strategy, RoutingStrategy::kDynamicBest);
+}
+
+TEST_F(RoutingTest, RaceTwoBeatsStaticPinningAtDoubleLoad) {
+  const auto outcomes = evaluate_routing(
+      campaign, {"ec2.us-east-1", "ec2.eu-west-1", "ec2.us-west-2"});
+  std::map<RoutingStrategy, RoutingOutcome> by_strategy;
+  for (const auto& outcome : outcomes)
+    by_strategy[outcome.strategy] = outcome;
+  EXPECT_LE(by_strategy.at(RoutingStrategy::kRaceTwo).avg_rtt_ms,
+            by_strategy.at(RoutingStrategy::kStaticBest).avg_rtt_ms + 1e-9);
+  EXPECT_NEAR(
+      by_strategy.at(RoutingStrategy::kRaceTwo).request_amplification, 2.0,
+      1e-9);
+  EXPECT_NEAR(
+      by_strategy.at(RoutingStrategy::kStaticBest).request_amplification,
+      1.0, 1e-9);
+}
+
+TEST_F(RoutingTest, RoundRobinIsWorstOrClose) {
+  const auto outcomes = evaluate_routing(
+      campaign, {"ec2.us-east-1", "ec2.sa-east-1", "ec2.ap-southeast-2"});
+  // With a geographically extreme deployment, rotation must lose badly to
+  // the oracle.
+  std::map<RoutingStrategy, double> rtt;
+  for (const auto& outcome : outcomes)
+    rtt[outcome.strategy] = outcome.avg_rtt_ms;
+  EXPECT_GT(rtt.at(RoutingStrategy::kRoundRobin),
+            rtt.at(RoutingStrategy::kDynamicBest) * 1.5);
+}
+
+TEST_F(RoutingTest, SingleRegionDeploymentDegenerates) {
+  const auto outcomes = evaluate_routing(campaign, {"ec2.us-east-1"});
+  // All strategies coincide when there is nothing to choose between.
+  for (const auto& outcome : outcomes)
+    EXPECT_NEAR(outcome.avg_rtt_ms, outcomes.front().avg_rtt_ms,
+                outcomes.front().avg_rtt_ms * 0.05)
+        << to_string(outcome.strategy);
+}
+
+TEST_F(RoutingTest, UnknownRegionThrows) {
+  EXPECT_THROW(evaluate_routing(campaign, {"ec2.moon-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_routing(campaign, {}), std::invalid_argument);
+}
+
+TEST(RoutingNames, Distinct) {
+  std::set<std::string> names;
+  for (const auto strategy :
+       {RoutingStrategy::kStaticBest, RoutingStrategy::kGeoNearest,
+        RoutingStrategy::kDynamicBest, RoutingStrategy::kRaceTwo,
+        RoutingStrategy::kRoundRobin})
+    EXPECT_TRUE(names.insert(to_string(strategy)).second);
+}
+
+}  // namespace
+}  // namespace cs::analysis

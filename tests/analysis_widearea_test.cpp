@@ -1,0 +1,122 @@
+#include "analysis/widearea.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::analysis {
+namespace {
+
+class WideAreaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ec2_ = new cloud::Provider{cloud::Provider::make_ec2(31)};
+    model_ = new internet::WideAreaModel{{.seed = 31}};
+    vantages_ = new std::vector<internet::VantagePoint>{
+        internet::planetlab_vantages(12)};
+    std::vector<const cloud::Region*> regions;
+    for (const auto& region : ec2_->regions()) regions.push_back(&region);
+    campaign_ = new Campaign{
+        run_campaign(*model_, *vantages_, regions, /*days=*/0.5)};
+  }
+  static void TearDownTestSuite() {
+    delete campaign_;
+    delete vantages_;
+    delete model_;
+    delete ec2_;
+  }
+
+  static cloud::Provider* ec2_;
+  static internet::WideAreaModel* model_;
+  static std::vector<internet::VantagePoint>* vantages_;
+  static Campaign* campaign_;
+};
+
+cloud::Provider* WideAreaTest::ec2_ = nullptr;
+internet::WideAreaModel* WideAreaTest::model_ = nullptr;
+std::vector<internet::VantagePoint>* WideAreaTest::vantages_ = nullptr;
+Campaign* WideAreaTest::campaign_ = nullptr;
+
+TEST_F(WideAreaTest, CampaignDimensions) {
+  EXPECT_EQ(campaign_->vantages.size(), 12u);
+  EXPECT_EQ(campaign_->region_names.size(), 8u);
+  EXPECT_EQ(campaign_->rounds(), 48u);  // half a day of 15-min rounds
+  EXPECT_EQ(campaign_->rtt_ms.size(), 12u);
+  EXPECT_EQ(campaign_->tput_kbps.size(), 12u);
+}
+
+TEST_F(WideAreaTest, MostSamplesPresent) {
+  std::size_t total = 0, present = 0;
+  for (const auto& per_region : campaign_->rtt_ms)
+    for (const auto& per_round : per_region)
+      for (const auto& sample : per_round) {
+        ++total;
+        present += sample.has_value();
+      }
+  EXPECT_GT(static_cast<double>(present) / total, 0.9);
+}
+
+TEST_F(WideAreaTest, AveragesGeographicallySane) {
+  const auto averages = average_matrix(*campaign_);
+  // Seattle (vantage 0) should prefer a US-West region over Sydney.
+  std::size_t west = 0, sydney = 0;
+  for (std::size_t r = 0; r < averages.region_names.size(); ++r) {
+    if (averages.region_names[r] == "ec2.us-west-2") west = r;
+    if (averages.region_names[r] == "ec2.ap-southeast-2") sydney = r;
+  }
+  EXPECT_LT(averages.avg_rtt_ms[0][west], averages.avg_rtt_ms[0][sydney]);
+  // And throughput the other way around.
+  EXPECT_GT(averages.avg_tput_kbps[0][west],
+            averages.avg_tput_kbps[0][sydney]);
+}
+
+TEST_F(WideAreaTest, OptimalKMonotone) {
+  const auto results = optimal_k_regions(*campaign_);
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t k = 1; k < results.size(); ++k) {
+    // More regions can never hurt the optimal deployment.
+    EXPECT_LE(results[k].avg_rtt_ms, results[k - 1].avg_rtt_ms + 1e-9);
+    EXPECT_GE(results[k].avg_tput_kbps,
+              results[k - 1].avg_tput_kbps - 1e-9);
+    EXPECT_EQ(results[k].best_regions.size(), k + 1);
+  }
+}
+
+TEST_F(WideAreaTest, DiminishingReturnsAfterK3) {
+  const auto results = optimal_k_regions(*campaign_);
+  const double gain_to_3 = results[0].avg_rtt_ms - results[2].avg_rtt_ms;
+  const double gain_3_to_8 = results[2].avg_rtt_ms - results[7].avg_rtt_ms;
+  // Paper: k=3 captures most of the achievable latency reduction.
+  EXPECT_GT(gain_to_3, gain_3_to_8);
+}
+
+TEST_F(WideAreaTest, SubsetNesting) {
+  const auto results = optimal_k_regions(*campaign_);
+  // The best k=8 deployment is everything.
+  EXPECT_EQ(results[7].best_regions.size(), 8u);
+  // US East anchors the small deployments for this US-heavy vantage mix.
+  EXPECT_FALSE(results[0].best_regions.empty());
+}
+
+TEST_F(WideAreaTest, FlappingSeriesWellFormed) {
+  const auto series = flapping_series(*campaign_, "boulder");
+  EXPECT_EQ(series.winner.size(), campaign_->rounds());
+  for (const auto winner : series.winner) {
+    EXPECT_GE(winner, -1);
+    EXPECT_LT(winner, static_cast<int>(series.region_names.size()));
+  }
+}
+
+TEST_F(WideAreaTest, FlappingUnknownVantageThrows) {
+  EXPECT_THROW(flapping_series(*campaign_, "atlantis"),
+               std::invalid_argument);
+}
+
+TEST_F(WideAreaTest, EmptyCampaignHandled) {
+  Campaign empty;
+  EXPECT_EQ(empty.rounds(), 0u);
+  const auto averages = average_matrix(empty);
+  EXPECT_TRUE(averages.vantage_names.empty());
+  EXPECT_TRUE(optimal_k_regions(empty).empty());
+}
+
+}  // namespace
+}  // namespace cs::analysis

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "carto/combined.h"
+#include "carto/latency_zone.h"
+#include "carto/proximity.h"
+
+namespace cs::carto {
+namespace {
+
+class CartoTest : public ::testing::Test {
+ protected:
+  CartoTest()
+      : ec2(cloud::Provider::make_ec2(21)),
+        model(internet::WideAreaModel::Config{.seed = 21}) {}
+
+  /// Launches tenant instances to act as probe targets.
+  std::vector<const cloud::Instance*> launch_targets(int count,
+                                                     const std::string& region,
+                                                     const std::string& acct) {
+    std::vector<const cloud::Instance*> out;
+    for (int i = 0; i < count; ++i)
+      out.push_back(&ec2.launch({.account = acct, .region = region}));
+    return out;
+  }
+
+  cloud::Provider ec2;
+  internet::WideAreaModel model;
+};
+
+TEST_F(CartoTest, ProximityLabelsAreRegionConsistentBijections) {
+  ProximityEstimator proximity{ec2, {.seed = 3, .total_samples = 1500}};
+  // Translating labels to physical zones must be a bijection per region.
+  for (const auto& region : ec2.regions()) {
+    std::set<int> zones;
+    for (int label = 0; label < region.zone_count; ++label)
+      zones.insert(proximity.label_to_physical(region.name, label));
+    EXPECT_EQ(zones.size(), static_cast<std::size_t>(region.zone_count));
+  }
+}
+
+TEST_F(CartoTest, ProximityMostlyCorrectVsGroundTruth) {
+  ProximityEstimator proximity{ec2, {.seed = 3, .total_samples = 2000}};
+  const auto targets = launch_targets(300, "ec2.us-east-1", "tenant-a");
+  std::size_t known = 0, correct = 0;
+  for (const auto* target : targets) {
+    const auto label = proximity.zone_of(target->public_ip);
+    if (!label) continue;
+    ++known;
+    if (proximity.label_to_physical(target->region, *label) == target->zone)
+      ++correct;
+  }
+  ASSERT_GT(known, 200u);
+  EXPECT_GT(static_cast<double>(correct) / known, 0.9);
+}
+
+TEST_F(CartoTest, ProximityCoverageGrowsWithSamples) {
+  auto ec2_small = cloud::Provider::make_ec2(5);
+  ProximityEstimator sparse{ec2_small, {.seed = 3, .total_samples = 80}};
+  auto ec2_big = cloud::Provider::make_ec2(5);
+  ProximityEstimator dense{ec2_big, {.seed = 3, .total_samples = 2000}};
+  EXPECT_GT(dense.labeled_blocks(), sparse.labeled_blocks());
+}
+
+TEST_F(CartoTest, ProximityUnknownForUnsampledOrForeignAddresses) {
+  ProximityEstimator proximity{ec2, {.seed = 3, .total_samples = 200}};
+  // An address outside the provider entirely.
+  EXPECT_FALSE(proximity.zone_of(net::Ipv4(8, 8, 8, 8)));
+  // An internal-looking address outside 10/8 entirely.
+  EXPECT_FALSE(proximity.zone_of_internal(net::Ipv4(11, 4, 0, 1)));
+}
+
+TEST_F(CartoTest, ProximitySampleMapIsZonePure) {
+  ProximityEstimator proximity{ec2, {.seed = 3, .total_samples = 1500}};
+  // Every labeled /16 must map to exactly the ground-truth zone modulo
+  // the canonical label permutation: check purity via provider truth.
+  std::map<int, int> label_to_zone;  // merged label -> physical (us-east-1)
+  std::size_t mismatches = 0, checked = 0;
+  for (const auto& point : proximity.sample_map()) {
+    const auto truth = ec2.zone_of_internal_block(point.internal_ip);
+    if (!truth) continue;
+    ++checked;
+    auto [it, fresh] = label_to_zone.emplace(point.merged_label, *truth);
+    // Labels are per-region; restrict to us-east-1's octet range [0, 32).
+    if (point.internal_ip.octet(1) >= 32) continue;
+    if (!fresh && it->second != *truth) ++mismatches;
+  }
+  ASSERT_GT(checked, 20u);
+  EXPECT_LT(mismatches, checked / 10);
+}
+
+TEST_F(CartoTest, LatencyEstimatorFindsZonesAndRespectsThreshold) {
+  LatencyZoneEstimator latency{ec2, model, {.seed = 4}};
+  const auto targets = launch_targets(60, "ec2.us-west-2", "tenant-b");
+  std::size_t responded = 0, identified = 0, correct = 0;
+  for (const auto* target : targets) {
+    const auto estimate = latency.estimate(target->public_ip, target->region);
+    if (!estimate.responded) continue;
+    ++responded;
+    if (!estimate.zone_label) continue;
+    ++identified;
+    if (latency.label_to_physical(target->region, *estimate.zone_label) ==
+        target->zone)
+      ++correct;
+  }
+  ASSERT_GT(responded, 30u);
+  EXPECT_GT(identified, responded / 2);
+  EXPECT_GT(static_cast<double>(correct) / identified, 0.85);
+}
+
+TEST_F(CartoTest, LatencyUnresponsiveTargetsReported) {
+  LatencyZoneEstimator latency{ec2, model, {.seed = 4}};
+  const auto targets = launch_targets(200, "ec2.us-west-1", "tenant-c");
+  std::size_t unresponsive = 0;
+  for (const auto* target : targets)
+    if (!latency.estimate(target->public_ip, target->region).responded)
+      ++unresponsive;
+  // The model makes ~22% of instances unresponsive.
+  EXPECT_GT(unresponsive, 20u);
+  EXPECT_LT(unresponsive, 90u);
+}
+
+TEST_F(CartoTest, LatencyUnknownForForeignAddress) {
+  LatencyZoneEstimator latency{ec2, model, {.seed = 4}};
+  const auto estimate =
+      latency.estimate(net::Ipv4(8, 8, 8, 8), "ec2.us-east-1");
+  EXPECT_FALSE(estimate.responded);
+  EXPECT_FALSE(estimate.zone_label);
+}
+
+TEST_F(CartoTest, BlockedProbeZoneRaisesUnknownRate) {
+  // ap-northeast-1 has a blocked probe zone by default; targets in the
+  // unprobed zone cannot be identified.
+  LatencyZoneEstimator latency{ec2, model, {.seed = 4}};
+  EXPECT_EQ(latency.probe_labels("ec2.ap-northeast-1").size(), 1u);
+  EXPECT_EQ(latency.probe_labels("ec2.us-east-1").size(), 3u);
+
+  const auto targets = launch_targets(80, "ec2.ap-northeast-1", "tenant-d");
+  std::size_t unknown = 0, responded = 0;
+  for (const auto* target : targets) {
+    const auto estimate = latency.estimate(target->public_ip, target->region);
+    if (!estimate.responded) continue;
+    ++responded;
+    if (!estimate.zone_label) ++unknown;
+  }
+  ASSERT_GT(responded, 40u);
+  // Roughly half the targets live in the unprobed zone.
+  EXPECT_GT(static_cast<double>(unknown) / responded, 0.3);
+}
+
+TEST_F(CartoTest, TighterThresholdMoreUnknowns) {
+  auto ec2_a = cloud::Provider::make_ec2(9);
+  internet::WideAreaModel model_a{{.seed = 9}};
+  LatencyZoneEstimator strict{ec2_a, model_a,
+                              {.seed = 4, .threshold_ms = 0.55}};
+  std::vector<net::Ipv4> addrs;
+  for (int i = 0; i < 80; ++i)
+    addrs.push_back(
+        ec2_a.launch({.account = "t", .region = "ec2.us-east-1"}).public_ip);
+  std::size_t strict_unknown = 0;
+  for (const auto addr : addrs) {
+    const auto estimate = strict.estimate(addr, "ec2.us-east-1");
+    if (estimate.responded && !estimate.zone_label) ++strict_unknown;
+  }
+
+  auto ec2_b = cloud::Provider::make_ec2(9);
+  internet::WideAreaModel model_b{{.seed = 9}};
+  LatencyZoneEstimator loose{ec2_b, model_b,
+                             {.seed = 4, .threshold_ms = 2.5}};
+  std::vector<net::Ipv4> addrs_b;
+  for (int i = 0; i < 80; ++i)
+    addrs_b.push_back(
+        ec2_b.launch({.account = "t", .region = "ec2.us-east-1"}).public_ip);
+  std::size_t loose_unknown = 0;
+  for (const auto addr : addrs_b) {
+    const auto estimate = loose.estimate(addr, "ec2.us-east-1");
+    if (estimate.responded && !estimate.zone_label) ++loose_unknown;
+  }
+  EXPECT_GT(strict_unknown, loose_unknown);
+}
+
+TEST_F(CartoTest, CombinedPrefersProximityAndFallsBack) {
+  // Deliberately sparse proximity sampling so latency has gaps to fill.
+  ProximityEstimator proximity{ec2, {.seed = 3, .total_samples = 60}};
+  LatencyZoneEstimator latency{ec2, model, {.seed = 4}};
+  CombinedZoneEstimator combined{proximity, latency};
+
+  const auto targets = launch_targets(150, "ec2.us-east-1", "tenant-e");
+  std::size_t from_proximity = 0, from_latency = 0, unknown = 0;
+  for (const auto* target : targets) {
+    const auto estimate =
+        combined.estimate(target->public_ip, target->region);
+    using Source = CombinedZoneEstimator::Estimate::Source;
+    switch (estimate.source) {
+      case Source::kProximity:
+        ++from_proximity;
+        break;
+      case Source::kLatency:
+        ++from_latency;
+        break;
+      case Source::kUnknown:
+        ++unknown;
+        break;
+    }
+  }
+  EXPECT_GT(from_proximity, 0u);
+  EXPECT_GT(from_latency, 0u);
+  // Combined identifies more than either alone would miss.
+  EXPECT_LT(unknown, 40u);
+}
+
+}  // namespace
+}  // namespace cs::carto

@@ -1,0 +1,128 @@
+#include "cloud/features.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace cs::cloud {
+namespace {
+
+class FeaturesFixture : public ::testing::Test {
+ protected:
+  FeaturesFixture()
+      : ec2(Provider::make_ec2(11)), azure(Provider::make_azure(11)) {}
+
+  Provider ec2;
+  Provider azure;
+};
+
+TEST_F(FeaturesFixture, ElbCnameShapeAndProxies) {
+  ElbManager elbs{ec2, 5};
+  const auto lb = elbs.create("tenant-1", "ec2.us-east-1", 3);
+  EXPECT_TRUE(util::iends_with(lb.cname.to_string(), ".elb.amazonaws.com"));
+  EXPECT_TRUE(util::icontains(lb.cname.to_string(), "us-east-1"));
+  EXPECT_GE(lb.proxy_ips.size(), 1u);
+  EXPECT_LE(lb.proxy_ips.size(), 3u);
+  for (const auto ip : lb.proxy_ips)
+    EXPECT_EQ(ec2.region_of(ip).value_or(""), "ec2.us-east-1");
+}
+
+TEST_F(FeaturesFixture, ElbProxiesAreSharedAcrossTenants) {
+  ElbManager elbs{ec2, 5};
+  std::set<std::uint32_t> all_ips;
+  std::size_t total_assignments = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto lb = elbs.create("tenant-" + std::to_string(i),
+                                "ec2.us-east-1", 2);
+    for (const auto ip : lb.proxy_ips) all_ips.insert(ip.value());
+    total_assignments += lb.proxy_ips.size();
+  }
+  // Sharing: fewer distinct proxies than total assignments.
+  EXPECT_LT(all_ips.size(), total_assignments);
+  EXPECT_EQ(elbs.pool_size("ec2.us-east-1"), all_ips.size());
+  EXPECT_EQ(elbs.total_proxies(), all_ips.size());
+}
+
+TEST_F(FeaturesFixture, ElbDistinctCnamesPerLogicalInstance) {
+  ElbManager elbs{ec2, 5};
+  const auto a = elbs.create("t", "ec2.eu-west-1", 1);
+  const auto b = elbs.create("t", "ec2.eu-west-1", 1);
+  EXPECT_NE(a.cname, b.cname);
+}
+
+TEST_F(FeaturesFixture, ElbRejectsZeroProxies) {
+  ElbManager elbs{ec2, 5};
+  EXPECT_THROW(elbs.create("t", "ec2.us-east-1", 0), std::invalid_argument);
+}
+
+TEST_F(FeaturesFixture, HerokuFleetIsCappedAndShared) {
+  HerokuManager heroku{ec2, 5};
+  std::set<std::uint32_t> ips;
+  for (int i = 0; i < 3000; ++i) {
+    const auto app = heroku.create(i % 3 == 0);
+    for (const auto ip : app.ips) ips.insert(ip.value());
+  }
+  EXPECT_LE(ips.size(), HerokuManager::kFleetSize);
+  EXPECT_GE(ips.size(), HerokuManager::kFleetSize / 2);
+  EXPECT_EQ(heroku.fleet().size(), ips.size());
+  // All fleet IPs live in EC2 us-east-1 (Heroku's 2013 home).
+  for (const auto ip : heroku.fleet())
+    EXPECT_EQ(ec2.region_of(net::Ipv4{ip}).value_or(""), "ec2.us-east-1");
+}
+
+TEST_F(FeaturesFixture, HerokuSharedProxyCname) {
+  HerokuManager heroku{ec2, 5};
+  const auto shared = heroku.create(true);
+  EXPECT_EQ(shared.cname.to_string(), "proxy.heroku.com");
+  const auto dedicated = heroku.create(false);
+  EXPECT_TRUE(util::iends_with(dedicated.cname.to_string(), ".herokuapp.com"));
+}
+
+TEST_F(FeaturesFixture, BeanstalkAlwaysFrontsAnElb) {
+  ElbManager elbs{ec2, 5};
+  BeanstalkManager beanstalk{elbs, 5};
+  const auto env = beanstalk.create("tenant", "ec2.us-east-1");
+  EXPECT_TRUE(
+      util::icontains(env.cname.to_string(), "elasticbeanstalk"));
+  EXPECT_FALSE(env.elb.proxy_ips.empty());
+}
+
+TEST_F(FeaturesFixture, CloudFrontUsesDedicatedRange) {
+  CloudFrontManager cdn{ec2, 5};
+  const auto dist = cdn.create(2);
+  EXPECT_TRUE(util::iends_with(dist.cname.to_string(), ".cloudfront.net"));
+  ASSERT_EQ(dist.edge_ips.size(), 2u);
+  for (const auto ip : dist.edge_ips) {
+    EXPECT_TRUE(ec2.cdn_block().contains(ip));
+    EXPECT_FALSE(ec2.region_of(ip));  // not in the EC2 ranges
+  }
+}
+
+TEST_F(FeaturesFixture, CloudServiceHasAzureIp) {
+  CloudServiceManager services{azure, 5};
+  const auto cs = services.create("tenant", "az.us-south");
+  EXPECT_TRUE(util::iends_with(cs.cname.to_string(), ".cloudapp.net"));
+  EXPECT_EQ(azure.region_of(cs.ip).value_or(""), "az.us-south");
+}
+
+TEST_F(FeaturesFixture, TrafficManagerSpansRegions) {
+  CloudServiceManager services{azure, 5};
+  TrafficManagerManager tm{services, 5};
+  const auto profile = tm.create("tenant", {"az.us-east", "az.eu-west"});
+  EXPECT_TRUE(
+      util::iends_with(profile.cname.to_string(), ".trafficmanager.net"));
+  ASSERT_EQ(profile.members.size(), 2u);
+  EXPECT_EQ(azure.region_of(profile.members[0].ip).value_or(""), "az.us-east");
+  EXPECT_EQ(azure.region_of(profile.members[1].ip).value_or(""), "az.eu-west");
+}
+
+TEST_F(FeaturesFixture, TrafficManagerNeedsMembers) {
+  CloudServiceManager services{azure, 5};
+  TrafficManagerManager tm{services, 5};
+  EXPECT_THROW(tm.create("tenant", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs::cloud

@@ -1,0 +1,69 @@
+// Whole-pipeline determinism: two studies built from the same config must
+// produce bit-identical analysis results — the property that makes every
+// bench and EXPERIMENTS.md number reproducible.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/study.h"
+
+namespace cs::core {
+namespace {
+
+StudyConfig small_config() {
+  StudyConfig config;
+  config.world.domain_count = 120;
+  config.traffic.total_web_bytes = 2ull * 1024 * 1024;
+  config.dataset.lookup_vantages = 2;
+  config.dataset.collect_name_servers = false;
+  config.campaign_vantages = 6;
+  config.campaign_days = 0.25;
+  return config;
+}
+
+TEST(Determinism, DatasetIdenticalAcrossStudies) {
+  Study a{small_config()};
+  Study b{small_config()};
+  const auto& da = a.dataset();
+  const auto& db = b.dataset();
+  ASSERT_EQ(da.cloud_subdomains.size(), db.cloud_subdomains.size());
+  for (std::size_t i = 0; i < da.cloud_subdomains.size(); ++i) {
+    EXPECT_EQ(da.cloud_subdomains[i].name, db.cloud_subdomains[i].name);
+    EXPECT_EQ(da.cloud_subdomains[i].addresses,
+              db.cloud_subdomains[i].addresses);
+    EXPECT_EQ(da.cloud_subdomains[i].cnames, db.cloud_subdomains[i].cnames);
+  }
+  EXPECT_EQ(da.dns_queries_spent, db.dns_queries_spent);
+}
+
+TEST(Determinism, RenderedTablesIdentical) {
+  Study a{small_config()};
+  Study b{small_config()};
+  EXPECT_EQ(render_table3(a.cloud_usage()), render_table3(b.cloud_usage()));
+  EXPECT_EQ(render_table7(a.patterns()), render_table7(b.patterns()));
+  EXPECT_EQ(render_table9(a.regions()), render_table9(b.regions()));
+  EXPECT_EQ(render_table1(a.capture()), render_table1(b.capture()));
+}
+
+TEST(Determinism, CampaignIdentical) {
+  Study a{small_config()};
+  Study b{small_config()};
+  const auto ka = analysis::optimal_k_regions(a.campaign());
+  const auto kb = analysis::optimal_k_regions(b.campaign());
+  ASSERT_EQ(ka.size(), kb.size());
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ka[i].avg_rtt_ms, kb[i].avg_rtt_ms);
+    EXPECT_EQ(ka[i].best_regions, kb[i].best_regions);
+  }
+}
+
+TEST(Determinism, SeedChangesResults) {
+  auto config_a = small_config();
+  auto config_b = small_config();
+  config_b.world.seed = config_a.world.seed + 1;
+  Study a{config_a};
+  Study b{config_b};
+  EXPECT_NE(render_table3(a.cloud_usage()), render_table3(b.cloud_usage()));
+}
+
+}  // namespace
+}  // namespace cs::core

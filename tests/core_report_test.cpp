@@ -1,0 +1,130 @@
+// Unit tests for the table renderers over hand-built reports: the numbers
+// in the rendered text must be the right arithmetic, not just present.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace cs::core {
+namespace {
+
+analysis::CaptureReport tiny_capture() {
+  analysis::CaptureReport report;
+  auto& p = report.protocols;
+  p.ec2_total = {800, 80};
+  p.azure_total = {200, 20};
+  p.total = {1000, 100};
+  p.cloud_service["EC2"]["HTTP (TCP)"] = {100, 60};
+  p.cloud_service["EC2"]["HTTPS (TCP)"] = {700, 20};
+  p.cloud_service["Azure"]["HTTP (TCP)"] = {150, 15};
+  p.cloud_service["Azure"]["DNS (UDP)"] = {50, 5};
+  report.top_ec2_domains.push_back({"dropbox.com", 680, 68.0, 0});
+  report.top_azure_domains.push_back({"msn.com", 24, 2.4, 18});
+  report.content_types.push_back(
+      {"text/html", 500, 50.0, 16.0, 3.7});
+  return report;
+}
+
+TEST(Report, Table1Percentages) {
+  const auto text = render_table1(tiny_capture());
+  EXPECT_NE(text.find("EC2    80.00    80.00"), std::string::npos) << text;
+  EXPECT_NE(text.find("Azure  20.00    20.00"), std::string::npos);
+}
+
+TEST(Report, Table2PerCloudPercentages) {
+  const auto text = render_table2(tiny_capture());
+  // EC2 HTTPS: 700/800 bytes = 87.50%, 20/80 flows = 25.00%.
+  EXPECT_NE(text.find("87.50"), std::string::npos) << text;
+  EXPECT_NE(text.find("25.00"), std::string::npos);
+  // Azure DNS: 50/200 = 25.00% bytes — present via the DNS row.
+  EXPECT_NE(text.find("DNS (UDP)"), std::string::npos);
+}
+
+TEST(Report, Table5RankDashForUnranked) {
+  const auto text = render_table5(tiny_capture());
+  EXPECT_NE(text.find("dropbox.com"), std::string::npos);
+  // dropbox has rank 0 -> "-"; msn has rank 18.
+  EXPECT_NE(text.find("-"), std::string::npos);
+  EXPECT_NE(text.find("18"), std::string::npos);
+}
+
+TEST(Report, Table6Columns) {
+  const auto text = render_table6(tiny_capture());
+  EXPECT_NE(text.find("text/html"), std::string::npos);
+  EXPECT_NE(text.find("50.00"), std::string::npos);
+  EXPECT_NE(text.find("16.00"), std::string::npos);
+}
+
+TEST(Report, Table3TotalsRow) {
+  analysis::CloudUsageReport usage;
+  usage.domains = {.ec2_only = 2,
+                   .ec2_plus_other = 6,
+                   .azure_only = 1,
+                   .azure_plus_other = 1,
+                   .ec2_plus_azure = 0,
+                   .total = 10};
+  usage.subdomains = usage.domains;
+  const auto text = render_table3(usage);
+  // EC2 total = 8 of 10 = 80%.
+  EXPECT_NE(text.find("EC2 total      8          80.00"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Report, Fig12RegionsJoined) {
+  std::vector<analysis::KRegionResult> results(2);
+  results[0] = {1, {"ec2.us-east-1"}, 100.0, 500.0, {"ec2.us-east-1"}};
+  results[1] = {2,
+                {"ec2.us-east-1", "ec2.eu-west-1"},
+                66.0,
+                700.0,
+                {"ec2.us-east-1", "ec2.eu-west-1"}};
+  const auto text = render_fig12(results);
+  EXPECT_NE(text.find("ec2.us-east-1, ec2.eu-west-1"), std::string::npos);
+  EXPECT_NE(text.find("66.00"), std::string::npos);
+}
+
+TEST(Report, Fig11SamplesWinners) {
+  analysis::FlappingSeries series;
+  series.region_names = {"a", "b"};
+  for (int i = 0; i < 10; ++i) {
+    series.winner.push_back(i % 2);
+    series.rtt_ms.push_back({1.0, 2.0});
+  }
+  series.winner_changes = 9;
+  const auto text = render_fig11(series);
+  EXPECT_NE(text.find("winner changed 9 times"), std::string::npos);
+  EXPECT_NE(text.find("\ta\n"), std::string::npos);
+  EXPECT_NE(text.find("\tb\n"), std::string::npos);
+}
+
+TEST(Report, Table12UnknownRate) {
+  analysis::ZoneStudy study;
+  analysis::LatencyZoneRow row;
+  row.region = "ec2.us-east-1";
+  row.target_ips = 10;
+  row.responded = 8;
+  row.per_zone[0] = 4;
+  row.per_zone[2] = 2;
+  row.unknown = 2;
+  study.latency_rows.push_back(row);
+  const auto text = render_table12(study);
+  // 2 / 8 = 25.0% unknown; zone 1 has no probes -> N/A.
+  EXPECT_NE(text.find("25.0"), std::string::npos) << text;
+  EXPECT_NE(text.find("N/A"), std::string::npos);
+}
+
+TEST(Report, Table13AggregatesAllRow) {
+  analysis::ZoneStudy study;
+  analysis::VeracityRow a{"r1", 10, 8, 1, 1};
+  analysis::VeracityRow b{"r2", 10, 5, 5, 0};
+  study.veracity_rows = {a, b};
+  const auto text = render_table13(study);
+  // all: total 20, match 13, unknown 6, mismatch 1 -> error 1/14 = 7.1%.
+  EXPECT_NE(text.find("all     20     13     6        1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("7.1%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::core

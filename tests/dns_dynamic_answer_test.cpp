@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "dns/server.h"
+
+namespace cs::dns {
+namespace {
+
+SoaRecord soa_of(std::string_view mname) {
+  SoaRecord soa;
+  soa.mname = Name::must_parse(mname);
+  soa.rname = Name::must_parse(mname);
+  return soa;
+}
+
+/// A trafficmanager.net-style zone: tm-1 answered dynamically, members
+/// are static names in the same zone.
+AuthoritativeServer make_server() {
+  AuthoritativeServer server;
+  auto& zone = server.add_zone(Name::must_parse("trafficmanager.net"),
+                               soa_of("ns1.trafficmanager.net"));
+  zone.add(ResourceRecord::a(Name::must_parse("cs-a.trafficmanager.net"),
+                             net::Ipv4(138, 91, 0, 10)));
+  zone.add(ResourceRecord::a(Name::must_parse("cs-b.trafficmanager.net"),
+                             net::Ipv4(138, 95, 0, 20)));
+  server.set_dynamic_answer(
+      [](net::Ipv4 client, const Name& qname)
+          -> std::optional<ResourceRecord> {
+        if (qname != Name::must_parse("tm-1.trafficmanager.net"))
+          return std::nullopt;
+        const auto member = client.value() % 2 == 0 ? "cs-a" : "cs-b";
+        return ResourceRecord::cname(
+            qname, *Name::must_parse("trafficmanager.net").child(member),
+            30);
+      });
+  return server;
+}
+
+Message ask(const AuthoritativeServer& server, net::Ipv4 client) {
+  return server.handle(
+      client, Message::query(5, Name::must_parse("tm-1.trafficmanager.net"),
+                             RrType::kA));
+}
+
+TEST(DynamicAnswer, ClientDependentMemberSelection) {
+  const auto server = make_server();
+  const auto even = ask(server, net::Ipv4(10, 0, 0, 2));
+  ASSERT_EQ(even.answers.size(), 2u);
+  EXPECT_EQ(even.answers[0].type(), RrType::kCname);
+  EXPECT_EQ(std::get<CnameRecord>(even.answers[0].data).target.to_string(),
+            "cs-a.trafficmanager.net");
+  EXPECT_EQ(std::get<ARecord>(even.answers[1].data).address,
+            net::Ipv4(138, 91, 0, 10));
+
+  const auto odd = ask(server, net::Ipv4(10, 0, 0, 3));
+  ASSERT_EQ(odd.answers.size(), 2u);
+  EXPECT_EQ(std::get<ARecord>(odd.answers[1].data).address,
+            net::Ipv4(138, 95, 0, 20));
+}
+
+TEST(DynamicAnswer, StableForSameClient) {
+  const auto server = make_server();
+  const auto a = ask(server, net::Ipv4(199, 16, 0, 10));
+  const auto b = ask(server, net::Ipv4(199, 16, 0, 10));
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+TEST(DynamicAnswer, FallsThroughToStaticData) {
+  const auto server = make_server();
+  const auto r = server.handle(
+      net::Ipv4(1, 1, 1, 1),
+      Message::query(6, Name::must_parse("cs-a.trafficmanager.net"),
+                     RrType::kA));
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type(), RrType::kA);
+}
+
+TEST(DynamicAnswer, NonCnameDynamicRecordTerminates) {
+  AuthoritativeServer server;
+  server.add_zone(Name::must_parse("x.net"), soa_of("ns1.x.net"));
+  server.set_dynamic_answer(
+      [](net::Ipv4 client, const Name& qname)
+          -> std::optional<ResourceRecord> {
+        if (qname != Name::must_parse("geo.x.net")) return std::nullopt;
+        return ResourceRecord::a(qname,
+                                 net::Ipv4(9, 9, 9, client.octet(3)));
+      });
+  const auto r = server.handle(
+      net::Ipv4(1, 2, 3, 42),
+      Message::query(7, Name::must_parse("geo.x.net"), RrType::kA));
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(std::get<ARecord>(r.answers[0].data).address,
+            net::Ipv4(9, 9, 9, 42));
+}
+
+}  // namespace
+}  // namespace cs::dns

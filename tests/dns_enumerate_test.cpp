@@ -1,0 +1,153 @@
+#include "dns/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "dns/wordlist.h"
+
+namespace cs::dns {
+namespace {
+
+SoaRecord soa_of(std::string_view mname) {
+  SoaRecord soa;
+  soa.mname = Name::must_parse(mname);
+  soa.rname = Name::must_parse(mname);
+  return soa;
+}
+
+class EnumerateFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto root = std::make_shared<AuthoritativeServer>();
+    auto& root_zone = root->add_zone(Name{}, soa_of("a.root"));
+    root_zone.add(ResourceRecord::ns(Name::must_parse("com"),
+                                     Name::must_parse("a.gtld.net")));
+    root_zone.add(ResourceRecord::a(Name::must_parse("a.gtld.net"),
+                                    net::Ipv4(192, 5, 6, 30)));
+
+    auto com = std::make_shared<AuthoritativeServer>();
+    auto& com_zone = com->add_zone(Name::must_parse("com"),
+                                   soa_of("a.gtld.net"));
+    for (const auto* domain : {"open.com", "closed.com"}) {
+      com_zone.add(ResourceRecord::ns(
+          Name::must_parse(domain),
+          *Name::must_parse(domain).child("ns1")));
+    }
+    com_zone.add(ResourceRecord::a(Name::must_parse("ns1.open.com"),
+                                   net::Ipv4(192, 0, 2, 10)));
+    com_zone.add(ResourceRecord::a(Name::must_parse("ns1.closed.com"),
+                                   net::Ipv4(192, 0, 2, 11)));
+
+    auto make_domain = [](std::string_view apex, net::Ipv4 ns_addr,
+                          bool allow_axfr) {
+      auto server = std::make_shared<AuthoritativeServer>();
+      auto& zone = server->add_zone(Name::must_parse(apex),
+                                    soa_of(std::string{"ns1."} + std::string{apex}));
+      const auto base = Name::must_parse(apex);
+      zone.add(ResourceRecord::ns(base, *base.child("ns1")));
+      zone.add(ResourceRecord::a(*base.child("ns1"), ns_addr));
+      zone.add(ResourceRecord::a(*base.child("www"), net::Ipv4(10, 1, 1, 1)));
+      zone.add(ResourceRecord::a(*base.child("mail"), net::Ipv4(10, 1, 1, 2)));
+      // An exotic subdomain no wordlist would guess.
+      zone.add(ResourceRecord::a(*base.child("zq9-secret"),
+                                 net::Ipv4(10, 1, 1, 3)));
+      if (allow_axfr)
+        server->set_axfr_policy([](net::Ipv4, const Name&) { return true; });
+      return server;
+    };
+
+    network.attach(net::Ipv4(198, 41, 0, 4), root);
+    network.attach(net::Ipv4(192, 5, 6, 30), com);
+    network.attach(net::Ipv4(192, 0, 2, 10),
+                   make_domain("open.com", net::Ipv4(192, 0, 2, 10), true));
+    network.attach(net::Ipv4(192, 0, 2, 11),
+                   make_domain("closed.com", net::Ipv4(192, 0, 2, 11), false));
+  }
+
+  Resolver make_resolver() {
+    Resolver::Options o;
+    o.root_servers = {net::Ipv4(198, 41, 0, 4)};
+    return Resolver{network, o};
+  }
+
+  SimulatedDnsNetwork network;
+};
+
+TEST_F(EnumerateFixture, AxfrFindsEverySubdomain) {
+  auto resolver = make_resolver();
+  Enumerator enumerator{resolver,
+                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  const auto result = enumerator.enumerate(Name::must_parse("open.com"));
+  EXPECT_TRUE(result.axfr_succeeded);
+  const auto names = result.subdomains;
+  auto has = [&names](std::string_view n) {
+    return std::find(names.begin(), names.end(), Name::must_parse(n)) !=
+           names.end();
+  };
+  EXPECT_TRUE(has("www.open.com"));
+  EXPECT_TRUE(has("mail.open.com"));
+  EXPECT_TRUE(has("zq9-secret.open.com"));  // AXFR sees everything
+}
+
+TEST_F(EnumerateFixture, BruteForceLowerBound) {
+  auto resolver = make_resolver();
+  Enumerator enumerator{resolver,
+                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  const auto result = enumerator.enumerate(Name::must_parse("closed.com"));
+  EXPECT_FALSE(result.axfr_succeeded);
+  const auto names = result.subdomains;
+  auto has = [&names](std::string_view n) {
+    return std::find(names.begin(), names.end(), Name::must_parse(n)) !=
+           names.end();
+  };
+  EXPECT_TRUE(has("www.closed.com"));
+  EXPECT_TRUE(has("mail.closed.com"));
+  // Brute force is a lower bound: the unguessable name is missed.
+  EXPECT_FALSE(has("zq9-secret.closed.com"));
+}
+
+TEST_F(EnumerateFixture, AxfrDisabledFallsStraightToBruteForce) {
+  auto resolver = make_resolver();
+  Enumerator enumerator{resolver,
+                        {.wordlist = small_wordlist(), .attempt_axfr = false}};
+  const auto result = enumerator.enumerate(Name::must_parse("open.com"));
+  EXPECT_FALSE(result.axfr_succeeded);
+  EXPECT_FALSE(result.subdomains.empty());
+}
+
+TEST_F(EnumerateFixture, QueriesSpentAccounted) {
+  auto resolver = make_resolver();
+  Enumerator enumerator{resolver,
+                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  const auto result = enumerator.enumerate(Name::must_parse("closed.com"));
+  EXPECT_GT(result.queries_spent, small_wordlist().size());
+}
+
+TEST_F(EnumerateFixture, NonexistentDomainYieldsNothing) {
+  auto resolver = make_resolver();
+  Enumerator enumerator{resolver,
+                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  const auto result = enumerator.enumerate(Name::must_parse("ghost.com"));
+  EXPECT_FALSE(result.axfr_succeeded);
+  EXPECT_TRUE(result.subdomains.empty());
+}
+
+TEST(Wordlist, DefaultListShape) {
+  const auto& words = default_wordlist();
+  EXPECT_GT(words.size(), 100u);
+  // The paper's top prefix order: www first.
+  EXPECT_EQ(words.front(), "www");
+  // No duplicates.
+  auto sorted = words;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Wordlist, SmallListIsSubsetSized) {
+  EXPECT_LT(small_wordlist().size(), 20u);
+}
+
+}  // namespace
+}  // namespace cs::dns

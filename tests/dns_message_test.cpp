@@ -1,0 +1,188 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cs::dns {
+namespace {
+
+Message sample_response() {
+  auto query = Message::query(0x1234, Name::must_parse("www.example.com"),
+                              RrType::kA, true);
+  Message resp = Message::response_to(query, Rcode::kNoError, true);
+  resp.answers.push_back(ResourceRecord::cname(
+      Name::must_parse("www.example.com"),
+      Name::must_parse("lb-7.elb.amazonaws.com"), 60));
+  resp.answers.push_back(ResourceRecord::a(
+      Name::must_parse("lb-7.elb.amazonaws.com"), net::Ipv4(54, 1, 2, 3)));
+  resp.authority.push_back(ResourceRecord::ns(
+      Name::must_parse("example.com"), Name::must_parse("ns1.example.com")));
+  resp.additional.push_back(ResourceRecord::a(
+      Name::must_parse("ns1.example.com"), net::Ipv4(198, 51, 100, 1)));
+  return resp;
+}
+
+TEST(Message, QueryEncodeDecodeRoundTrip) {
+  const auto q =
+      Message::query(7, Name::must_parse("example.com"), RrType::kNs, false);
+  const auto decoded = Message::decode(q.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, q);
+}
+
+TEST(Message, ResponseRoundTripAllSections) {
+  const auto resp = sample_response();
+  const auto decoded = Message::decode(resp.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, resp);
+}
+
+TEST(Message, HeaderFlagsSurvive) {
+  auto m = Message::query(0xBEEF, Name::must_parse("a.b"), RrType::kA, true);
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.ra = true;
+  m.header.tc = true;
+  m.header.rcode = Rcode::kNxDomain;
+  const auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->header, m.header);
+}
+
+TEST(Message, CompressionShrinksRepeatedNames) {
+  Message m = Message::query(1, Name::must_parse("www.example.com"),
+                             RrType::kA, false);
+  Message r = Message::response_to(m, Rcode::kNoError, true);
+  for (int i = 0; i < 10; ++i)
+    r.answers.push_back(ResourceRecord::a(
+        Name::must_parse("www.example.com"), net::Ipv4(10, 0, 0, i)));
+  const auto wire = r.encode();
+  // With compression each repeated owner name is a 2-byte pointer; without
+  // it each would be 17 bytes. 10 answers, so the total must be well under
+  // the uncompressed size.
+  const std::size_t uncompressed_estimate = 12 + 21 + 10 * (17 + 10 + 4);
+  EXPECT_LT(wire.size(), uncompressed_estimate - 100);
+  const auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, r);
+}
+
+TEST(Message, CompressionAcrossRdataNames) {
+  Message m = Message::query(1, Name::must_parse("example.com"), RrType::kNs,
+                             false);
+  Message r = Message::response_to(m, Rcode::kNoError, true);
+  r.answers.push_back(ResourceRecord::ns(Name::must_parse("example.com"),
+                                         Name::must_parse("ns.example.com")));
+  const auto decoded = Message::decode(r.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, r);
+}
+
+TEST(Message, SoaAndTxtRoundTrip) {
+  Message m = Message::query(2, Name::must_parse("example.com"), RrType::kAny,
+                             false);
+  Message r = Message::response_to(m, Rcode::kNoError, true);
+  SoaRecord soa;
+  soa.mname = Name::must_parse("ns1.example.com");
+  soa.rname = Name::must_parse("hostmaster.example.com");
+  soa.serial = 2013032701;
+  r.answers.push_back(ResourceRecord::soa(Name::must_parse("example.com"),
+                                          soa));
+  r.answers.push_back(ResourceRecord::txt(Name::must_parse("example.com"),
+                                          {"v=spf1 -all", "second"}));
+  const auto decoded = Message::decode(r.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, r);
+}
+
+TEST(Message, DecodeRejectsTruncation) {
+  const auto wire = sample_response().encode();
+  for (std::size_t cut : {0ul, 5ul, 11ul, wire.size() / 2, wire.size() - 1}) {
+    const auto truncated =
+        std::span<const std::uint8_t>{wire.data(), cut};
+    EXPECT_FALSE(Message::decode(truncated)) << "cut=" << cut;
+  }
+}
+
+TEST(Message, DecodeRejectsCompressionLoop) {
+  // Hand-craft: header with 1 question whose name is a pointer to itself.
+  std::vector<std::uint8_t> wire = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0xC0, 0x0C,              // pointer to offset 12 = itself
+      0x00, 0x01, 0x00, 0x01,  // type A, class IN
+  };
+  EXPECT_FALSE(Message::decode(wire));
+}
+
+TEST(Message, DecodeRejectsForwardPointer) {
+  std::vector<std::uint8_t> wire = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0xC0, 0x20,              // pointer past itself
+      0x00, 0x01, 0x00, 0x01,
+  };
+  EXPECT_FALSE(Message::decode(wire));
+}
+
+TEST(Message, DecodeRejectsBadARdataLength) {
+  auto r = sample_response();
+  auto wire = r.encode();
+  // Find the A rdlength (4) and corrupt it to 3. The A record for the ELB
+  // name: search for the 2-byte big-endian 0x0004 preceding the address.
+  bool corrupted = false;
+  for (std::size_t i = 0; i + 6 < wire.size(); ++i) {
+    if (wire[i] == 0x00 && wire[i + 1] == 0x04 && wire[i + 2] == 54 &&
+        wire[i + 3] == 1 && wire[i + 4] == 2 && wire[i + 5] == 3) {
+      wire[i + 1] = 0x03;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(Message::decode(wire));
+}
+
+TEST(Message, DecodeRejectsNonInClass) {
+  auto q = Message::query(3, Name::must_parse("x.com"), RrType::kA, false);
+  auto wire = q.encode();
+  wire[wire.size() - 1] = 0x03;  // class CHAOS
+  EXPECT_FALSE(Message::decode(wire));
+}
+
+TEST(Message, ResponseToEchoesIdAndQuestion) {
+  const auto q =
+      Message::query(0xAA55, Name::must_parse("foo.bar"), RrType::kCname,
+                     true);
+  const auto r = Message::response_to(q, Rcode::kRefused, false);
+  EXPECT_EQ(r.header.id, q.header.id);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_TRUE(r.header.rd);
+  EXPECT_EQ(r.header.rcode, Rcode::kRefused);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0], q.questions[0]);
+}
+
+TEST(Message, RcodeNames) {
+  EXPECT_EQ(to_string(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(to_string(Rcode::kNxDomain), "NXDOMAIN");
+  EXPECT_EQ(to_string(Rcode::kRefused), "REFUSED");
+}
+
+TEST(ResourceRecord, TypeFromVariant) {
+  EXPECT_EQ(ResourceRecord::a(Name::must_parse("x.y"), net::Ipv4(1, 2, 3, 4))
+                .type(),
+            RrType::kA);
+  EXPECT_EQ(ResourceRecord::cname(Name::must_parse("x.y"),
+                                  Name::must_parse("z.y"))
+                .type(),
+            RrType::kCname);
+}
+
+TEST(ResourceRecord, PresentationFormat) {
+  const auto rr = ResourceRecord::a(Name::must_parse("www.example.com"),
+                                    net::Ipv4(93, 184, 216, 34), 300);
+  EXPECT_EQ(rr.to_string(), "www.example.com 300 IN A 93.184.216.34");
+}
+
+}  // namespace
+}  // namespace cs::dns

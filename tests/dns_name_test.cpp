@@ -1,0 +1,117 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cs::dns {
+namespace {
+
+TEST(Name, ParseBasic) {
+  const auto n = Name::parse("www.example.com");
+  ASSERT_TRUE(n);
+  EXPECT_EQ(n->label_count(), 3u);
+  EXPECT_EQ(n->to_string(), "www.example.com");
+  EXPECT_EQ(n->leftmost(), "www");
+}
+
+TEST(Name, ParseIsCaseInsensitive) {
+  EXPECT_EQ(Name::must_parse("WWW.Example.COM"),
+            Name::must_parse("www.example.com"));
+}
+
+TEST(Name, TrailingDotAccepted) {
+  EXPECT_EQ(Name::must_parse("example.com."),
+            Name::must_parse("example.com"));
+}
+
+TEST(Name, RootForms) {
+  const auto root = Name::parse(".");
+  ASSERT_TRUE(root);
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), ".");
+  EXPECT_EQ(Name{}.to_string(), ".");
+}
+
+TEST(Name, RejectsInvalid) {
+  EXPECT_FALSE(Name::parse(""));
+  EXPECT_FALSE(Name::parse("a..b"));
+  EXPECT_FALSE(Name::parse("exa mple.com"));
+  EXPECT_FALSE(Name::parse(std::string(64, 'a') + ".com"));  // label > 63
+  // Total wire length > 255.
+  std::string big;
+  for (int i = 0; i < 5; ++i) big += std::string(60, 'x') + ".";
+  big += "com";
+  EXPECT_FALSE(Name::parse(big));
+}
+
+TEST(Name, MustParseThrows) {
+  EXPECT_THROW(Name::must_parse("bad..name"), std::invalid_argument);
+  EXPECT_NO_THROW(Name::must_parse("good.name"));
+}
+
+TEST(Name, ParentWalk) {
+  auto n = Name::must_parse("a.b.c.com");
+  n = n.parent();
+  EXPECT_EQ(n.to_string(), "b.c.com");
+  n = n.parent();
+  n = n.parent();
+  EXPECT_EQ(n.to_string(), "com");
+  n = n.parent();
+  EXPECT_TRUE(n.is_root());
+  EXPECT_TRUE(n.parent().is_root());
+}
+
+TEST(Name, Child) {
+  const auto base = Name::must_parse("example.com");
+  const auto www = base.child("www");
+  ASSERT_TRUE(www);
+  EXPECT_EQ(www->to_string(), "www.example.com");
+  EXPECT_FALSE(base.child("bad label"));
+  EXPECT_FALSE(base.child(""));
+}
+
+TEST(Name, SubdomainOf) {
+  const auto apex = Name::must_parse("example.com");
+  EXPECT_TRUE(Name::must_parse("www.example.com").is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(Name{}));  // everything under root
+  EXPECT_FALSE(Name::must_parse("example.org").is_subdomain_of(apex));
+  // The classic trap: notexample.com is NOT a subdomain of example.com.
+  EXPECT_FALSE(Name::must_parse("notexample.com").is_subdomain_of(apex));
+  EXPECT_FALSE(apex.is_subdomain_of(Name::must_parse("www.example.com")));
+}
+
+TEST(Name, WireLength) {
+  EXPECT_EQ(Name{}.wire_length(), 1u);
+  // 3www7example3com0 = 1+3 + 1+7 + 1+3 + 1 = 17.
+  EXPECT_EQ(Name::must_parse("www.example.com").wire_length(), 17u);
+}
+
+TEST(Name, CanonicalOrdering) {
+  const auto a = Name::must_parse("a.example.com");
+  const auto b = Name::must_parse("b.example.com");
+  const auto apex = Name::must_parse("example.com");
+  EXPECT_TRUE(Name::canonical_less(apex, a));  // parent sorts before child
+  EXPECT_TRUE(Name::canonical_less(a, b));
+  EXPECT_FALSE(Name::canonical_less(b, a));
+  EXPECT_FALSE(Name::canonical_less(a, a));
+  // Different TLD dominates.
+  EXPECT_TRUE(Name::canonical_less(Name::must_parse("z.com"),
+                                   Name::must_parse("a.net")));
+}
+
+TEST(Name, HashConsistentWithEquality) {
+  const NameHash h;
+  EXPECT_EQ(h(Name::must_parse("Foo.COM")), h(Name::must_parse("foo.com")));
+  EXPECT_NE(h(Name::must_parse("foo.com")), h(Name::must_parse("bar.com")));
+}
+
+TEST(Name, UnderscoreAndDigitsAllowed) {
+  EXPECT_TRUE(Name::parse("_dmarc.example.com"));
+  EXPECT_TRUE(Name::parse("ns1.route53.aws"));
+  EXPECT_TRUE(Name::parse("163.com"));
+}
+
+}  // namespace
+}  // namespace cs::dns

@@ -1,0 +1,241 @@
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cs::dns {
+namespace {
+
+SoaRecord soa_of(std::string_view mname) {
+  SoaRecord soa;
+  soa.mname = Name::must_parse(mname);
+  soa.rname = Name::must_parse(mname);
+  return soa;
+}
+
+/// Builds a miniature delegation tree:
+///   root (198.41.0.4) -> com (192.5.6.30) -> example.com (192.0.2.53)
+/// with example.com hosting www (A), m (CNAME www), ext (CNAME to
+/// cdn.other.net, served by a sibling tree under net).
+class ResolverFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto root = std::make_shared<AuthoritativeServer>();
+    auto& root_zone = root->add_zone(Name{}, soa_of("a.root"));
+    root_zone.add(ResourceRecord::ns(Name::must_parse("com"),
+                                     Name::must_parse("a.gtld.net")));
+    root_zone.add(ResourceRecord::ns(Name::must_parse("net"),
+                                     Name::must_parse("b.gtld.net")));
+    // Glue for the TLD servers.
+    root_zone.add(ResourceRecord::a(Name::must_parse("a.gtld.net"),
+                                    net::Ipv4(192, 5, 6, 30)));
+    root_zone.add(ResourceRecord::a(Name::must_parse("b.gtld.net"),
+                                    net::Ipv4(192, 5, 6, 31)));
+
+    auto com = std::make_shared<AuthoritativeServer>();
+    auto& com_zone = com->add_zone(Name::must_parse("com"), soa_of("a.gtld.net"));
+    com_zone.add(ResourceRecord::ns(Name::must_parse("example.com"),
+                                    Name::must_parse("ns1.example.com")));
+    com_zone.add(ResourceRecord::a(Name::must_parse("ns1.example.com"),
+                                   net::Ipv4(192, 0, 2, 53)));
+    // A glueless delegation: gluless.com's NS lives under net.
+    com_zone.add(ResourceRecord::ns(Name::must_parse("glueless.com"),
+                                    Name::must_parse("ns.hosting.net")));
+
+    auto net = std::make_shared<AuthoritativeServer>();
+    auto& net_zone = net->add_zone(Name::must_parse("net"), soa_of("b.gtld.net"));
+    net_zone.add(ResourceRecord::ns(Name::must_parse("other.net"),
+                                    Name::must_parse("ns1.other.net")));
+    net_zone.add(ResourceRecord::a(Name::must_parse("ns1.other.net"),
+                                   net::Ipv4(192, 0, 2, 54)));
+    net_zone.add(ResourceRecord::ns(Name::must_parse("hosting.net"),
+                                    Name::must_parse("ns1.hosting.net")));
+    net_zone.add(ResourceRecord::a(Name::must_parse("ns1.hosting.net"),
+                                   net::Ipv4(192, 0, 2, 55)));
+
+    auto example = std::make_shared<AuthoritativeServer>();
+    auto& ex_zone = example->add_zone(Name::must_parse("example.com"),
+                                      soa_of("ns1.example.com"));
+    ex_zone.add(ResourceRecord::ns(Name::must_parse("example.com"),
+                                   Name::must_parse("ns1.example.com")));
+    ex_zone.add(ResourceRecord::a(Name::must_parse("ns1.example.com"),
+                                  net::Ipv4(192, 0, 2, 53)));
+    ex_zone.add(ResourceRecord::a(Name::must_parse("www.example.com"),
+                                  net::Ipv4(203, 0, 113, 80), 60));
+    ex_zone.add(ResourceRecord::cname(Name::must_parse("m.example.com"),
+                                      Name::must_parse("www.example.com")));
+    ex_zone.add(ResourceRecord::cname(Name::must_parse("ext.example.com"),
+                                      Name::must_parse("cdn.other.net")));
+
+    auto other = std::make_shared<AuthoritativeServer>();
+    auto& other_zone = other->add_zone(Name::must_parse("other.net"),
+                                       soa_of("ns1.other.net"));
+    other_zone.add(ResourceRecord::a(Name::must_parse("cdn.other.net"),
+                                     net::Ipv4(198, 18, 0, 1)));
+
+    auto hosting = std::make_shared<AuthoritativeServer>();
+    auto& hosting_zone = hosting->add_zone(Name::must_parse("hosting.net"),
+                                           soa_of("ns1.hosting.net"));
+    hosting_zone.add(ResourceRecord::a(Name::must_parse("ns.hosting.net"),
+                                       net::Ipv4(192, 0, 2, 56)));
+
+    auto glueless = std::make_shared<AuthoritativeServer>();
+    auto& gl_zone = glueless->add_zone(Name::must_parse("glueless.com"),
+                                       soa_of("ns.hosting.net"));
+    gl_zone.add(ResourceRecord::a(Name::must_parse("www.glueless.com"),
+                                  net::Ipv4(198, 18, 0, 2)));
+
+    example->set_axfr_policy([](net::Ipv4 client, const Name&) {
+      return client == net::Ipv4(192, 0, 2, 1);
+    });
+
+    network.attach(net::Ipv4(198, 41, 0, 4), root);
+    network.attach(net::Ipv4(192, 5, 6, 30), com);
+    network.attach(net::Ipv4(192, 5, 6, 31), net);
+    network.attach(net::Ipv4(192, 0, 2, 53), example);
+    network.attach(net::Ipv4(192, 0, 2, 54), other);
+    network.attach(net::Ipv4(192, 0, 2, 55), hosting);
+    network.attach(net::Ipv4(192, 0, 2, 56), glueless);
+  }
+
+  Resolver::Options options(bool cache = true) {
+    Resolver::Options o;
+    o.root_servers = {net::Ipv4(198, 41, 0, 4)};
+    o.client_address = net::Ipv4(192, 0, 2, 1);
+    o.use_cache = cache;
+    return o;
+  }
+
+  SimulatedDnsNetwork network;
+};
+
+TEST_F(ResolverFixture, ResolvesThroughDelegation) {
+  Resolver resolver{network, options()};
+  const auto r = resolver.resolve(Name::must_parse("www.example.com"),
+                                  RrType::kA);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.addresses().size(), 1u);
+  EXPECT_EQ(r.addresses()[0], net::Ipv4(203, 0, 113, 80));
+}
+
+TEST_F(ResolverFixture, ChasesCrossZoneCname) {
+  Resolver resolver{network, options()};
+  const auto r = resolver.resolve(Name::must_parse("ext.example.com"),
+                                  RrType::kA);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.cname_chain().size(), 1u);
+  EXPECT_EQ(r.cname_chain()[0].to_string(), "cdn.other.net");
+  ASSERT_EQ(r.addresses().size(), 1u);
+  EXPECT_EQ(r.addresses()[0], net::Ipv4(198, 18, 0, 1));
+}
+
+TEST_F(ResolverFixture, InZoneCnameChainInAnswer) {
+  Resolver resolver{network, options()};
+  const auto r =
+      resolver.resolve(Name::must_parse("m.example.com"), RrType::kA);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.cname_chain().size(), 1u);
+  EXPECT_EQ(r.addresses().size(), 1u);
+}
+
+TEST_F(ResolverFixture, NxDomainPropagates) {
+  Resolver resolver{network, options()};
+  const auto r = resolver.resolve(Name::must_parse("nosuch.example.com"),
+                                  RrType::kA);
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(r.addresses().empty());
+}
+
+TEST_F(ResolverFixture, GluelessDelegationResolved) {
+  Resolver resolver{network, options()};
+  const auto r = resolver.resolve(Name::must_parse("www.glueless.com"),
+                                  RrType::kA);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.addresses().size(), 1u);
+  EXPECT_EQ(r.addresses()[0], net::Ipv4(198, 18, 0, 2));
+}
+
+TEST_F(ResolverFixture, CacheCutsUpstreamQueries) {
+  Resolver resolver{network, options(true)};
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  const auto after_first = resolver.upstream_queries();
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  EXPECT_EQ(resolver.upstream_queries(), after_first);
+  EXPECT_GE(resolver.cache_hits(), 1u);
+}
+
+TEST_F(ResolverFixture, FlushCacheForcesRequery) {
+  Resolver resolver{network, options(true)};
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  const auto after_first = resolver.upstream_queries();
+  resolver.flush_cache();
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  EXPECT_GT(resolver.upstream_queries(), after_first);
+}
+
+TEST_F(ResolverFixture, TtlExpiryForcesRequery) {
+  Resolver resolver{network, options(true)};
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  const auto after_first = resolver.upstream_queries();
+  resolver.advance_time(61);  // www TTL is 60
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  EXPECT_GT(resolver.upstream_queries(), after_first);
+}
+
+TEST_F(ResolverFixture, CacheDisabledAlwaysQueries) {
+  Resolver resolver{network, options(false)};
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  const auto after_first = resolver.upstream_queries();
+  resolver.resolve(Name::must_parse("www.example.com"), RrType::kA);
+  EXPECT_GT(resolver.upstream_queries(), after_first);
+  EXPECT_EQ(resolver.cache_hits(), 0u);
+}
+
+TEST_F(ResolverFixture, DeadRootYieldsServFail) {
+  network.set_down(net::Ipv4(198, 41, 0, 4), true);
+  Resolver resolver{network, options()};
+  const auto r = resolver.resolve(Name::must_parse("www.example.com"),
+                                  RrType::kA);
+  EXPECT_EQ(r.rcode, Rcode::kServFail);
+}
+
+TEST_F(ResolverFixture, RecoversViaSecondRootAfterTimeout) {
+  auto opts = options();
+  opts.root_servers = {net::Ipv4(10, 0, 0, 99),  // dead
+                       net::Ipv4(198, 41, 0, 4)};
+  Resolver resolver{network, opts};
+  const auto r = resolver.resolve(Name::must_parse("www.example.com"),
+                                  RrType::kA);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(ResolverFixture, AxfrAllowedClientGetsZone) {
+  Resolver resolver{network, options()};
+  const auto records = resolver.try_axfr(Name::must_parse("example.com"));
+  ASSERT_TRUE(records);
+  EXPECT_GE(records->size(), 5u);
+  EXPECT_EQ(records->front().type(), RrType::kSoa);
+}
+
+TEST_F(ResolverFixture, AxfrDeniedClientGetsNothing) {
+  auto opts = options();
+  opts.client_address = net::Ipv4(203, 0, 113, 99);
+  Resolver resolver{network, opts};
+  EXPECT_FALSE(resolver.try_axfr(Name::must_parse("example.com")));
+}
+
+TEST_F(ResolverFixture, NsLookupReturnsNameServers) {
+  Resolver resolver{network, options()};
+  const auto r =
+      resolver.resolve(Name::must_parse("example.com"), RrType::kNs);
+  EXPECT_TRUE(r.ok());
+  bool found = false;
+  for (const auto& rr : r.records)
+    if (const auto* ns = std::get_if<NsRecord>(&rr.data))
+      found |= ns->nameserver.to_string() == "ns1.example.com";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace cs::dns

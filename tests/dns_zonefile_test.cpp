@@ -1,0 +1,129 @@
+#include "dns/zonefile.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::dns {
+namespace {
+
+Zone sample_zone() {
+  SoaRecord soa;
+  soa.mname = Name::must_parse("ns1.example.com");
+  soa.rname = Name::must_parse("hostmaster.example.com");
+  soa.serial = 2013032701;
+  Zone zone{Name::must_parse("example.com"), soa};
+  zone.add(ResourceRecord::ns(Name::must_parse("example.com"),
+                              Name::must_parse("ns1.example.com")));
+  zone.add(ResourceRecord::a(Name::must_parse("www.example.com"),
+                             net::Ipv4(192, 0, 2, 1), 300));
+  zone.add(ResourceRecord::a(Name::must_parse("www.example.com"),
+                             net::Ipv4(192, 0, 2, 2), 300));
+  zone.add(ResourceRecord::cname(
+      Name::must_parse("m.example.com"),
+      Name::must_parse("lb-1.us-east-1.elb.amazonaws.com"), 60));
+  zone.add(ResourceRecord::txt(Name::must_parse("example.com"),
+                               {"v=spf1 -all"}));
+  return zone;
+}
+
+TEST(Zonefile, SerializeShape) {
+  const auto text = to_zonefile(sample_zone());
+  EXPECT_EQ(text.rfind("$ORIGIN example.com.\n", 0), 0u);
+  EXPECT_NE(text.find("IN SOA ns1.example.com."), std::string::npos);
+  EXPECT_NE(text.find("www 300 IN A 192.0.2.1"), std::string::npos);
+  EXPECT_NE(text.find("m 60 IN CNAME lb-1.us-east-1.elb.amazonaws.com."),
+            std::string::npos);
+  EXPECT_NE(text.find("@ 300 IN TXT \"v=spf1 -all\""), std::string::npos);
+}
+
+TEST(Zonefile, RoundTripPreservesRecords) {
+  const auto original = sample_zone();
+  const auto result = parse_zonefile(to_zonefile(original));
+  ASSERT_TRUE(result.zone) << (result.errors.empty() ? ""
+                                                     : result.errors[0]);
+  EXPECT_TRUE(result.errors.empty());
+  const auto& parsed = *result.zone;
+  EXPECT_EQ(parsed.origin(), original.origin());
+  EXPECT_EQ(parsed.soa().serial, original.soa().serial);
+  EXPECT_EQ(parsed.record_count(), original.record_count());
+  // Spot-check content equality by name/type.
+  for (const auto& name : original.names()) {
+    for (const auto& rr : original.find_all(name)) {
+      const auto found = parsed.find(rr.name, rr.type());
+      EXPECT_FALSE(found.empty())
+          << rr.name.to_string() << " " << to_string(rr.type());
+    }
+  }
+}
+
+TEST(Zonefile, ParsesRelativeAndAbsoluteOwners) {
+  const auto result = parse_zonefile(
+      "$ORIGIN example.com.\n"
+      "@ 3600 IN SOA ns1.example.com. hostmaster.example.com. 1 2 3 4 5\n"
+      "www 300 IN A 1.2.3.4\n"
+      "ftp.example.com. 300 IN A 1.2.3.5\n");
+  ASSERT_TRUE(result.zone);
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_FALSE(
+      result.zone->find(Name::must_parse("www.example.com"), RrType::kA)
+          .empty());
+  EXPECT_FALSE(
+      result.zone->find(Name::must_parse("ftp.example.com"), RrType::kA)
+          .empty());
+}
+
+TEST(Zonefile, CommentsAndBlankLinesIgnored) {
+  const auto result = parse_zonefile(
+      "; a zone\n\n$ORIGIN x.net.\n"
+      "@ 3600 IN SOA ns.x.net. root.x.net. 1 2 3 4 5 ; apex\n"
+      "   \n"
+      "a 60 IN A 9.9.9.9 ; host\n");
+  ASSERT_TRUE(result.zone);
+  EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(Zonefile, MissingSoaFails) {
+  const auto result = parse_zonefile(
+      "$ORIGIN x.net.\nwww 60 IN A 9.9.9.9\n");
+  EXPECT_FALSE(result.zone);
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(Zonefile, RecordBeforeOriginFails) {
+  const auto result =
+      parse_zonefile("www 60 IN A 9.9.9.9\n$ORIGIN x.net.\n");
+  EXPECT_FALSE(result.zone);
+}
+
+TEST(Zonefile, DuplicateSoaFails) {
+  const auto result = parse_zonefile(
+      "$ORIGIN x.net.\n"
+      "@ 3600 IN SOA ns.x.net. r.x.net. 1 2 3 4 5\n"
+      "@ 3600 IN SOA ns.x.net. r.x.net. 2 2 3 4 5\n");
+  EXPECT_FALSE(result.zone);
+}
+
+TEST(Zonefile, MalformedLinesReportedButNotFatal) {
+  const auto result = parse_zonefile(
+      "$ORIGIN x.net.\n"
+      "@ 3600 IN SOA ns.x.net. r.x.net. 1 2 3 4 5\n"
+      "this is not a record\n"
+      "bad 60 IN A not-an-ip\n"
+      "good 60 IN A 8.8.8.8\n"
+      "weird 60 IN MX 10 mail.x.net.\n");
+  ASSERT_TRUE(result.zone);
+  EXPECT_EQ(result.errors.size(), 3u);
+  EXPECT_FALSE(
+      result.zone->find(Name::must_parse("good.x.net"), RrType::kA).empty());
+}
+
+TEST(Zonefile, OutOfZoneRecordRejected) {
+  const auto result = parse_zonefile(
+      "$ORIGIN x.net.\n"
+      "@ 3600 IN SOA ns.x.net. r.x.net. 1 2 3 4 5\n"
+      "www.other.org. 60 IN A 8.8.8.8\n");
+  ASSERT_TRUE(result.zone);
+  EXPECT_EQ(result.errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cs::dns

@@ -1,0 +1,121 @@
+#include "internet/traceroute.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace cs::internet {
+namespace {
+
+class TracerouteFixture : public ::testing::Test {
+ protected:
+  TracerouteFixture()
+      : ec2(cloud::Provider::make_ec2(3)), topo(ec2, 17) {}
+
+  cloud::Provider ec2;
+  AsTopology topo;
+};
+
+TEST_F(TracerouteFixture, PoolSizesMatchTableSixteenShape) {
+  EXPECT_GE(topo.region_pool("ec2.us-east-1").size(), 30u);
+  EXPECT_LE(topo.region_pool("ec2.sa-east-1").size(), 5u);
+  EXPECT_LE(topo.region_pool("ec2.ap-southeast-2").size(), 5u);
+  EXPECT_GT(topo.region_pool("ec2.us-west-1").size(),
+            topo.region_pool("ec2.eu-west-1").size());
+}
+
+TEST_F(TracerouteFixture, ZonesSeeAlmostTheSamePool) {
+  const auto z0 = topo.downstream_of("ec2.us-east-1", 0);
+  const auto z1 = topo.downstream_of("ec2.us-east-1", 1);
+  const auto pool = topo.region_pool("ec2.us-east-1").size();
+  EXPECT_GE(z0.size(), pool - 2);
+  EXPECT_GE(z1.size(), pool - 2);
+}
+
+TEST_F(TracerouteFixture, UnknownRegionThrows) {
+  EXPECT_THROW(topo.region_pool("ec2.moon-1"), std::invalid_argument);
+}
+
+TEST_F(TracerouteFixture, TracerouteShape) {
+  const auto& inst = ec2.launch({.account = "t", .region = "ec2.us-east-1"});
+  const auto v = vantage_named("seattle");
+  const auto hops = topo.traceroute(inst, v);
+  ASSERT_GE(hops.size(), 5u);
+  // Internal hops first (10.x, unmapped).
+  EXPECT_EQ(hops[0].address.octet(0), 10);
+  EXPECT_EQ(hops[0].asn, 0u);
+  // First non-cloud hop carries the downstream ISP ASN, recoverable by
+  // whois on its address.
+  const auto& border = hops[2];
+  EXPECT_NE(border.asn, 0u);
+  EXPECT_EQ(topo.asn_of(border.address).value_or(0), border.asn);
+  // Last hop is the vantage.
+  EXPECT_EQ(hops.back().address, v.address);
+}
+
+TEST_F(TracerouteFixture, RouteSpreadIsUneven) {
+  const auto& inst = ec2.launch({.account = "t", .region = "ec2.us-west-1"});
+  const auto vantages = planetlab_vantages(200);
+  std::map<std::uint32_t, int> counts;
+  for (const auto& v : vantages) {
+    const auto as = topo.downstream_for_path(inst.region, inst.zone, v);
+    ASSERT_TRUE(as);
+    ++counts[as->asn];
+  }
+  int max_count = 0;
+  for (const auto& [asn, count] : counts) max_count = std::max(max_count, count);
+  // Top ISP should carry a disproportionate share (paper: up to ~31%).
+  EXPECT_GT(max_count, 200 / static_cast<int>(counts.size()) * 2);
+  // And multiple ISPs are in use.
+  EXPECT_GE(counts.size(), 5u);
+}
+
+TEST_F(TracerouteFixture, PathSelectionIsStable) {
+  const auto v = vantage_named("paris");
+  const auto a = topo.downstream_for_path("ec2.eu-west-1", 0, v);
+  const auto b = topo.downstream_for_path("ec2.eu-west-1", 0, v);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->asn, b->asn);
+}
+
+TEST_F(TracerouteFixture, AsFailureBlackholesPaths) {
+  const auto& inst = ec2.launch({.account = "t", .region = "ec2.sa-east-1"});
+  const auto vantages = planetlab_vantages(100);
+  // Find the busiest downstream AS for this region.
+  std::map<std::uint32_t, int> counts;
+  for (const auto& v : vantages)
+    ++counts[topo.downstream_for_path(inst.region, inst.zone, v)->asn];
+  std::uint32_t top_asn = 0;
+  int top = 0;
+  for (const auto& [asn, count] : counts)
+    if (count > top) {
+      top = count;
+      top_asn = asn;
+    }
+  topo.set_as_down(top_asn, true);
+  EXPECT_TRUE(topo.is_down(top_asn));
+  int blackholed = 0;
+  for (const auto& v : vantages)
+    if (topo.traceroute(inst, v).empty()) ++blackholed;
+  EXPECT_EQ(blackholed, top);
+  topo.set_as_down(top_asn, false);
+  for (const auto& v : vantages)
+    EXPECT_FALSE(topo.traceroute(inst, v).empty());
+}
+
+TEST_F(TracerouteFixture, WhoisMissesNonIspSpace) {
+  EXPECT_FALSE(topo.asn_of(net::Ipv4(10, 0, 0, 1)));
+  EXPECT_FALSE(topo.asn_of(net::Ipv4(54, 0, 0, 1)));
+}
+
+TEST_F(TracerouteFixture, DistinctRegionsUseDistinctAsns) {
+  std::set<std::uint32_t> east, west;
+  for (const auto& as : topo.region_pool("ec2.us-east-1")) east.insert(as.asn);
+  for (const auto& as : topo.region_pool("ec2.us-west-1")) west.insert(as.asn);
+  for (const auto asn : west) EXPECT_FALSE(east.contains(asn));
+}
+
+}  // namespace
+}  // namespace cs::internet

@@ -1,0 +1,76 @@
+#include "internet/vantage.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cs::internet {
+namespace {
+
+TEST(Vantage, CountHonoredAndCapped) {
+  EXPECT_EQ(planetlab_vantages(80).size(), 80u);
+  EXPECT_EQ(planetlab_vantages(200).size(), 200u);
+  EXPECT_EQ(planetlab_vantages(500).size(), 200u);
+  EXPECT_TRUE(planetlab_vantages(0).empty());
+}
+
+TEST(Vantage, NamesAndAddressesUnique) {
+  const auto vs = planetlab_vantages(200);
+  std::set<std::string> names;
+  std::set<std::uint32_t> addrs;
+  for (const auto& v : vs) {
+    EXPECT_TRUE(names.insert(v.name).second) << v.name;
+    EXPECT_TRUE(addrs.insert(v.address.value()).second) << v.name;
+  }
+}
+
+TEST(Vantage, GeographicSpreadCoversContinents) {
+  const auto vs = planetlab_vantages(80);
+  std::set<std::string> continents;
+  for (const auto& v : vs) continents.insert(v.location.continent);
+  EXPECT_TRUE(continents.contains("NA"));
+  EXPECT_TRUE(continents.contains("EU"));
+  EXPECT_TRUE(continents.contains("AS"));
+  EXPECT_TRUE(continents.contains("SA"));
+  EXPECT_TRUE(continents.contains("OC"));
+}
+
+TEST(Vantage, NorthAmericaSkew) {
+  const auto vs = planetlab_vantages(80);
+  int na = 0;
+  for (const auto& v : vs)
+    if (v.location.continent == "NA") ++na;
+  EXPECT_GT(na, 20);  // PlanetLab's US-heavy footprint
+}
+
+TEST(Vantage, Deterministic) {
+  const auto a = planetlab_vantages(50);
+  const auto b = planetlab_vantages(50);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].address, b[i].address);
+  }
+}
+
+TEST(Vantage, NamedLookup) {
+  const auto boulder = vantage_named("boulder");
+  EXPECT_NE(boulder.name.find("boulder"), std::string::npos);
+  EXPECT_NEAR(boulder.location.point.lat_deg, 40.0, 0.5);
+  EXPECT_THROW(vantage_named("atlantis"), std::invalid_argument);
+}
+
+TEST(Vantage, UniversityVantageIsMadison) {
+  const auto uw = university_vantage();
+  EXPECT_EQ(uw.location.country, "US");
+  EXPECT_NEAR(uw.location.point.lat_deg, 43.07, 0.1);
+}
+
+TEST(Vantage, CitiesShareAsAcrossSites) {
+  const auto vs = planetlab_vantages(100);  // two sites in 50 cities
+  // Node i and node i+50 are the same city, different site, same AS.
+  EXPECT_EQ(vs[0].asn, vs[50].asn);
+  EXPECT_NE(vs[0].name, vs[50].name);
+}
+
+}  // namespace
+}  // namespace cs::internet

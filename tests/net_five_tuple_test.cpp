@@ -1,0 +1,72 @@
+#include "net/five_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cs::net {
+namespace {
+
+FiveTuple make_tuple() {
+  return {{Ipv4(10, 0, 0, 1), 51000}, {Ipv4(54, 1, 2, 3), 443}, IpProto::kTcp};
+}
+
+TEST(FiveTuple, CanonicalIsDirectionInsensitive) {
+  const FiveTuple fwd = make_tuple();
+  const FiveTuple rev{fwd.dst, fwd.src, fwd.proto};
+  EXPECT_EQ(fwd.canonical(), rev.canonical());
+  EXPECT_NE(fwd, rev);
+}
+
+TEST(FiveTuple, CanonicalIsIdempotent) {
+  const auto c = make_tuple().canonical();
+  EXPECT_EQ(c, c.canonical());
+}
+
+TEST(FiveTuple, CanonicalOrdersByEndpoint) {
+  const auto c = make_tuple().canonical();
+  EXPECT_LE(c.src, c.dst);
+}
+
+TEST(FiveTuple, HashMatchesEquality) {
+  const FiveTupleHash h;
+  const auto a = make_tuple();
+  auto b = a;
+  EXPECT_EQ(h(a), h(b));
+  b.src.port = 51001;
+  EXPECT_NE(a, b);
+}
+
+TEST(FiveTuple, UsableInUnorderedSet) {
+  std::unordered_set<std::size_t> hashes;
+  const FiveTupleHash h;
+  for (std::uint16_t port = 1000; port < 1100; ++port) {
+    FiveTuple t = make_tuple();
+    t.src.port = port;
+    hashes.insert(h(t));
+  }
+  // Port-only variation must not collapse hash values.
+  EXPECT_GT(hashes.size(), 95u);
+}
+
+TEST(FiveTuple, ProtocolNames) {
+  EXPECT_EQ(to_string(IpProto::kTcp), "tcp");
+  EXPECT_EQ(to_string(IpProto::kUdp), "udp");
+  EXPECT_EQ(to_string(IpProto::kIcmp), "icmp");
+  EXPECT_EQ(to_string(IpProto::kOther), "other");
+}
+
+TEST(FiveTuple, ToStringReadable) {
+  EXPECT_EQ(make_tuple().to_string(), "10.0.0.1:51000 -> 54.1.2.3:443 (tcp)");
+}
+
+TEST(Endpoint, Ordering) {
+  const Endpoint a{Ipv4(1, 0, 0, 1), 80};
+  const Endpoint b{Ipv4(1, 0, 0, 1), 81};
+  const Endpoint c{Ipv4(1, 0, 0, 2), 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace cs::net

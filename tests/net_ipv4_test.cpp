@@ -1,0 +1,99 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::net {
+namespace {
+
+TEST(Ipv4, ParseRoundTrip) {
+  const auto addr = Ipv4::parse("203.0.113.9");
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(addr->to_string(), "203.0.113.9");
+  EXPECT_EQ(addr->octet(0), 203);
+  EXPECT_EQ(addr->octet(3), 9);
+}
+
+TEST(Ipv4, ParseEdges) {
+  EXPECT_TRUE(Ipv4::parse("0.0.0.0"));
+  EXPECT_TRUE(Ipv4::parse("255.255.255.255"));
+  EXPECT_FALSE(Ipv4::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4::parse(""));
+  EXPECT_FALSE(Ipv4::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4::parse("0001.2.3.4"));
+}
+
+TEST(Ipv4, OctetConstructor) {
+  constexpr Ipv4 addr{10, 0, 1, 2};
+  EXPECT_EQ(addr.value(), 0x0A000102u);
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+TEST(Cidr, ParseAndBasics) {
+  const auto block = Cidr::parse("10.12.0.0/16");
+  ASSERT_TRUE(block);
+  EXPECT_EQ(block->prefix_len(), 16);
+  EXPECT_EQ(block->size(), 65536u);
+  EXPECT_EQ(block->to_string(), "10.12.0.0/16");
+  EXPECT_EQ(block->first().to_string(), "10.12.0.0");
+  EXPECT_EQ(block->last().to_string(), "10.12.255.255");
+}
+
+TEST(Cidr, BareAddressIsSlash32) {
+  const auto block = Cidr::parse("1.2.3.4");
+  ASSERT_TRUE(block);
+  EXPECT_EQ(block->prefix_len(), 32);
+  EXPECT_EQ(block->size(), 1u);
+  EXPECT_TRUE(block->contains(Ipv4(1, 2, 3, 4)));
+  EXPECT_FALSE(block->contains(Ipv4(1, 2, 3, 5)));
+}
+
+TEST(Cidr, HostBitsMasked) {
+  const Cidr block{Ipv4(10, 12, 34, 56), 16};
+  EXPECT_EQ(block.base().to_string(), "10.12.0.0");
+}
+
+TEST(Cidr, ParseRejectsBadInput) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Cidr::parse("10.0.0/8"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/"));
+  EXPECT_FALSE(Cidr::parse("/8"));
+}
+
+TEST(Cidr, ContainsAddress) {
+  const auto block = *Cidr::parse("192.168.0.0/24");
+  EXPECT_TRUE(block.contains(Ipv4(192, 168, 0, 0)));
+  EXPECT_TRUE(block.contains(Ipv4(192, 168, 0, 255)));
+  EXPECT_FALSE(block.contains(Ipv4(192, 168, 1, 0)));
+}
+
+TEST(Cidr, ContainsBlock) {
+  const auto outer = *Cidr::parse("10.0.0.0/8");
+  const auto inner = *Cidr::parse("10.5.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Cidr, ZeroPrefixContainsEverything) {
+  const auto all = *Cidr::parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4(0, 0, 0, 0)));
+}
+
+TEST(Cidr, AtIndexesAddresses) {
+  const auto block = *Cidr::parse("10.0.0.0/30");
+  EXPECT_EQ(block.at(0).to_string(), "10.0.0.0");
+  EXPECT_EQ(block.at(3).to_string(), "10.0.0.3");
+}
+
+}  // namespace
+}  // namespace cs::net

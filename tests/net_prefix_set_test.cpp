@@ -1,0 +1,96 @@
+#include "net/prefix_set.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cs::net {
+namespace {
+
+TEST(PrefixMap, EmptyMatchesNothing) {
+  PrefixMap<std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.lookup(Ipv4(1, 2, 3, 4)));
+}
+
+TEST(PrefixMap, ExactAndMiss) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("54.224.0.0/11"), "ec2.us-east-1");
+  EXPECT_EQ(map.lookup(Ipv4(54, 230, 1, 1)).value_or(""), "ec2.us-east-1");
+  EXPECT_FALSE(map.lookup(Ipv4(53, 0, 0, 1)));
+}
+
+TEST(PrefixMap, LongestPrefixWins) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("10.0.0.0/8"), "coarse");
+  map.insert(*Cidr::parse("10.5.0.0/16"), "fine");
+  map.insert(*Cidr::parse("10.5.5.0/24"), "finest");
+  EXPECT_EQ(*map.lookup(Ipv4(10, 1, 1, 1)), "coarse");
+  EXPECT_EQ(*map.lookup(Ipv4(10, 5, 1, 1)), "fine");
+  EXPECT_EQ(*map.lookup(Ipv4(10, 5, 5, 1)), "finest");
+}
+
+TEST(PrefixMap, OverwriteSamePrefix) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("10.0.0.0/8"), "old");
+  map.insert(*Cidr::parse("10.0.0.0/8"), "new");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.lookup(Ipv4(10, 1, 1, 1)), "new");
+}
+
+TEST(PrefixMap, SlashZeroDefaultRoute) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("0.0.0.0/0"), "default");
+  map.insert(*Cidr::parse("10.0.0.0/8"), "ten");
+  EXPECT_EQ(*map.lookup(Ipv4(1, 1, 1, 1)), "default");
+  EXPECT_EQ(*map.lookup(Ipv4(10, 1, 1, 1)), "ten");
+}
+
+TEST(PrefixMap, Slash32HostRoute) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("1.2.3.4/32"), "host");
+  EXPECT_EQ(*map.lookup(Ipv4(1, 2, 3, 4)), "host");
+  EXPECT_FALSE(map.lookup(Ipv4(1, 2, 3, 5)));
+}
+
+TEST(PrefixMap, LookupBlockReturnsCoveringCidr) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("172.16.0.0/12"), "rfc1918");
+  const auto m = map.lookup_block(Ipv4(172, 20, 1, 1));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->block.to_string(), "172.16.0.0/12");
+  EXPECT_EQ(m->tag, "rfc1918");
+}
+
+TEST(PrefixMap, EntriesListsAllBlocks) {
+  PrefixMap<int> map;
+  map.insert(*Cidr::parse("10.0.0.0/8"), 1);
+  map.insert(*Cidr::parse("192.168.0.0/16"), 2);
+  map.insert(*Cidr::parse("10.1.0.0/16"), 3);
+  const auto entries = map.entries();
+  EXPECT_EQ(entries.size(), 3u);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(PrefixMap, AdjacentBlocksDoNotBleed) {
+  PrefixMap<std::string> map;
+  map.insert(*Cidr::parse("10.0.0.0/9"), "low");
+  map.insert(*Cidr::parse("10.128.0.0/9"), "high");
+  EXPECT_EQ(*map.lookup(Ipv4(10, 127, 255, 255)), "low");
+  EXPECT_EQ(*map.lookup(Ipv4(10, 128, 0, 0)), "high");
+}
+
+TEST(PrefixSet, MembershipAndCoveringBlock) {
+  PrefixSet set;
+  set.insert(*Cidr::parse("23.20.0.0/14"));
+  EXPECT_TRUE(set.contains(Ipv4(23, 22, 1, 1)));
+  EXPECT_FALSE(set.contains(Ipv4(23, 24, 0, 0)));
+  const auto block = set.covering_block(Ipv4(23, 21, 0, 1));
+  ASSERT_TRUE(block);
+  EXPECT_EQ(block->to_string(), "23.20.0.0/14");
+  EXPECT_FALSE(set.covering_block(Ipv4(9, 9, 9, 9)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cs::net

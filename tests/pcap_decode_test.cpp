@@ -1,0 +1,145 @@
+#include "pcap/decode.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/checksum.h"
+
+namespace cs::pcap {
+namespace {
+
+const net::Endpoint kClient{net::Ipv4(10, 0, 0, 1), 50123};
+const net::Endpoint kServer{net::Ipv4(54, 1, 2, 3), 443};
+
+std::vector<std::uint8_t> payload_of(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+TEST(Decode, TcpRoundTrip) {
+  const auto payload = payload_of("hello");
+  const auto packet = make_tcp_packet(
+      1.5, kClient, kServer, TcpFlags{.syn = false, .ack = true, .psh = true},
+      1234, payload);
+  const auto decoded = decode_frame(packet.bytes());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->tuple.proto, net::IpProto::kTcp);
+  EXPECT_EQ(decoded->tuple.src, kClient);
+  EXPECT_EQ(decoded->tuple.dst, kServer);
+  EXPECT_EQ(decoded->tcp_seq, 1234u);
+  EXPECT_TRUE(decoded->tcp_flags.ack);
+  EXPECT_TRUE(decoded->tcp_flags.psh);
+  EXPECT_FALSE(decoded->tcp_flags.syn);
+  ASSERT_EQ(decoded->payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         decoded->payload.begin()));
+  EXPECT_EQ(decoded->ip_total_length, 20u + 20u + 5u);
+}
+
+TEST(Decode, UdpRoundTrip) {
+  const auto payload = payload_of("dns query bytes");
+  const auto packet = make_udp_packet(2.0, kClient,
+                                      {net::Ipv4(8, 8, 8, 8), 53}, payload);
+  const auto decoded = decode_frame(packet.bytes());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->tuple.proto, net::IpProto::kUdp);
+  EXPECT_EQ(decoded->tuple.dst.port, 53);
+  EXPECT_EQ(decoded->payload.size(), payload.size());
+}
+
+TEST(Decode, IcmpRoundTrip) {
+  const auto packet =
+      make_icmp_packet(3.0, kClient.addr, kServer.addr, 8, payload_of("ping"));
+  const auto decoded = decode_frame(packet.bytes());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->tuple.proto, net::IpProto::kIcmp);
+  EXPECT_EQ(decoded->icmp_type, 8);
+  EXPECT_EQ(decoded->payload.size(), 4u);
+}
+
+TEST(Decode, EmptyPayloadTcp) {
+  const auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0, {});
+  const auto decoded = decode_frame(packet.bytes());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->tcp_flags.syn);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Decode, Ipv4HeaderChecksumValid) {
+  const auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0, {});
+  // Verify the IP header checksum folds to zero when re-summed.
+  const auto* ip = packet.data.data() + 14;
+  EXPECT_EQ(net::internet_checksum({ip, 20}), 0u);
+}
+
+TEST(Decode, TcpChecksumValid) {
+  const auto payload = payload_of("data");
+  const auto packet = make_tcp_packet(1.0, kClient, kServer,
+                                      TcpFlags{.ack = true}, 7, payload);
+  const auto* segment = packet.data.data() + 14 + 20;
+  const std::size_t seg_len = packet.data.size() - 14 - 20;
+  EXPECT_EQ(net::transport_checksum(kClient.addr, kServer.addr, 6,
+                                    {segment, seg_len}),
+            0u);
+}
+
+TEST(Decode, RejectsNonIpv4EtherType) {
+  auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0, {});
+  packet.data[12] = 0x86;  // IPv6 ethertype
+  packet.data[13] = 0xDD;
+  EXPECT_FALSE(decode_frame(packet.bytes()));
+}
+
+TEST(Decode, RejectsTruncatedFrames) {
+  const auto packet = make_tcp_packet(1.0, kClient, kServer,
+                                      TcpFlags{.syn = true}, 0,
+                                      payload_of("xyz"));
+  for (std::size_t len : {0ul, 10ul, 14ul, 20ul, 33ul, 40ul}) {
+    if (len >= packet.data.size()) continue;
+    const std::span<const std::uint8_t> cut{packet.data.data(), len};
+    EXPECT_FALSE(decode_frame(cut)) << "len=" << len;
+  }
+}
+
+TEST(Decode, RejectsBadIhl) {
+  auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0, {});
+  packet.data[14] = 0x43;  // IHL = 3 words < minimum 5
+  EXPECT_FALSE(decode_frame(packet.bytes()));
+}
+
+TEST(Decode, RejectsTotalLengthBeyondBuffer) {
+  auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0, {});
+  packet.data[16] = 0xFF;  // total length = huge
+  packet.data[17] = 0xFF;
+  EXPECT_FALSE(decode_frame(packet.bytes()));
+}
+
+TEST(Decode, UnknownIpProtoClassifiedOther) {
+  auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0, {});
+  packet.data[14 + 9] = 47;  // GRE
+  // Fix the header checksum so only the protocol changed.
+  packet.data[14 + 10] = packet.data[14 + 11] = 0;
+  const auto cksum = net::internet_checksum({packet.data.data() + 14, 20});
+  packet.data[14 + 10] = static_cast<std::uint8_t>(cksum >> 8);
+  packet.data[14 + 11] = static_cast<std::uint8_t>(cksum);
+  const auto decoded = decode_frame(packet.bytes());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->tuple.proto, net::IpProto::kOther);
+}
+
+TEST(Decode, TcpFlagsByteRoundTrip) {
+  for (int b = 0; b < 32; ++b) {
+    const auto flags = TcpFlags::from_byte(static_cast<std::uint8_t>(b));
+    EXPECT_EQ(flags.to_byte(), b & 0x1F);
+  }
+}
+
+}  // namespace
+}  // namespace cs::pcap

@@ -1,0 +1,108 @@
+#include "pcap/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cs::pcap {
+namespace {
+
+class PcapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cs_pcap_test_" + std::to_string(::getpid()) + ".pcap");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path() const { return path_.string(); }
+
+  std::filesystem::path path_;
+};
+
+Packet make_packet(double ts, std::initializer_list<std::uint8_t> bytes) {
+  Packet p;
+  p.timestamp = ts;
+  p.data = bytes;
+  return p;
+}
+
+TEST_F(PcapFileTest, RoundTripPreservesPackets) {
+  const std::vector<Packet> packets = {
+      make_packet(1340700000.000123, {1, 2, 3, 4}),
+      make_packet(1340700001.5, {0xde, 0xad, 0xbe, 0xef, 0x42}),
+      make_packet(1340700002.999999, {}),
+  };
+  write_all(path(), packets);
+  const auto read = read_all(path());
+  ASSERT_EQ(read.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(read[i].data, packets[i].data) << i;
+    EXPECT_NEAR(read[i].timestamp, packets[i].timestamp, 1e-6) << i;
+  }
+}
+
+TEST_F(PcapFileTest, WriterCountsPackets) {
+  PcapWriter writer{path()};
+  writer.write(make_packet(1.0, {1}));
+  writer.write(make_packet(2.0, {2}));
+  EXPECT_EQ(writer.packets_written(), 2u);
+}
+
+TEST_F(PcapFileTest, EmptyFileHasHeaderOnly) {
+  { PcapWriter writer{path()}; }
+  EXPECT_EQ(std::filesystem::file_size(path_), 24u);
+  EXPECT_TRUE(read_all(path()).empty());
+}
+
+TEST_F(PcapFileTest, GlobalHeaderMagicAndLinkType) {
+  { PcapWriter writer{path()}; }
+  std::FILE* f = std::fopen(path().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::uint32_t words[6];
+  ASSERT_EQ(std::fread(words, 4, 6, f), 6u);
+  std::fclose(f);
+  EXPECT_EQ(words[0], 0xa1b2c3d4u);
+  EXPECT_EQ(words[5], 1u);  // LINKTYPE_ETHERNET
+}
+
+TEST_F(PcapFileTest, ReaderRejectsBadMagic) {
+  std::FILE* f = std::fopen(path().c_str(), "wb");
+  const std::uint32_t bad = 0xdeadbeef;
+  std::fwrite(&bad, 4, 1, f);
+  std::fclose(f);
+  EXPECT_THROW(PcapReader{path()}, std::runtime_error);
+}
+
+TEST_F(PcapFileTest, ReaderRejectsMissingFile) {
+  EXPECT_THROW(PcapReader{"/nonexistent/file.pcap"}, std::runtime_error);
+}
+
+TEST_F(PcapFileTest, ReaderThrowsOnTruncatedBody) {
+  {
+    PcapWriter writer{path()};
+    writer.write(make_packet(1.0, {1, 2, 3, 4, 5, 6, 7, 8}));
+  }
+  // Chop the last 4 bytes of the packet body.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 4);
+  PcapReader reader{path()};
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST_F(PcapFileTest, WriteAfterCloseThrows) {
+  PcapWriter writer{path()};
+  writer.close();
+  EXPECT_THROW(writer.write(make_packet(1.0, {1})), std::runtime_error);
+}
+
+TEST_F(PcapFileTest, StreamingReaderCounts) {
+  write_all(path(), {make_packet(1.0, {1}), make_packet(2.0, {2})});
+  PcapReader reader{path()};
+  while (reader.next()) {
+  }
+  EXPECT_EQ(reader.packets_read(), 2u);
+}
+
+}  // namespace
+}  // namespace cs::pcap

@@ -1,0 +1,151 @@
+#include "pcap/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cs::pcap {
+namespace {
+
+const net::Endpoint kClient{net::Ipv4(10, 0, 0, 1), 50123};
+const net::Endpoint kServer{net::Ipv4(54, 1, 2, 3), 80};
+
+std::vector<std::uint8_t> bytes_of(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+TEST(FlowTable, SingleDirectionFlow) {
+  FlowTable table;
+  table.add(make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0,
+                            {}));
+  table.add(make_tcp_packet(1.1, kClient, kServer,
+                            TcpFlags{.ack = true, .psh = true}, 1,
+                            bytes_of("GET / HTTP/1.1\r\n\r\n")));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_TRUE(flows[0].saw_syn);
+  EXPECT_EQ(flows[0].tuple.src, kClient);
+  EXPECT_NEAR(flows[0].duration(), 0.1, 1e-9);
+}
+
+TEST(FlowTable, BothDirectionsMergeToOneFlow) {
+  FlowTable table;
+  table.add(make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0,
+                            {}));
+  table.add(make_tcp_packet(1.05, kServer, kClient,
+                            TcpFlags{.syn = true, .ack = true}, 0, {}));
+  table.add(make_tcp_packet(1.1, kClient, kServer, TcpFlags{.ack = true}, 1,
+                            bytes_of("req")));
+  table.add(make_tcp_packet(1.2, kServer, kClient,
+                            TcpFlags{.ack = true, .psh = true}, 1,
+                            bytes_of("resp")));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  EXPECT_EQ(flow.packets, 4u);
+  // Initiator is the SYN sender.
+  EXPECT_EQ(flow.tuple.src, kClient);
+  EXPECT_EQ(flow.payload_to_responder, bytes_of("req"));
+  EXPECT_EQ(flow.payload_to_initiator, bytes_of("resp"));
+  EXPECT_GT(flow.bytes_to_responder, 0u);
+  EXPECT_GT(flow.bytes_to_initiator, 0u);
+  EXPECT_EQ(flow.bytes, flow.bytes_to_responder + flow.bytes_to_initiator);
+}
+
+TEST(FlowTable, DistinctTuplesDistinctFlows) {
+  FlowTable table;
+  for (std::uint16_t port = 1000; port < 1005; ++port) {
+    net::Endpoint src{kClient.addr, port};
+    table.add(make_tcp_packet(1.0, src, kServer, TcpFlags{.syn = true}, 0,
+                              {}));
+  }
+  EXPECT_EQ(table.open_flows(), 5u);
+  EXPECT_EQ(table.finish().size(), 5u);
+}
+
+TEST(FlowTable, FinThenSynStartsNewLogicalFlow) {
+  FlowTable table;
+  table.add(make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0,
+                            {}));
+  table.add(make_tcp_packet(2.0, kClient, kServer,
+                            TcpFlags{.ack = true, .fin = true}, 10, {}));
+  // Same 5-tuple reused for a brand-new connection.
+  table.add(make_tcp_packet(3.0, kClient, kServer, TcpFlags{.syn = true}, 0,
+                            {}));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].packets, 2u);
+  EXPECT_EQ(flows[1].packets, 1u);
+}
+
+TEST(FlowTable, IdleTimeoutSplitsFlows) {
+  FlowTable table{FlowTable::Options{.idle_timeout_sec = 60.0}};
+  table.add(make_udp_packet(1.0, kClient, {kServer.addr, 53}, bytes_of("q")));
+  table.add(make_udp_packet(100.0, kClient, {kServer.addr, 53},
+                            bytes_of("q2")));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 2u);
+}
+
+TEST(FlowTable, WithinTimeoutStaysOneFlow) {
+  FlowTable table{FlowTable::Options{.idle_timeout_sec = 60.0}};
+  table.add(make_udp_packet(1.0, kClient, {kServer.addr, 53}, bytes_of("q")));
+  table.add(make_udp_packet(30.0, kClient, {kServer.addr, 53},
+                            bytes_of("q2")));
+  EXPECT_EQ(table.finish().size(), 1u);
+}
+
+TEST(FlowTable, PayloadCapRespected) {
+  FlowTable table{FlowTable::Options{.payload_cap = 10}};
+  table.add(make_tcp_packet(1.0, kClient, kServer, TcpFlags{.psh = true}, 0,
+                            bytes_of("0123456789ABCDEF")));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].payload_to_responder.size(), 10u);
+  // Byte accounting still counts the full packet.
+  EXPECT_EQ(flows[0].bytes, 20u + 20u + 16u);
+}
+
+TEST(FlowTable, UndecodablePacketsCounted) {
+  FlowTable table;
+  Packet junk;
+  junk.timestamp = 1.0;
+  junk.data = {1, 2, 3};
+  table.add(junk);
+  EXPECT_EQ(table.undecodable_packets(), 1u);
+  EXPECT_TRUE(table.finish().empty());
+}
+
+TEST(FlowTable, RstAlsoTerminatesForReopen) {
+  FlowTable table;
+  table.add(make_tcp_packet(1.0, kClient, kServer, TcpFlags{.syn = true}, 0,
+                            {}));
+  table.add(make_tcp_packet(1.5, kServer, kClient, TcpFlags{.rst = true}, 0,
+                            {}));
+  table.add(make_tcp_packet(2.0, kClient, kServer, TcpFlags{.syn = true}, 0,
+                            {}));
+  EXPECT_EQ(table.finish().size(), 2u);
+}
+
+TEST(FlowTable, FinishSortsByFirstTimestamp) {
+  FlowTable table;
+  net::Endpoint a{kClient.addr, 1111};
+  net::Endpoint b{kClient.addr, 2222};
+  table.add(make_tcp_packet(5.0, b, kServer, TcpFlags{.syn = true}, 0, {}));
+  table.add(make_tcp_packet(1.0, a, kServer, TcpFlags{.syn = true}, 0, {}));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_LT(flows[0].first_ts, flows[1].first_ts);
+}
+
+TEST(FlowTable, IcmpTypeRecorded) {
+  FlowTable table;
+  table.add(make_icmp_packet(1.0, kClient.addr, kServer.addr, 8));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].icmp_type, 8);
+}
+
+}  // namespace
+}  // namespace cs::pcap

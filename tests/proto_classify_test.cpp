@@ -1,0 +1,83 @@
+#include "proto/classify.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "proto/http.h"
+#include "proto/tls.h"
+
+namespace cs::proto {
+namespace {
+
+pcap::Flow tcp_flow(std::uint16_t dst_port,
+                    std::vector<std::uint8_t> to_responder = {}) {
+  pcap::Flow flow;
+  flow.tuple = {{net::Ipv4(10, 0, 0, 1), 50000},
+                {net::Ipv4(54, 0, 0, 1), dst_port},
+                net::IpProto::kTcp};
+  flow.payload_to_responder = std::move(to_responder);
+  return flow;
+}
+
+TEST(Classify, IcmpFlow) {
+  pcap::Flow flow;
+  flow.tuple.proto = net::IpProto::kIcmp;
+  EXPECT_EQ(classify(flow), Service::kIcmp);
+}
+
+TEST(Classify, HttpByPayload) {
+  const auto req = build_request("GET", "x.com", "/");
+  // Even on an odd port, an HTTP request line wins.
+  EXPECT_EQ(classify(tcp_flow(8443, req)), Service::kHttp);
+}
+
+TEST(Classify, HttpsByTlsPayload) {
+  EXPECT_EQ(classify(tcp_flow(8080, build_client_hello("x.com"))),
+            Service::kHttps);
+}
+
+TEST(Classify, PortFallbacks) {
+  EXPECT_EQ(classify(tcp_flow(80)), Service::kHttp);
+  EXPECT_EQ(classify(tcp_flow(8080)), Service::kHttp);
+  EXPECT_EQ(classify(tcp_flow(443)), Service::kHttps);
+  EXPECT_EQ(classify(tcp_flow(22)), Service::kOtherTcp);
+  EXPECT_EQ(classify(tcp_flow(25)), Service::kOtherTcp);
+}
+
+TEST(Classify, DnsByPort) {
+  pcap::Flow flow;
+  flow.tuple = {{net::Ipv4(10, 0, 0, 1), 53124},
+                {net::Ipv4(8, 8, 8, 8), 53},
+                net::IpProto::kUdp};
+  EXPECT_EQ(classify(flow), Service::kDns);
+  // Reverse direction (responses) also count as DNS.
+  std::swap(flow.tuple.src, flow.tuple.dst);
+  EXPECT_EQ(classify(flow), Service::kDns);
+}
+
+TEST(Classify, OtherUdp) {
+  pcap::Flow flow;
+  flow.tuple = {{net::Ipv4(10, 0, 0, 1), 5000},
+                {net::Ipv4(54, 0, 0, 1), 123},
+                net::IpProto::kUdp};
+  EXPECT_EQ(classify(flow), Service::kOtherUdp);
+}
+
+TEST(Classify, PayloadBeatsPort) {
+  // TLS bytes on port 80: classified HTTPS, not HTTP.
+  EXPECT_EQ(classify(tcp_flow(80, build_client_hello("x.com"))),
+            Service::kHttps);
+}
+
+TEST(Classify, ServiceNamesMatchPaperRows) {
+  EXPECT_EQ(to_string(Service::kHttp), "HTTP (TCP)");
+  EXPECT_EQ(to_string(Service::kHttps), "HTTPS (TCP)");
+  EXPECT_EQ(to_string(Service::kDns), "DNS (UDP)");
+  EXPECT_EQ(to_string(Service::kIcmp), "ICMP");
+  EXPECT_EQ(to_string(Service::kOtherTcp), "Other (TCP)");
+  EXPECT_EQ(to_string(Service::kOtherUdp), "Other (UDP)");
+}
+
+}  // namespace
+}  // namespace cs::proto

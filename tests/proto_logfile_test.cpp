@@ -1,0 +1,105 @@
+#include "proto/logfile.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::proto {
+namespace {
+
+TraceLogs sample_logs() {
+  TraceLogs logs;
+  ConnRecord conn;
+  conn.tuple = {{net::Ipv4(128, 104, 1, 2), 51000},
+                {net::Ipv4(54, 1, 2, 3), 443},
+                net::IpProto::kTcp};
+  conn.service = Service::kHttps;
+  conn.first_ts = 1340700000.25;
+  conn.duration = 12.5;
+  conn.bytes = 123456;
+  conn.packets = 120;
+  conn.hostname = "client1.dropbox.com";
+  logs.conns.push_back(conn);
+
+  ConnRecord dns;
+  dns.tuple = {{net::Ipv4(128, 104, 1, 3), 40000},
+               {net::Ipv4(54, 9, 9, 9), 53},
+               net::IpProto::kUdp};
+  dns.service = Service::kDns;
+  dns.first_ts = 1340700001.0;
+  dns.bytes = 300;
+  dns.packets = 2;
+  logs.conns.push_back(dns);
+
+  HttpRecord http;
+  http.host = "www.netflix.com";
+  http.method = "GET";
+  http.target = "/title/1";
+  http.status = 200;
+  http.content_type = "video/mp4";
+  http.content_length = 987654;
+  logs.http.push_back(http);
+
+  SslRecord ssl;
+  ssl.sni = "client1.dropbox.com";
+  ssl.certificate_cn = "*.dropbox.com";
+  logs.ssl.push_back(ssl);
+  return logs;
+}
+
+TEST(Logfile, ConnLogShape) {
+  const auto text = to_conn_log(sample_logs());
+  EXPECT_EQ(text.rfind("#fields\tts\t", 0), 0u);
+  EXPECT_NE(text.find("54.1.2.3\t443\ttcp\tssl"), std::string::npos);
+  EXPECT_NE(text.find("client1.dropbox.com"), std::string::npos);
+  // The DNS record's missing hostname renders as '-'.
+  EXPECT_NE(text.find("\tdns\t"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Logfile, HttpLogShape) {
+  const auto text = to_http_log(sample_logs());
+  EXPECT_NE(text.find("www.netflix.com\tGET\t/title/1\t200\tvideo/mp4\t"
+                      "987654"),
+            std::string::npos);
+}
+
+TEST(Logfile, SslLogShape) {
+  const auto text = to_ssl_log(sample_logs());
+  EXPECT_NE(text.find("client1.dropbox.com\t*.dropbox.com"),
+            std::string::npos);
+}
+
+TEST(Logfile, ConnLogRoundTrip) {
+  const auto logs = sample_logs();
+  const auto parsed = parse_conn_log(to_conn_log(logs));
+  ASSERT_EQ(parsed.size(), logs.conns.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].tuple, logs.conns[i].tuple);
+    EXPECT_EQ(parsed[i].service, logs.conns[i].service);
+    EXPECT_EQ(parsed[i].bytes, logs.conns[i].bytes);
+    EXPECT_EQ(parsed[i].packets, logs.conns[i].packets);
+    EXPECT_EQ(parsed[i].hostname, logs.conns[i].hostname);
+    EXPECT_NEAR(parsed[i].first_ts, logs.conns[i].first_ts, 1e-5);
+    EXPECT_NEAR(parsed[i].duration, logs.conns[i].duration, 1e-5);
+  }
+}
+
+TEST(Logfile, ParseSkipsHeaderAndJunk) {
+  const auto parsed = parse_conn_log(
+      "#fields\twhatever\n"
+      "not a record at all\n"
+      "1.0\t1.2.3.4\t1\t5.6.7.8\t2\ttcp\thttp\t0.5\t100\t3\t-\n"
+      "1.0\tBADIP\t1\t5.6.7.8\t2\ttcp\thttp\t0.5\t100\t3\t-\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].bytes, 100u);
+  EXPECT_FALSE(parsed[0].hostname);
+}
+
+TEST(Logfile, EmptyLogs) {
+  const TraceLogs empty;
+  const auto text = to_conn_log(empty);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);  // header only
+  EXPECT_TRUE(parse_conn_log(text).empty());
+}
+
+}  // namespace
+}  // namespace cs::proto

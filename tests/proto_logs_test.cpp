@@ -1,0 +1,134 @@
+#include "proto/logs.h"
+
+#include <gtest/gtest.h>
+
+#include "pcap/decode.h"
+#include "proto/tls.h"
+
+namespace cs::proto {
+namespace {
+
+const net::Endpoint kClient{net::Ipv4(10, 0, 0, 1), 50123};
+
+/// Builds one HTTP flow end-to-end through the packet pipeline.
+pcap::Flow make_http_flow(const std::string& host,
+                          const std::string& content_type,
+                          std::uint64_t body) {
+  pcap::FlowTable table;
+  const net::Endpoint server{net::Ipv4(54, 0, 0, 9), 80};
+  table.add(pcap::make_tcp_packet(1.0, kClient, server,
+                                  pcap::TcpFlags{.syn = true}, 0, {}));
+  table.add(pcap::make_tcp_packet(1.1, kClient, server,
+                                  pcap::TcpFlags{.ack = true, .psh = true}, 1,
+                                  build_request("GET", host, "/")));
+  table.add(pcap::make_tcp_packet(
+      1.2, server, kClient, pcap::TcpFlags{.ack = true, .psh = true}, 1,
+      build_response(200, content_type, body, 128)));
+  auto flows = table.finish();
+  return flows.at(0);
+}
+
+pcap::Flow make_https_flow(const std::string& sni, const std::string& cn) {
+  pcap::FlowTable table;
+  const net::Endpoint server{net::Ipv4(54, 0, 0, 10), 443};
+  table.add(pcap::make_tcp_packet(2.0, kClient, server,
+                                  pcap::TcpFlags{.psh = true}, 0,
+                                  build_client_hello(sni)));
+  table.add(pcap::make_tcp_packet(2.1, server, kClient,
+                                  pcap::TcpFlags{.psh = true}, 0,
+                                  build_certificate(cn)));
+  auto flows = table.finish();
+  return flows.at(0);
+}
+
+TEST(Logs, HttpFlowProducesConnAndHttpRecords) {
+  const auto logs =
+      analyze_flows({make_http_flow("www.netflix.com", "video/mp4", 9999)});
+  ASSERT_EQ(logs.conns.size(), 1u);
+  EXPECT_EQ(logs.conns[0].service, Service::kHttp);
+  EXPECT_EQ(logs.conns[0].hostname.value_or(""), "www.netflix.com");
+  ASSERT_EQ(logs.http.size(), 1u);
+  EXPECT_EQ(logs.http[0].host, "www.netflix.com");
+  EXPECT_EQ(logs.http[0].content_type.value_or(""), "video/mp4");
+  EXPECT_EQ(logs.http[0].content_length.value_or(0), 9999u);
+  EXPECT_TRUE(logs.ssl.empty());
+}
+
+TEST(Logs, HttpsFlowUsesCertificateCn) {
+  const auto logs = analyze_flows(
+      {make_https_flow("client1.dropbox.com", "*.dropbox.com")});
+  ASSERT_EQ(logs.conns.size(), 1u);
+  EXPECT_EQ(logs.conns[0].service, Service::kHttps);
+  // CN is preferred over SNI, matching the paper's methodology.
+  EXPECT_EQ(logs.conns[0].hostname.value_or(""), "*.dropbox.com");
+  ASSERT_EQ(logs.ssl.size(), 1u);
+  EXPECT_EQ(logs.ssl[0].sni.value_or(""), "client1.dropbox.com");
+  EXPECT_EQ(logs.ssl[0].certificate_cn.value_or(""), "*.dropbox.com");
+}
+
+TEST(Logs, HttpsWithoutCertFallsBackToSni) {
+  pcap::FlowTable table;
+  const net::Endpoint server{net::Ipv4(54, 0, 0, 10), 443};
+  table.add(pcap::make_tcp_packet(2.0, kClient, server,
+                                  pcap::TcpFlags{.psh = true}, 0,
+                                  build_client_hello("only.sni.com")));
+  const auto logs = analyze_flows(table.finish());
+  ASSERT_EQ(logs.conns.size(), 1u);
+  EXPECT_EQ(logs.conns[0].hostname.value_or(""), "only.sni.com");
+}
+
+TEST(Logs, NonWebFlowHasNoHostname) {
+  pcap::FlowTable table;
+  table.add(pcap::make_udp_packet(1.0, kClient,
+                                  {net::Ipv4(8, 8, 8, 8), 53},
+                                  std::vector<std::uint8_t>{1, 2, 3}));
+  const auto logs = analyze_flows(table.finish());
+  ASSERT_EQ(logs.conns.size(), 1u);
+  EXPECT_EQ(logs.conns[0].service, Service::kDns);
+  EXPECT_FALSE(logs.conns[0].hostname);
+  EXPECT_TRUE(logs.http.empty());
+  EXPECT_TRUE(logs.ssl.empty());
+}
+
+TEST(Logs, PipelinedHttpPairsRequestsWithResponses) {
+  pcap::Flow flow;
+  flow.tuple = {kClient, {net::Ipv4(54, 0, 0, 9), 80}, net::IpProto::kTcp};
+  auto req1 = build_request("GET", "a.example.com", "/1");
+  auto req2 = build_request("GET", "b.example.com", "/2");
+  flow.payload_to_responder = req1;
+  flow.payload_to_responder.insert(flow.payload_to_responder.end(),
+                                   req2.begin(), req2.end());
+  auto resp1 = build_response(200, "text/html", 10, 10);
+  auto resp2 = build_response(200, "image/png", 20, 20);
+  flow.payload_to_initiator = resp1;
+  flow.payload_to_initiator.insert(flow.payload_to_initiator.end(),
+                                   resp2.begin(), resp2.end());
+  const auto logs = analyze_flows({flow});
+  ASSERT_EQ(logs.http.size(), 2u);
+  EXPECT_EQ(logs.http[0].host, "a.example.com");
+  EXPECT_EQ(logs.http[0].content_type.value_or(""), "text/html");
+  EXPECT_EQ(logs.http[1].host, "b.example.com");
+  EXPECT_EQ(logs.http[1].content_type.value_or(""), "image/png");
+}
+
+TEST(Logs, RequestWithoutResponseStillLogged) {
+  pcap::Flow flow;
+  flow.tuple = {kClient, {net::Ipv4(54, 0, 0, 9), 80}, net::IpProto::kTcp};
+  flow.payload_to_responder = build_request("GET", "lost.example.com", "/");
+  const auto logs = analyze_flows({flow});
+  ASSERT_EQ(logs.http.size(), 1u);
+  EXPECT_EQ(logs.http[0].host, "lost.example.com");
+  EXPECT_EQ(logs.http[0].status, 0);
+}
+
+TEST(Logs, ConnRecordCarriesFlowAccounting) {
+  auto flow = make_http_flow("x.com", "text/plain", 3);
+  const auto logs = analyze_flows({flow});
+  ASSERT_EQ(logs.conns.size(), 1u);
+  EXPECT_EQ(logs.conns[0].bytes, flow.bytes);
+  EXPECT_EQ(logs.conns[0].packets, flow.packets);
+  EXPECT_NEAR(logs.conns[0].duration, flow.duration(), 1e-9);
+}
+
+}  // namespace
+}  // namespace cs::proto

@@ -1,0 +1,82 @@
+#include "proto/tls.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cs::proto {
+namespace {
+
+TEST(Tls, ClientHelloSniRoundTrip) {
+  const auto hello = build_client_hello("www.dropbox.com");
+  EXPECT_TRUE(looks_like_tls(hello));
+  const auto sni = extract_sni(hello);
+  ASSERT_TRUE(sni);
+  EXPECT_EQ(*sni, "www.dropbox.com");
+}
+
+TEST(Tls, CertificateCnRoundTrip) {
+  const auto cert = build_certificate("*.dropbox.com");
+  const auto cn = extract_certificate_cn(cert);
+  ASSERT_TRUE(cn);
+  EXPECT_EQ(*cn, "*.dropbox.com");
+}
+
+TEST(Tls, CertAfterOtherRecordsStillFound) {
+  // Server streams: ServerHello-ish record (we reuse a ClientHello record
+  // as an arbitrary non-certificate handshake), then the Certificate.
+  auto stream = build_client_hello("ignored.example");
+  const auto cert = build_certificate("cn.example.com");
+  stream.insert(stream.end(), cert.begin(), cert.end());
+  const auto cn = extract_certificate_cn(stream);
+  ASSERT_TRUE(cn);
+  EXPECT_EQ(*cn, "cn.example.com");
+}
+
+TEST(Tls, SniAbsentFromCertificateRecord) {
+  EXPECT_FALSE(extract_sni(build_certificate("x.com")));
+}
+
+TEST(Tls, CnAbsentFromClientHello) {
+  EXPECT_FALSE(extract_certificate_cn(build_client_hello("x.com")));
+}
+
+TEST(Tls, NotTlsRejected) {
+  const std::string text = "GET / HTTP/1.1\r\n\r\n";
+  const std::vector<std::uint8_t> data{text.begin(), text.end()};
+  EXPECT_FALSE(looks_like_tls(data));
+  EXPECT_FALSE(extract_sni(data));
+  EXPECT_FALSE(extract_certificate_cn(data));
+}
+
+TEST(Tls, EmptyAndTinyBuffers) {
+  EXPECT_FALSE(looks_like_tls({}));
+  const std::vector<std::uint8_t> tiny = {0x16, 0x03};
+  EXPECT_FALSE(looks_like_tls(tiny));
+  EXPECT_FALSE(extract_sni(tiny));
+}
+
+TEST(Tls, TruncatedClientHelloRejected) {
+  const auto hello = build_client_hello("host.example.com");
+  for (std::size_t cut = 5; cut + 5 < hello.size(); cut += 7) {
+    const std::span<const std::uint8_t> prefix{hello.data(), cut};
+    EXPECT_FALSE(extract_sni(prefix)) << "cut=" << cut;
+  }
+}
+
+TEST(Tls, LongSniNames) {
+  const std::string host(200, 'a');
+  const auto sni = extract_sni(build_client_hello(host + ".example.com"));
+  ASSERT_TRUE(sni);
+  EXPECT_EQ(sni->size(), host.size() + 12);
+}
+
+TEST(Tls, VersionGate) {
+  auto hello = build_client_hello("x.com");
+  hello[1] = 0x02;  // SSLv2-era version in the record layer
+  hello[2] = 0x00;
+  EXPECT_FALSE(looks_like_tls(hello));
+}
+
+}  // namespace
+}  // namespace cs::proto

@@ -1,0 +1,188 @@
+// Fuzz-style robustness properties: corrupted and truncated inputs to the
+// file/wire parsers must produce clean errors, never crashes, hangs or
+// out-of-bounds reads (run these under ASan/UBSan for full value).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dns/message.h"
+#include "dns/zonefile.h"
+#include "pcap/decode.h"
+#include "pcap/file.h"
+#include "proto/http.h"
+#include "proto/logfile.h"
+#include "proto/tls.h"
+#include "util/rng.h"
+
+namespace cs {
+namespace {
+
+// ---------------------------------------------------------------------
+class DnsWireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DnsWireFuzz, RandomBytesNeverCrashDecoder) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(300));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    (void)dns::Message::decode(junk);  // any result is fine; no crash
+  }
+}
+
+TEST_P(DnsWireFuzz, BitFlippedMessagesNeverCrash) {
+  util::Rng rng{GetParam() * 3};
+  auto message = dns::Message::query(
+      9, dns::Name::must_parse("www.example.com"), dns::RrType::kA);
+  message.answers.push_back(dns::ResourceRecord::cname(
+      dns::Name::must_parse("www.example.com"),
+      dns::Name::must_parse("lb.elb.amazonaws.com")));
+  auto wire = message.encode();
+  for (int trial = 0; trial < 500; ++trial) {
+    auto corrupted = wire;
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f)
+      corrupted[rng.next_below(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    (void)dns::Message::decode(corrupted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnsWireFuzz,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------
+class FrameFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameFuzz, CorruptedFramesNeverCrashDecoder) {
+  util::Rng rng{GetParam()};
+  const std::vector<std::uint8_t> payload(200, 'x');
+  const auto packet = pcap::make_tcp_packet(
+      1.0, {net::Ipv4(10, 0, 0, 1), 4000}, {net::Ipv4(54, 0, 0, 1), 80},
+      {.ack = true}, 1, payload);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto corrupted = packet.data;
+    // Random truncation plus random byte smashes.
+    corrupted.resize(rng.next_below(corrupted.size() + 1));
+    for (std::uint64_t s = 0; s < 5 && !corrupted.empty(); ++s)
+      corrupted[rng.next_below(corrupted.size())] =
+          static_cast<std::uint8_t>(rng());
+    const auto decoded = pcap::decode_frame(corrupted);
+    if (decoded) {
+      // If it decodes, the payload view must stay inside the buffer.
+      const auto* begin = corrupted.data();
+      const auto* end = corrupted.data() + corrupted.size();
+      if (!decoded->payload.empty()) {
+        EXPECT_GE(decoded->payload.data(), begin);
+        EXPECT_LE(decoded->payload.data() + decoded->payload.size(), end);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzz,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------
+class TextParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TextParserFuzz, HttpParserSurvivesGarbage) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(400));
+    for (auto& b : junk)
+      b = static_cast<std::uint8_t>(32 + rng.next_below(95));
+    // Sprinkle CRLFs so the head-end scanner engages.
+    for (std::uint64_t i = 0; i + 4 < junk.size(); i += 37) {
+      junk[i] = '\r';
+      junk[i + 1] = '\n';
+    }
+    (void)proto::parse_requests(junk);
+    (void)proto::parse_responses(junk);
+  }
+}
+
+TEST_P(TextParserFuzz, TlsExtractorsSurviveGarbage) {
+  util::Rng rng{GetParam() * 7};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    if (!junk.empty()) junk[0] = 22;  // force the TLS content-type path
+    (void)proto::extract_sni(junk);
+    (void)proto::extract_certificate_cn(junk);
+  }
+}
+
+TEST_P(TextParserFuzz, ZonefileParserSurvivesGarbage) {
+  util::Rng rng{GetParam() * 13};
+  static const char* kFragments[] = {
+      "$ORIGIN x.net.", "@ 3600 IN SOA ns.x.net. r.x.net. 1 2 3 4 5",
+      "www 60 IN A 1.2.3.4", "IN A", "}{", "60 IN", "@", ";;;",
+      "a..b 60 IN A 1.1.1.1", "www 9999999999999 IN A 1.2.3.4"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const auto lines = 1 + rng.next_below(12);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      text += kFragments[rng.next_below(std::size(kFragments))];
+      text += '\n';
+    }
+    (void)dns::parse_zonefile(text);  // must not crash
+  }
+}
+
+TEST_P(TextParserFuzz, ConnLogParserSurvivesGarbage) {
+  util::Rng rng{GetParam() * 17};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const auto lines = rng.next_below(12);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      const auto fields = rng.next_below(14);
+      for (std::uint64_t f = 0; f < fields; ++f) {
+        text += std::to_string(rng.next_below(1000));
+        text += '\t';
+      }
+      text += '\n';
+    }
+    (void)proto::parse_conn_log(text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+// ---------------------------------------------------------------------
+TEST(PcapFileFuzz, TruncatedFilesErrorCleanly) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "cs_fuzz_trunc.pcap";
+  const auto rewrite = [&path]() {
+    pcap::PcapWriter writer{path.string()};
+    for (int i = 0; i < 4; ++i) {
+      pcap::Packet packet;
+      packet.timestamp = i;
+      packet.data.assign(64, static_cast<std::uint8_t>(i));
+      writer.write(packet);
+    }
+  };
+  rewrite();
+  const auto full_size = std::filesystem::file_size(path);
+  for (std::uintmax_t cut = 0; cut < full_size; cut += 7) {
+    rewrite();
+    std::filesystem::resize_file(path, cut);
+    if (cut < 4) {
+      // Not even the magic survives.
+      EXPECT_THROW(pcap::PcapReader{path.string()}, std::runtime_error);
+      continue;
+    }
+    // Anything longer must open-or-throw, and reading must either yield
+    // packets or throw — never hang or crash.
+    try {
+      pcap::PcapReader reader{path.string()};
+      while (reader.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,212 @@
+#include "synth/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pcap/file.h"
+#include "pcap/flow.h"
+#include "proto/logs.h"
+
+namespace cs::synth {
+namespace {
+
+/// Shared world + generated capture; generation dominates test time.
+class TrafficTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig world_config;
+    world_config.domain_count = 200;
+    world_ = new World{world_config};
+    TrafficConfig traffic_config;
+    traffic_config.total_web_bytes = 8ull * 1024 * 1024;
+    generator_ = new TrafficGenerator{*world_, traffic_config};
+    packets_ = new std::vector<pcap::Packet>{generator_->generate()};
+    pcap::FlowTable table;
+    for (const auto& packet : *packets_) table.add(packet);
+    logs_ = new proto::TraceLogs{proto::analyze_flows(table.finish())};
+  }
+  static void TearDownTestSuite() {
+    delete logs_;
+    delete packets_;
+    delete generator_;
+    delete world_;
+  }
+
+  static World* world_;
+  static TrafficGenerator* generator_;
+  static std::vector<pcap::Packet>* packets_;
+  static proto::TraceLogs* logs_;
+};
+
+World* TrafficTest::world_ = nullptr;
+TrafficGenerator* TrafficTest::generator_ = nullptr;
+std::vector<pcap::Packet>* TrafficTest::packets_ = nullptr;
+proto::TraceLogs* TrafficTest::logs_ = nullptr;
+
+TEST_F(TrafficTest, EveryPacketDecodes) {
+  pcap::FlowTable table;
+  for (const auto& packet : *packets_) table.add(packet);
+  EXPECT_EQ(table.undecodable_packets(), 0u);
+}
+
+TEST_F(TrafficTest, PacketsAreTimeSorted) {
+  for (std::size_t i = 1; i < packets_->size(); ++i)
+    EXPECT_LE((*packets_)[i - 1].timestamp, (*packets_)[i].timestamp);
+}
+
+TEST_F(TrafficTest, TimestampsInsideCaptureWindow) {
+  const TrafficConfig defaults{};
+  for (const auto& packet : *packets_) {
+    EXPECT_GE(packet.timestamp, defaults.start_time);
+    EXPECT_LE(packet.timestamp,
+              defaults.start_time + defaults.duration_sec + 3600.0);
+  }
+}
+
+TEST_F(TrafficTest, AllFlowsLeaveTheUniversity) {
+  for (const auto& conn : logs_->conns)
+    EXPECT_EQ(conn.tuple.src.addr.octet(0), 128) << conn.tuple.to_string();
+}
+
+TEST_F(TrafficTest, AllDestinationsAreCloudAddresses) {
+  for (const auto& conn : logs_->conns) {
+    const auto dst = conn.tuple.dst.addr;
+    const bool cloud = world_->ec2().region_of(dst).has_value() ||
+                       world_->azure().region_of(dst).has_value() ||
+                       world_->ec2().cdn_block().contains(dst);
+    EXPECT_TRUE(cloud) << conn.tuple.to_string();
+  }
+}
+
+TEST_F(TrafficTest, Ec2CarriesMostBytes) {
+  std::uint64_t ec2 = 0, azure = 0;
+  for (const auto& conn : logs_->conns) {
+    if (world_->ec2().region_of(conn.tuple.dst.addr))
+      ec2 += conn.bytes;
+    else if (world_->azure().region_of(conn.tuple.dst.addr))
+      azure += conn.bytes;
+  }
+  // Table 1 shape: roughly 4:1.
+  EXPECT_GT(ec2, azure * 2);
+  EXPECT_LT(ec2, azure * 8);
+}
+
+TEST_F(TrafficTest, DropboxDominatesWebBytes) {
+  std::map<std::string, std::uint64_t> volume;
+  std::uint64_t web_total = 0;
+  for (const auto& conn : logs_->conns) {
+    if (conn.service != proto::Service::kHttp &&
+        conn.service != proto::Service::kHttps)
+      continue;
+    web_total += conn.bytes;
+    if (conn.hostname &&
+        conn.hostname->find("dropbox") != std::string::npos)
+      volume["dropbox"] += conn.bytes;
+  }
+  ASSERT_GT(web_total, 0u);
+  const double share =
+      static_cast<double>(volume["dropbox"]) / static_cast<double>(web_total);
+  EXPECT_GT(share, 0.5);  // paper: 68%
+  EXPECT_LT(share, 0.85);
+}
+
+TEST_F(TrafficTest, HttpFlowsOutnumberHttpsHeavily) {
+  std::size_t http = 0, https = 0;
+  for (const auto& conn : logs_->conns) {
+    http += conn.service == proto::Service::kHttp;
+    https += conn.service == proto::Service::kHttps;
+  }
+  EXPECT_GT(http, https * 4);  // paper: ~10.5x
+}
+
+TEST_F(TrafficTest, HttpsFlowsLargerThanHttp) {
+  std::uint64_t http_bytes = 0, https_bytes = 0;
+  std::size_t http = 0, https = 0;
+  for (const auto& conn : logs_->conns) {
+    if (conn.service == proto::Service::kHttp) {
+      http_bytes += conn.bytes;
+      ++http;
+    } else if (conn.service == proto::Service::kHttps) {
+      https_bytes += conn.bytes;
+      ++https;
+    }
+  }
+  ASSERT_GT(http, 0u);
+  ASSERT_GT(https, 0u);
+  EXPECT_GT(https_bytes / https, 5 * (http_bytes / http));
+}
+
+TEST_F(TrafficTest, DnsFlowsPresentInExpectedShare) {
+  std::size_t dns = 0;
+  for (const auto& conn : logs_->conns)
+    dns += conn.service == proto::Service::kDns;
+  const double share = static_cast<double>(dns) / logs_->conns.size();
+  EXPECT_GT(share, 0.05);
+  EXPECT_LT(share, 0.20);  // paper: 10.6%
+}
+
+TEST_F(TrafficTest, HostnamesRecoverableFromBothProtocols) {
+  std::size_t with_host = 0, web = 0;
+  for (const auto& conn : logs_->conns) {
+    if (conn.service != proto::Service::kHttp &&
+        conn.service != proto::Service::kHttps)
+      continue;
+    ++web;
+    if (conn.hostname) ++with_host;
+  }
+  ASSERT_GT(web, 0u);
+  // Every synthesized web flow carries a Host header or certificate.
+  EXPECT_EQ(with_host, web);
+}
+
+TEST_F(TrafficTest, ContentTypesFollowPlan) {
+  std::map<std::string, std::size_t> types;
+  for (const auto& http : logs_->http)
+    if (http.content_type) ++types[*http.content_type];
+  EXPECT_GT(types["text/html"], 0u);
+  EXPECT_GT(types["text/plain"], 0u);
+  // Rare-but-huge types appear occasionally in a capture this size.
+  EXPECT_GE(types.count("application/pdf") + types.count("application/zip") +
+                types.count("video/mp4"),
+            0u);
+}
+
+TEST_F(TrafficTest, EndpointsIncludeHeavyHittersAndTail) {
+  bool dropbox = false, atdmt = false, alexa_tail = false, uonly = false;
+  for (const auto& ep : generator_->endpoints()) {
+    dropbox |= ep.domain == "dropbox.com";
+    atdmt |= ep.domain == "atdmt.com";
+    alexa_tail |= ep.in_alexa && ep.domain != "pinterest.com";
+    uonly |= ep.domain.rfind("uonly", 0) == 0;
+  }
+  EXPECT_TRUE(dropbox);
+  EXPECT_TRUE(atdmt);
+  EXPECT_TRUE(alexa_tail);
+  EXPECT_TRUE(uonly);
+}
+
+TEST_F(TrafficTest, DeterministicGeneration) {
+  WorldConfig world_config;
+  world_config.domain_count = 60;
+  TrafficConfig traffic_config;
+  traffic_config.total_web_bytes = 1ull * 1024 * 1024;
+  World wa{world_config}, wb{world_config};
+  TrafficGenerator ga{wa, traffic_config}, gb{wb, traffic_config};
+  const auto pa = ga.generate();
+  const auto pb = gb.generate();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(pa.size(), 500); ++i)
+    EXPECT_EQ(pa[i].data, pb[i].data) << i;
+}
+
+TEST_F(TrafficTest, PcapFileRoundTrip) {
+  const auto path = std::string{"/tmp/cs_traffic_test.pcap"};
+  generator_->generate_to_file(path);
+  const auto read = pcap::read_all(path);
+  EXPECT_EQ(read.size(), packets_->size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cs::synth

@@ -1,0 +1,100 @@
+#include "util/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cs::util {
+namespace {
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(10.0), 0.0);
+  EXPECT_EQ(cdf.value_at(0.5), 0.0);
+  EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(Cdf, FractionAt) {
+  Cdf cdf;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, ValueAtQuantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 6.0);
+}
+
+TEST(Cdf, PointsDeduplicateValues) {
+  Cdf cdf;
+  for (double v : {1.0, 1.0, 1.0, 2.0}) cdf.add(v);
+  const auto pts = cdf.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(pts[0].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(pts[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].fraction, 1.0);
+}
+
+TEST(Cdf, PointsMonotone) {
+  Cdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add((i * 37) % 97);
+  const auto pts = cdf.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].value, pts[i].value);
+    EXPECT_LT(pts[i - 1].fraction, pts[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().fraction, 1.0);
+}
+
+TEST(Cdf, SampledPointsCapped) {
+  Cdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(i);
+  const auto pts = cdf.sampled_points(10);
+  EXPECT_EQ(pts.size(), 10u);
+  EXPECT_DOUBLE_EQ(pts.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().value, 999.0);
+}
+
+TEST(Cdf, SampledPointsSmallInputUnchanged) {
+  Cdf cdf;
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_EQ(cdf.sampled_points(10).size(), 2u);
+}
+
+TEST(Cdf, TsvContainsHeaderAndRows) {
+  Cdf cdf;
+  cdf.add(5.0);
+  const auto tsv = cdf.to_tsv(8, "flows");
+  EXPECT_NE(tsv.find("# flows (n=1)"), std::string::npos);
+  EXPECT_NE(tsv.find("5\t1.0000"), std::string::npos);
+}
+
+TEST(Cdf, ComparisonRendersAllSeries) {
+  Cdf a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    b.add(i * 2);
+  }
+  const std::vector<std::pair<std::string, const Cdf*>> series = {
+      {"EC2", &a}, {"Azure", &b}};
+  const auto out = render_cdf_comparison(series, 4);
+  EXPECT_NE(out.find("EC2"), std::string::npos);
+  EXPECT_NE(out.find("Azure"), std::string::npos);
+  // 1 header + 5 quantile rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace cs::util

@@ -1,0 +1,69 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::util {
+namespace {
+
+TEST(Format, PlainPassthrough) {
+  EXPECT_EQ(fmt("hello"), "hello");
+  EXPECT_EQ(fmt(""), "");
+}
+
+TEST(Format, BasicSubstitutions) {
+  EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(fmt("host={}", "www.example.com"), "host=www.example.com");
+  EXPECT_EQ(fmt("{}", std::string{"owned"}), "owned");
+  EXPECT_EQ(fmt("{}", true), "true");
+  EXPECT_EQ(fmt("{}", false), "false");
+}
+
+TEST(Format, IntegerTypes) {
+  EXPECT_EQ(fmt("{}", -42), "-42");
+  EXPECT_EQ(fmt("{}", 42u), "42");
+  EXPECT_EQ(fmt("{}", std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(fmt("{}", std::int64_t{-9223372036854775807ll}),
+            "-9223372036854775807");
+  EXPECT_EQ(fmt("{}", static_cast<std::uint8_t>(255)), "255");
+}
+
+TEST(Format, FloatSpecs) {
+  EXPECT_EQ(fmt("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(fmt("{:.0f}", 2.71), "3");
+  EXPECT_EQ(fmt("{:.4f}", 0.5), "0.5000");
+  EXPECT_EQ(fmt("{:.3g}", 12345.678), "1.23e+04");
+  // Default float formatting uses %g.
+  EXPECT_EQ(fmt("{}", 0.25), "0.25");
+}
+
+TEST(Format, IntegerWithFloatSpecPromotes) {
+  EXPECT_EQ(fmt("{:.1f}", 7), "7.0");
+}
+
+TEST(Format, HexSpec) {
+  EXPECT_EQ(fmt("{:x}", 255), "ff");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(fmt("{{}}"), "{}");
+  EXPECT_EQ(fmt("a{{b}}c {} d", 1), "a{b}c 1 d");
+}
+
+TEST(Format, ArityMismatchThrows) {
+  EXPECT_THROW(fmt("{} {}", 1), std::invalid_argument);
+  EXPECT_THROW(fmt("no placeholders", 1), std::invalid_argument);
+  EXPECT_THROW(fmt("{unterminated", 1), std::invalid_argument);
+}
+
+TEST(Format, MixedArguments) {
+  EXPECT_EQ(fmt("{} / {:.1f} / {}", "x", 2.0, 3), "x / 2.0 / 3");
+}
+
+TEST(Format, LongStringsUnharmed) {
+  const std::string big(5000, 'q');
+  EXPECT_EQ(fmt("[{}]", big).size(), big.size() + 2);
+}
+
+}  // namespace
+}  // namespace cs::util

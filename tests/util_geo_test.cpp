@@ -1,0 +1,47 @@
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::util {
+namespace {
+
+// Reference coordinates.
+constexpr GeoPoint kMadison{43.07, -89.40};
+constexpr GeoPoint kVirginia{38.95, -77.45};    // ec2.us-east-1
+constexpr GeoPoint kDublin{53.33, -6.25};       // ec2.eu-west-1
+constexpr GeoPoint kSydney{-33.87, 151.21};     // ec2.ap-southeast-2
+
+TEST(Geo, ZeroDistanceToSelf) {
+  EXPECT_DOUBLE_EQ(haversine_km(kMadison, kMadison), 0.0);
+}
+
+TEST(Geo, Symmetric) {
+  EXPECT_DOUBLE_EQ(haversine_km(kMadison, kDublin),
+                   haversine_km(kDublin, kMadison));
+}
+
+TEST(Geo, KnownDistances) {
+  // Madison -> Virginia is roughly 1100 km.
+  EXPECT_NEAR(haversine_km(kMadison, kVirginia), 1100.0, 150.0);
+  // Madison -> Dublin is roughly 5900 km.
+  EXPECT_NEAR(haversine_km(kMadison, kDublin), 5900.0, 300.0);
+  // Antipodal-ish distances stay below half the circumference.
+  EXPECT_LT(haversine_km(kMadison, kSydney), 20037.0);
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  const double near = propagation_delay_ms(kMadison, kVirginia);
+  const double far = propagation_delay_ms(kMadison, kSydney);
+  EXPECT_GT(far, near * 5);
+  // One-way Madison->Virginia over inflated fibre: ~8 ms.
+  EXPECT_NEAR(near, 8.0, 3.0);
+}
+
+TEST(Geo, RouteInflationMultiplies) {
+  const double base = propagation_delay_ms(kMadison, kDublin, 1.0);
+  const double inflated = propagation_delay_ms(kMadison, kDublin, 2.0);
+  EXPECT_NEAR(inflated, base * 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cs::util

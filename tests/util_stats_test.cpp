@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cs::util {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, StddevConstantIsZero) {
+  const std::vector<double> xs = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);  // classic textbook sample
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRange) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+  EXPECT_DOUBLE_EQ(min_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_of({}), 0.0);
+}
+
+TEST(Stats, SummaryConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_LT(s.p25, s.median);
+  EXPECT_LT(s.median, s.p75);
+  EXPECT_LT(s.p75, s.p95);
+  EXPECT_LT(s.p95, s.p99);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  const std::vector<double> xs = {1.5, 2.5, -3.0, 4.0, 0.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 5.0);
+}
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace cs::util

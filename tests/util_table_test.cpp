@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::util {
+namespace {
+
+TEST(Table, RendersHeadersRuleAndRows) {
+  Table t{{"Cloud", "Bytes", "Flows"}};
+  t.add("EC2", 81.73, 80.70);
+  t.add("Azure", 18.27, 19.30);
+  const auto out = t.render();
+  EXPECT_NE(out.find("Cloud"), std::string::npos);
+  EXPECT_NE(out.find("81.73"), std::string::npos);
+  EXPECT_NE(out.find("Azure"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CaptionComesFirst) {
+  Table t{{"a"}};
+  t.caption("Table 1: share");
+  const auto out = t.render();
+  EXPECT_EQ(out.rfind("Table 1: share\n", 0), 0u);
+}
+
+TEST(Table, ShortRowsPad) {
+  Table t{{"a", "b"}};
+  t.row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, TooManyCellsThrow) {
+  Table t{{"a"}};
+  EXPECT_THROW(t.row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t{{"name", "v"}};
+  t.add("x", 1);
+  t.add("longer-name", 2);
+  const auto out = t.render();
+  // Both value cells must start at the same column.
+  const auto line1 = out.find("x ");
+  ASSERT_NE(line1, std::string::npos);
+  // Width of first column = len("longer-name") = 11, so "x" is padded.
+  EXPECT_NE(out.find("x            1"), std::string::npos);
+}
+
+TEST(Table, FloatFormattingTwoDecimals) {
+  Table t{{"v"}};
+  t.add(3.14159);
+  EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::util
