@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_region_outage.dir/bench_ext_region_outage.cpp.o"
+  "CMakeFiles/bench_ext_region_outage.dir/bench_ext_region_outage.cpp.o.d"
+  "bench_ext_region_outage"
+  "bench_ext_region_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_region_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

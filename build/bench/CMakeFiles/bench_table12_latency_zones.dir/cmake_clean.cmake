@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_latency_zones.dir/bench_table12_latency_zones.cpp.o"
+  "CMakeFiles/bench_table12_latency_zones.dir/bench_table12_latency_zones.cpp.o.d"
+  "bench_table12_latency_zones"
+  "bench_table12_latency_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_latency_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_veracity.dir/bench_table13_veracity.cpp.o"
+  "CMakeFiles/bench_table13_veracity.dir/bench_table13_veracity.cpp.o.d"
+  "bench_table13_veracity"
+  "bench_table13_veracity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_veracity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_zone_usage.dir/bench_table14_zone_usage.cpp.o"
+  "CMakeFiles/bench_table14_zone_usage.dir/bench_table14_zone_usage.cpp.o.d"
+  "bench_table14_zone_usage"
+  "bench_table14_zone_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_zone_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

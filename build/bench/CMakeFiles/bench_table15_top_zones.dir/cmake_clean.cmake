@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_top_zones.dir/bench_table15_top_zones.cpp.o"
+  "CMakeFiles/bench_table15_top_zones.dir/bench_table15_top_zones.cpp.o.d"
+  "bench_table15_top_zones"
+  "bench_table15_top_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_top_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_forensics.dir/capture_forensics.cpp.o"
+  "CMakeFiles/capture_forensics.dir/capture_forensics.cpp.o.d"
+  "capture_forensics"
+  "capture_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_audit.dir/deployment_audit.cpp.o"
+  "CMakeFiles/deployment_audit.dir/deployment_audit.cpp.o.d"
+  "deployment_audit"
+  "deployment_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

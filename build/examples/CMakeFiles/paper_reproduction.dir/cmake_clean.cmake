@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_reproduction.dir/paper_reproduction.cpp.o"
+  "CMakeFiles/paper_reproduction.dir/paper_reproduction.cpp.o.d"
+  "paper_reproduction"
+  "paper_reproduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widearea_planner.dir/widearea_planner.cpp.o"
+  "CMakeFiles/widearea_planner.dir/widearea_planner.cpp.o.d"
+  "widearea_planner"
+  "widearea_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widearea_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

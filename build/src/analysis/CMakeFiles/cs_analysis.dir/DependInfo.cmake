@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/capture.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/capture.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/capture.cpp.o.d"
+  "/root/repo/src/analysis/cloud_usage.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/cloud_usage.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/cloud_usage.cpp.o.d"
+  "/root/repo/src/analysis/cost.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/cost.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/cost.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/isp.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/isp.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/isp.cpp.o.d"
+  "/root/repo/src/analysis/outage.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/outage.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/outage.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/ranges.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/ranges.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/ranges.cpp.o.d"
+  "/root/repo/src/analysis/regions.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/regions.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/regions.cpp.o.d"
+  "/root/repo/src/analysis/routing.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/routing.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/routing.cpp.o.d"
+  "/root/repo/src/analysis/widearea.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/widearea.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/widearea.cpp.o.d"
+  "/root/repo/src/analysis/zones.cpp" "src/analysis/CMakeFiles/cs_analysis.dir/zones.cpp.o" "gcc" "src/analysis/CMakeFiles/cs_analysis.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/cs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/carto/CMakeFiles/cs_carto.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/cs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/internet/CMakeFiles/cs_internet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_analysis.dir/capture.cpp.o"
+  "CMakeFiles/cs_analysis.dir/capture.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/cloud_usage.cpp.o"
+  "CMakeFiles/cs_analysis.dir/cloud_usage.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/cost.cpp.o"
+  "CMakeFiles/cs_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/cs_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/isp.cpp.o"
+  "CMakeFiles/cs_analysis.dir/isp.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/outage.cpp.o"
+  "CMakeFiles/cs_analysis.dir/outage.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/cs_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/ranges.cpp.o"
+  "CMakeFiles/cs_analysis.dir/ranges.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/regions.cpp.o"
+  "CMakeFiles/cs_analysis.dir/regions.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/routing.cpp.o"
+  "CMakeFiles/cs_analysis.dir/routing.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/widearea.cpp.o"
+  "CMakeFiles/cs_analysis.dir/widearea.cpp.o.d"
+  "CMakeFiles/cs_analysis.dir/zones.cpp.o"
+  "CMakeFiles/cs_analysis.dir/zones.cpp.o.d"
+  "libcs_analysis.a"
+  "libcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_carto.dir/latency_zone.cpp.o"
+  "CMakeFiles/cs_carto.dir/latency_zone.cpp.o.d"
+  "CMakeFiles/cs_carto.dir/proximity.cpp.o"
+  "CMakeFiles/cs_carto.dir/proximity.cpp.o.d"
+  "libcs_carto.a"
+  "libcs_carto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_carto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/features.cpp" "src/cloud/CMakeFiles/cs_cloud.dir/features.cpp.o" "gcc" "src/cloud/CMakeFiles/cs_cloud.dir/features.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/cs_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/cs_cloud.dir/provider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/cs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

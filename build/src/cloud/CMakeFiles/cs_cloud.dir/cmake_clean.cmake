@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_cloud.dir/features.cpp.o"
+  "CMakeFiles/cs_cloud.dir/features.cpp.o.d"
+  "CMakeFiles/cs_cloud.dir/provider.cpp.o"
+  "CMakeFiles/cs_cloud.dir/provider.cpp.o.d"
+  "libcs_cloud.a"
+  "libcs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cs_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/cs_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/carto/CMakeFiles/cs_carto.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/cs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/internet/CMakeFiles/cs_internet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_core.dir/report.cpp.o"
+  "CMakeFiles/cs_core.dir/report.cpp.o.d"
+  "CMakeFiles/cs_core.dir/study.cpp.o"
+  "CMakeFiles/cs_core.dir/study.cpp.o.d"
+  "libcs_core.a"
+  "libcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/enumerate.cpp" "src/dns/CMakeFiles/cs_dns.dir/enumerate.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/enumerate.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/cs_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/cs_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/cs_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/dns/CMakeFiles/cs_dns.dir/rr.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/rr.cpp.o.d"
+  "/root/repo/src/dns/server.cpp" "src/dns/CMakeFiles/cs_dns.dir/server.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/server.cpp.o.d"
+  "/root/repo/src/dns/transport.cpp" "src/dns/CMakeFiles/cs_dns.dir/transport.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/transport.cpp.o.d"
+  "/root/repo/src/dns/wordlist.cpp" "src/dns/CMakeFiles/cs_dns.dir/wordlist.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/wordlist.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/dns/CMakeFiles/cs_dns.dir/zone.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/zone.cpp.o.d"
+  "/root/repo/src/dns/zonefile.cpp" "src/dns/CMakeFiles/cs_dns.dir/zonefile.cpp.o" "gcc" "src/dns/CMakeFiles/cs_dns.dir/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

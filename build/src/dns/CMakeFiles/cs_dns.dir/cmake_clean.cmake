@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_dns.dir/enumerate.cpp.o"
+  "CMakeFiles/cs_dns.dir/enumerate.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/message.cpp.o"
+  "CMakeFiles/cs_dns.dir/message.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/name.cpp.o"
+  "CMakeFiles/cs_dns.dir/name.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/resolver.cpp.o"
+  "CMakeFiles/cs_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/rr.cpp.o"
+  "CMakeFiles/cs_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/server.cpp.o"
+  "CMakeFiles/cs_dns.dir/server.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/transport.cpp.o"
+  "CMakeFiles/cs_dns.dir/transport.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/wordlist.cpp.o"
+  "CMakeFiles/cs_dns.dir/wordlist.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/zone.cpp.o"
+  "CMakeFiles/cs_dns.dir/zone.cpp.o.d"
+  "CMakeFiles/cs_dns.dir/zonefile.cpp.o"
+  "CMakeFiles/cs_dns.dir/zonefile.cpp.o.d"
+  "libcs_dns.a"
+  "libcs_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/internet/model.cpp" "src/internet/CMakeFiles/cs_internet.dir/model.cpp.o" "gcc" "src/internet/CMakeFiles/cs_internet.dir/model.cpp.o.d"
+  "/root/repo/src/internet/traceroute.cpp" "src/internet/CMakeFiles/cs_internet.dir/traceroute.cpp.o" "gcc" "src/internet/CMakeFiles/cs_internet.dir/traceroute.cpp.o.d"
+  "/root/repo/src/internet/vantage.cpp" "src/internet/CMakeFiles/cs_internet.dir/vantage.cpp.o" "gcc" "src/internet/CMakeFiles/cs_internet.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/cs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cs_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

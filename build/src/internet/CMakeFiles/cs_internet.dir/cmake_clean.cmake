@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_internet.dir/model.cpp.o"
+  "CMakeFiles/cs_internet.dir/model.cpp.o.d"
+  "CMakeFiles/cs_internet.dir/traceroute.cpp.o"
+  "CMakeFiles/cs_internet.dir/traceroute.cpp.o.d"
+  "CMakeFiles/cs_internet.dir/vantage.cpp.o"
+  "CMakeFiles/cs_internet.dir/vantage.cpp.o.d"
+  "libcs_internet.a"
+  "libcs_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_net.dir/checksum.cpp.o"
+  "CMakeFiles/cs_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/cs_net.dir/five_tuple.cpp.o"
+  "CMakeFiles/cs_net.dir/five_tuple.cpp.o.d"
+  "CMakeFiles/cs_net.dir/ipv4.cpp.o"
+  "CMakeFiles/cs_net.dir/ipv4.cpp.o.d"
+  "libcs_net.a"
+  "libcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcap/decode.cpp" "src/pcap/CMakeFiles/cs_pcap.dir/decode.cpp.o" "gcc" "src/pcap/CMakeFiles/cs_pcap.dir/decode.cpp.o.d"
+  "/root/repo/src/pcap/file.cpp" "src/pcap/CMakeFiles/cs_pcap.dir/file.cpp.o" "gcc" "src/pcap/CMakeFiles/cs_pcap.dir/file.cpp.o.d"
+  "/root/repo/src/pcap/flow.cpp" "src/pcap/CMakeFiles/cs_pcap.dir/flow.cpp.o" "gcc" "src/pcap/CMakeFiles/cs_pcap.dir/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_pcap.dir/decode.cpp.o"
+  "CMakeFiles/cs_pcap.dir/decode.cpp.o.d"
+  "CMakeFiles/cs_pcap.dir/file.cpp.o"
+  "CMakeFiles/cs_pcap.dir/file.cpp.o.d"
+  "CMakeFiles/cs_pcap.dir/flow.cpp.o"
+  "CMakeFiles/cs_pcap.dir/flow.cpp.o.d"
+  "libcs_pcap.a"
+  "libcs_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

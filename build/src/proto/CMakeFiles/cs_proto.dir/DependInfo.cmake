@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/classify.cpp" "src/proto/CMakeFiles/cs_proto.dir/classify.cpp.o" "gcc" "src/proto/CMakeFiles/cs_proto.dir/classify.cpp.o.d"
+  "/root/repo/src/proto/http.cpp" "src/proto/CMakeFiles/cs_proto.dir/http.cpp.o" "gcc" "src/proto/CMakeFiles/cs_proto.dir/http.cpp.o.d"
+  "/root/repo/src/proto/logfile.cpp" "src/proto/CMakeFiles/cs_proto.dir/logfile.cpp.o" "gcc" "src/proto/CMakeFiles/cs_proto.dir/logfile.cpp.o.d"
+  "/root/repo/src/proto/logs.cpp" "src/proto/CMakeFiles/cs_proto.dir/logs.cpp.o" "gcc" "src/proto/CMakeFiles/cs_proto.dir/logs.cpp.o.d"
+  "/root/repo/src/proto/tls.cpp" "src/proto/CMakeFiles/cs_proto.dir/tls.cpp.o" "gcc" "src/proto/CMakeFiles/cs_proto.dir/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcap/CMakeFiles/cs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

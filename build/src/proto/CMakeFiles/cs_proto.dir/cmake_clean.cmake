@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_proto.dir/classify.cpp.o"
+  "CMakeFiles/cs_proto.dir/classify.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/http.cpp.o"
+  "CMakeFiles/cs_proto.dir/http.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/logfile.cpp.o"
+  "CMakeFiles/cs_proto.dir/logfile.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/logs.cpp.o"
+  "CMakeFiles/cs_proto.dir/logs.cpp.o.d"
+  "CMakeFiles/cs_proto.dir/tls.cpp.o"
+  "CMakeFiles/cs_proto.dir/tls.cpp.o.d"
+  "libcs_proto.a"
+  "libcs_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

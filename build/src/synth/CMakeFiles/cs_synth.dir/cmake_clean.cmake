@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_synth.dir/traffic.cpp.o"
+  "CMakeFiles/cs_synth.dir/traffic.cpp.o.d"
+  "CMakeFiles/cs_synth.dir/world.cpp.o"
+  "CMakeFiles/cs_synth.dir/world.cpp.o.d"
+  "libcs_synth.a"
+  "libcs_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_util.dir/cdf.cpp.o"
+  "CMakeFiles/cs_util.dir/cdf.cpp.o.d"
+  "CMakeFiles/cs_util.dir/geo.cpp.o"
+  "CMakeFiles/cs_util.dir/geo.cpp.o.d"
+  "CMakeFiles/cs_util.dir/rng.cpp.o"
+  "CMakeFiles/cs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cs_util.dir/stats.cpp.o"
+  "CMakeFiles/cs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cs_util.dir/strings.cpp.o"
+  "CMakeFiles/cs_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cs_util.dir/table.cpp.o"
+  "CMakeFiles/cs_util.dir/table.cpp.o.d"
+  "libcs_util.a"
+  "libcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_capture_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_capture_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_capture_test.cpp.o.d"
+  "/root/repo/tests/analysis_cost_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_cost_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_cost_test.cpp.o.d"
+  "/root/repo/tests/analysis_dataset_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_dataset_test.cpp.o.d"
+  "/root/repo/tests/analysis_isp_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_isp_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_isp_test.cpp.o.d"
+  "/root/repo/tests/analysis_outage_routing_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_outage_routing_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_outage_routing_test.cpp.o.d"
+  "/root/repo/tests/analysis_patterns_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_patterns_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_patterns_test.cpp.o.d"
+  "/root/repo/tests/analysis_widearea_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_widearea_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_widearea_test.cpp.o.d"
+  "/root/repo/tests/analysis_zones_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_zones_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_zones_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/carto/CMakeFiles/cs_carto.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/cs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/internet/CMakeFiles/cs_internet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

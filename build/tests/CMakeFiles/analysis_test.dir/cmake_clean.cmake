@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis_capture_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_capture_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_cost_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_cost_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_dataset_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_dataset_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_isp_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_isp_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_outage_routing_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_outage_routing_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_patterns_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_patterns_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_widearea_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_widearea_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis_zones_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis_zones_test.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carto_tests.dir/carto_test.cpp.o"
+  "CMakeFiles/carto_tests.dir/carto_test.cpp.o.d"
+  "carto_tests"
+  "carto_tests.pdb"
+  "carto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

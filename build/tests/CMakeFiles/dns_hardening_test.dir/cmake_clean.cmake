@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_hardening_test.dir/dns_hardening_test.cpp.o"
+  "CMakeFiles/dns_hardening_test.dir/dns_hardening_test.cpp.o.d"
+  "dns_hardening_test"
+  "dns_hardening_test.pdb"
+  "dns_hardening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns_dynamic_answer_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_dynamic_answer_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_dynamic_answer_test.cpp.o.d"
+  "/root/repo/tests/dns_enumerate_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_enumerate_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_enumerate_test.cpp.o.d"
+  "/root/repo/tests/dns_message_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_message_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_message_test.cpp.o.d"
+  "/root/repo/tests/dns_name_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_name_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_name_test.cpp.o.d"
+  "/root/repo/tests/dns_resolver_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_resolver_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_resolver_test.cpp.o.d"
+  "/root/repo/tests/dns_server_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_server_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_server_test.cpp.o.d"
+  "/root/repo/tests/dns_zone_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_zone_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_zone_test.cpp.o.d"
+  "/root/repo/tests/dns_zonefile_test.cpp" "tests/CMakeFiles/dns_test.dir/dns_zonefile_test.cpp.o" "gcc" "tests/CMakeFiles/dns_test.dir/dns_zonefile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/cs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

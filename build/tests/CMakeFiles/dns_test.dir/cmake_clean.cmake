@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns_dynamic_answer_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_dynamic_answer_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_enumerate_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_enumerate_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_message_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_message_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_name_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_name_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_resolver_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_resolver_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_server_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_server_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_zone_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_zone_test.cpp.o.d"
+  "CMakeFiles/dns_test.dir/dns_zonefile_test.cpp.o"
+  "CMakeFiles/dns_test.dir/dns_zonefile_test.cpp.o.d"
+  "dns_test"
+  "dns_test.pdb"
+  "dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/proto_classify_test.cpp" "tests/CMakeFiles/proto_test.dir/proto_classify_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto_classify_test.cpp.o.d"
+  "/root/repo/tests/proto_http_test.cpp" "tests/CMakeFiles/proto_test.dir/proto_http_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto_http_test.cpp.o.d"
+  "/root/repo/tests/proto_logfile_test.cpp" "tests/CMakeFiles/proto_test.dir/proto_logfile_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto_logfile_test.cpp.o.d"
+  "/root/repo/tests/proto_logs_test.cpp" "tests/CMakeFiles/proto_test.dir/proto_logs_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto_logs_test.cpp.o.d"
+  "/root/repo/tests/proto_tls_test.cpp" "tests/CMakeFiles/proto_test.dir/proto_tls_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto_tls_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/cs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/cs_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_test[1]_include.cmake")
+include("/root/repo/build/tests/pcap_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_test[1]_include.cmake")
+include("/root/repo/build/tests/internet_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/carto_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/dns_hardening_test[1]_include.cmake")
