@@ -1,11 +1,15 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/report.h"
 #include "core/study.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/format.h"
 
 /// Shared scaffolding for the table/figure benches.
@@ -14,15 +18,29 @@
 /// synthetic universe. Scale knobs:
 ///   CS_DOMAINS  - size of the ranked domain universe (default 1500)
 ///   CS_SEED     - world seed (default 2013)
+/// Observability knobs (see DESIGN.md "Observability"):
+///   CS_TRACE      - write a Chrome trace-event JSON of pipeline spans here
+///   CS_LOG_LEVEL  - trace|debug|info|warn|error|off (default warn)
+///   CS_BENCH_JSON - write a machine-readable sidecar here at exit: wall
+///                   time per pipeline stage plus every metrics counter,
+///                   the input to the BENCH_* perf trajectory.
 /// The output is the reproduced table plus, where stated, an ablation.
 namespace cs::bench {
 
+/// Parses a positive integer environment override. Values with trailing
+/// garbage ("15x"), signs, or zero are rejected with a warning — a silent
+/// misparse would quietly bench the wrong universe.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* value = std::getenv(name)) {
-    const auto parsed = std::strtoull(value, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  const auto parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0) {
+    obs::log_warn("bench", "ignoring {}='{}' (want a positive integer)",
+                  name, value);
+    return fallback;
   }
-  return fallback;
+  return static_cast<std::size_t>(parsed);
 }
 
 inline core::StudyConfig default_config(std::size_t default_domains = 1500) {
@@ -33,7 +51,78 @@ inline core::StudyConfig default_config(std::size_t default_domains = 1500) {
   return config;
 }
 
+namespace detail {
+
+inline std::string& sidecar_bench_name() {
+  static std::string name;
+  return name;
+}
+
+inline void json_escape_into(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// Writes the CS_BENCH_JSON sidecar: per-stage wall time from the span
+/// collector plus a dump of every counter. Registered via atexit from
+/// print_header so each bench main stays a straight-line reproduction.
+inline void write_bench_sidecar() {
+  const char* path = std::getenv("CS_BENCH_JSON");
+  if (!path || !*path) return;
+
+  std::string out;
+  out += "{\n  \"bench\": \"";
+  json_escape_into(out, sidecar_bench_name());
+  out += "\",\n  \"wall_ms\": ";
+  out += util::fmt("{:.3f}", obs::Tracer::instance().epoch_now_us() / 1000.0);
+  out += ",\n  \"stages\": [";
+  bool first = true;
+  for (const auto& stage : obs::Tracer::instance().stats()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"name\": \"";
+    json_escape_into(out, stage.name);
+    out += util::fmt(
+        "\", \"count\": {}, \"total_ms\": {:.3f}, \"self_ms\": {:.3f}}}",
+        stage.count, stage.total_us / 1000.0, stage.self_us / 1000.0);
+  }
+  out += "\n  ],\n  \"counters\": {";
+  first = true;
+  for (const auto& c : obs::MetricsRegistry::instance().snapshot().counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"";
+    json_escape_into(out, c.name);
+    out += util::fmt("\": {}", c.value);
+  }
+  out += "\n  }\n}\n";
+
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) {
+    obs::log_error("bench", "cannot open CS_BENCH_JSON path '{}'", path);
+    return;
+  }
+  file << out;
+}
+
+}  // namespace detail
+
 inline void print_header(const std::string& name) {
+  if (const char* sidecar = std::getenv("CS_BENCH_JSON");
+      sidecar && *sidecar && detail::sidecar_bench_name().empty()) {
+    detail::sidecar_bench_name() = name;
+    // Stage wall times come from the span collector even without CS_TRACE.
+    obs::Tracer::instance().enable_collection();
+    std::atexit(&detail::write_bench_sidecar);
+  }
   std::cout << "==== " << name << " ====\n";
 }
 

@@ -1,0 +1,93 @@
+// Pipeline profiler: runs every stage of the study pipeline on the
+// default universe and prints where the time and the work went — the
+// span tree, the per-stage summary table, and the DNS/pcap work counters.
+//
+//   ./examples/pipeline_profile [domain_count]
+//
+// Set CS_TRACE=out.json to additionally write the Chrome trace-event file
+// (open it in chrome://tracing or https://ui.perfetto.dev).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/study.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+
+  // Collect spans even when CS_TRACE is unset — the report below needs them.
+  obs::Tracer::instance().enable_collection();
+
+  core::StudyConfig config;
+  config.world.domain_count =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+
+  std::cout << util::fmt("Profiling the full pipeline over {} domains...\n\n",
+                         config.world.domain_count);
+
+  core::Study study{config};
+  // Touch every stage in pipeline order; Study caches each result.
+  study.ranges();
+  study.rank_map();
+  study.dataset();
+  study.cloud_usage();
+  study.patterns();
+  study.regions();
+  study.capture_logs();
+  study.capture();
+  study.zone_study();
+  study.campaign();
+  study.isp_study();
+
+  // ---- span tree (events are recorded in open order = pre-order).
+  // Repeated same-name siblings (one dns.enumerate per domain) collapse
+  // into one line with a count.
+  const auto events = obs::Tracer::instance().events();
+  std::cout << "Span tree:\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    std::uint64_t total_us = event.dur_us;
+    std::size_t repeats = 1;
+    while (i + 1 < events.size() &&
+           events[i + 1].name == event.name &&
+           events[i + 1].parent == event.parent) {
+      total_us += events[++i].dur_us;
+      ++repeats;
+    }
+    std::cout << util::fmt("{}{}{}  {:.1f} ms\n",
+                           std::string(2 * event.depth, ' '), event.name,
+                           repeats > 1 ? util::fmt(" x{}", repeats) : "",
+                           total_us / 1000.0);
+  }
+
+  std::cout << "\n" << obs::Tracer::instance().render_summary() << "\n";
+
+  // ---- work counters ----------------------------------------------------
+  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+  util::Table counters{{"counter", "value"}};
+  counters.caption("Pipeline work counters");
+  for (const auto& c : snapshot.counters) counters.add(c.name, c.value);
+  std::cout << counters.render() << "\n";
+
+  const auto queries = snapshot.counter("dns.server.queries");
+  const auto nxdomain = snapshot.counter("dns.server.nxdomain");
+  if (queries > 0)
+    std::cout << util::fmt(
+        "DNS: {} authoritative queries served, {:.1f}% NXDOMAIN, "
+        "{} AXFR granted / {} refused.\n",
+        queries, 100.0 * nxdomain / queries,
+        snapshot.counter("dns.server.axfr_granted"),
+        snapshot.counter("dns.server.axfr_refused"));
+  std::cout << util::fmt(
+      "pcap: {} packets decoded ({} bytes), {} truncated, {} flows "
+      "assembled.\n",
+      snapshot.counter("pcap.decode.packets"),
+      snapshot.counter("pcap.decode.bytes"),
+      snapshot.counter("pcap.decode.truncated"),
+      snapshot.counter("pcap.flow.flows"));
+  return 0;
+}

@@ -1,20 +1,51 @@
 #include "core/study.h"
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcap/flow.h"
 
 namespace cs::core {
+namespace {
+
+/// Marks one pipeline-stage build: a span for the trace, a counter for the
+/// sidecars, and a debug log line on completion.
+class StageScope {
+ public:
+  explicit StageScope(const char* stage) : stage_(stage), span_(stage) {
+    start_us_ = obs::Tracer::instance().epoch_now_us();
+  }
+  ~StageScope() {
+    obs::counter("study.stages_built").inc();
+    obs::log_debug("core.study", "built {} in {:.1f} ms", stage_,
+                   (obs::Tracer::instance().epoch_now_us() - start_us_) /
+                       1000.0);
+  }
+
+ private:
+  const char* stage_;
+  obs::Span span_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace
 
 Study::Study(StudyConfig config) : config_(std::move(config)) {
+  StageScope stage{"study.world"};
   world_ = std::make_unique<synth::World>(config_.world);
 }
 
 const analysis::CloudRanges& Study::ranges() {
-  if (!ranges_) ranges_.emplace(world_->ec2(), world_->azure());
+  if (!ranges_) {
+    StageScope stage{"study.ranges"};
+    ranges_.emplace(world_->ec2(), world_->azure());
+  }
   return *ranges_;
 }
 
 const std::map<std::string, std::size_t>& Study::rank_map() {
   if (!rank_map_) {
+    StageScope stage{"study.rank_map"};
     rank_map_.emplace();
     for (const auto& domain : world_->domains())
       (*rank_map_)[domain.name.to_string()] = domain.rank;
@@ -24,6 +55,7 @@ const std::map<std::string, std::size_t>& Study::rank_map() {
 
 const analysis::AlexaDataset& Study::dataset() {
   if (!dataset_) {
+    StageScope stage{"study.dataset"};
     analysis::DatasetBuilder builder{*world_, config_.dataset};
     dataset_ = builder.build();
   }
@@ -31,22 +63,32 @@ const analysis::AlexaDataset& Study::dataset() {
 }
 
 const analysis::CloudUsageReport& Study::cloud_usage() {
-  if (!cloud_usage_) cloud_usage_ = analysis::analyze_cloud_usage(dataset());
+  if (!cloud_usage_) {
+    StageScope stage{"study.cloud_usage"};
+    cloud_usage_ = analysis::analyze_cloud_usage(dataset());
+  }
   return *cloud_usage_;
 }
 
 const analysis::PatternReport& Study::patterns() {
-  if (!patterns_) patterns_ = analysis::analyze_patterns(dataset(), ranges());
+  if (!patterns_) {
+    StageScope stage{"study.patterns"};
+    patterns_ = analysis::analyze_patterns(dataset(), ranges());
+  }
   return *patterns_;
 }
 
 const analysis::RegionReport& Study::regions() {
-  if (!regions_) regions_ = analysis::analyze_regions(dataset(), ranges());
+  if (!regions_) {
+    StageScope stage{"study.regions"};
+    regions_ = analysis::analyze_regions(dataset(), ranges());
+  }
   return *regions_;
 }
 
 const proto::TraceLogs& Study::capture_logs() {
   if (!capture_logs_) {
+    StageScope stage{"study.capture_logs"};
     synth::TrafficGenerator generator{*world_, config_.traffic};
     const auto packets = generator.generate();
     pcap::FlowTable table;
@@ -57,9 +99,11 @@ const proto::TraceLogs& Study::capture_logs() {
 }
 
 const analysis::CaptureReport& Study::capture() {
-  if (!capture_)
+  if (!capture_) {
+    StageScope stage{"study.capture"};
     capture_ = analysis::analyze_capture(capture_logs(), ranges(),
                                          rank_map());
+  }
   return *capture_;
 }
 
@@ -78,6 +122,7 @@ internet::AsTopology& Study::as_topology() {
 
 const analysis::ZoneStudy& Study::zone_study() {
   if (!zone_study_) {
+    StageScope stage{"study.zone_study"};
     if (!proximity_)
       proximity_.emplace(
           world_->ec2(),
@@ -95,6 +140,7 @@ const analysis::ZoneStudy& Study::zone_study() {
 
 const analysis::Campaign& Study::campaign() {
   if (!campaign_) {
+    StageScope stage{"study.campaign"};
     const auto vantages =
         internet::planetlab_vantages(config_.campaign_vantages);
     std::vector<const cloud::Region*> regions;
@@ -108,6 +154,7 @@ const analysis::Campaign& Study::campaign() {
 
 const analysis::IspStudy& Study::isp_study() {
   if (!isp_study_) {
+    StageScope stage{"study.isp_study"};
     const auto vantages = internet::planetlab_vantages(config_.isp_vantages);
     isp_study_ =
         analysis::run_isp_study(world_->ec2(), as_topology(), vantages);

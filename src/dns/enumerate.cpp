@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cs::dns {
 
 Enumerator::Enumerator(Resolver& resolver, Options options)
     : resolver_(resolver), options_(std::move(options)) {}
 
 EnumerationResult Enumerator::enumerate(const Name& domain) {
+  static auto& axfr_hits = obs::counter("dns.enumerate.axfr_success");
+  static auto& axfr_misses = obs::counter("dns.enumerate.axfr_failure");
+  static auto& brute_hits = obs::counter("dns.enumerate.brute_hits");
+  static auto& brute_misses = obs::counter("dns.enumerate.brute_misses");
+  obs::Span span{"dns.enumerate"};
+
   EnumerationResult result;
   result.domain = domain;
   const std::uint64_t queries_before = resolver_.upstream_queries();
@@ -18,11 +27,14 @@ EnumerationResult Enumerator::enumerate(const Name& domain) {
   if (options_.attempt_axfr) {
     if (const auto records = resolver_.try_axfr(domain)) {
       result.axfr_succeeded = true;
+      axfr_hits.inc();
       for (const auto& rr : *records) {
         if (rr.name == domain || !rr.name.is_subdomain_of(domain)) continue;
         if (rr.type() == RrType::kSoa) continue;
         found.insert(rr.name);
       }
+    } else {
+      axfr_misses.inc();
     }
   }
 
@@ -33,9 +45,12 @@ EnumerationResult Enumerator::enumerate(const Name& domain) {
       const auto res = resolver_.resolve(*candidate, RrType::kA);
       // A name "exists" if resolution did not NXDOMAIN — NODATA names are
       // real nodes (they may hold other types), matching dnsmap semantics.
-      if (res.rcode == Rcode::kNoError &&
-          (!res.records.empty() || res.ok()))
-        if (!res.records.empty()) found.insert(*candidate);
+      if (res.rcode == Rcode::kNoError && !res.records.empty()) {
+        found.insert(*candidate);
+        brute_hits.inc();
+      } else {
+        brute_misses.inc();
+      }
     }
   }
 

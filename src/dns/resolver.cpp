@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace cs::dns {
 
 std::vector<net::Ipv4> ResolveResult::addresses() const {
@@ -34,6 +36,8 @@ std::optional<Message> Resolver::ask(net::Ipv4 server, const Name& name,
   const auto query = Message::query(next_id_++, name, type,
                                     options_.recursion_desired);
   ++upstream_queries_;
+  static auto& upstream_metric = obs::counter("dns.resolver.upstream_queries");
+  upstream_metric.inc();
   const auto wire =
       transport_.exchange(options_.client_address, server, query.encode());
   if (!wire) return std::nullopt;
@@ -66,6 +70,8 @@ const Resolver::CacheEntry* Resolver::cache_get(const Name& name,
     return nullptr;
   }
   ++cache_hits_;
+  static auto& cache_hit_metric = obs::counter("dns.resolver.cache_hits");
+  cache_hit_metric.inc();
   return &it->second;
 }
 

@@ -1,6 +1,24 @@
 #include "dns/server.h"
 
+#include "obs/metrics.h"
+
 namespace cs::dns {
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& queries = obs::counter("dns.server.queries");
+  obs::Counter& axfr_granted = obs::counter("dns.server.axfr_granted");
+  obs::Counter& axfr_refused = obs::counter("dns.server.axfr_refused");
+  obs::Counter& nxdomain = obs::counter("dns.server.nxdomain");
+  obs::Counter& refused = obs::counter("dns.server.refused");
+
+  static ServerMetrics& get() {
+    static ServerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Zone& AuthoritativeServer::add_zone(Name origin, SoaRecord soa) {
   auto zone = std::make_unique<Zone>(origin, std::move(soa));
@@ -30,11 +48,15 @@ const Zone* AuthoritativeServer::best_zone(const Name& name) const {
 
 Message AuthoritativeServer::handle(net::Ipv4 client,
                                     const Message& query) const {
+  auto& metrics = ServerMetrics::get();
+  metrics.queries.inc();
   if (query.header.qr || query.questions.empty())
     return Message::response_to(query, Rcode::kFormErr, false);
   Message response = Message::response_to(query, Rcode::kNoError, false);
   // Standard servers answer the first question; we keep that behaviour.
   answer_question(client, query.questions.front(), response);
+  if (response.header.rcode == Rcode::kNxDomain) metrics.nxdomain.inc();
+  else if (response.header.rcode == Rcode::kRefused) metrics.refused.inc();
   return response;
 }
 
@@ -49,9 +71,11 @@ void AuthoritativeServer::answer_question(net::Ipv4 client, const Question& q,
   if (q.type == RrType::kAxfr) {
     if (q.name != zone->origin() ||
         !(axfr_policy_ && axfr_policy_(client, zone->origin()))) {
+      ServerMetrics::get().axfr_refused.inc();
       response.header.rcode = Rcode::kRefused;
       return;
     }
+    ServerMetrics::get().axfr_granted.inc();
     response.header.aa = true;
     response.answers = zone->axfr();
     return;

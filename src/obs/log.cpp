@@ -1,0 +1,72 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace cs::obs {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized from the env
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel init_from_env() noexcept {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("CS_LOG_LEVEL"))
+    level = parse_log_level(env, level);
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if ((a[i] | 0x20) != (b[i] | 0x20)) return false;
+  return true;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
+  if (iequals(text, "trace")) return LogLevel::kTrace;
+  if (iequals(text, "debug")) return LogLevel::kDebug;
+  if (iequals(text, "info")) return LogLevel::kInfo;
+  if (iequals(text, "warn") || iequals(text, "warning"))
+    return LogLevel::kWarn;
+  if (iequals(text, "error")) return LogLevel::kError;
+  if (iequals(text, "off") || iequals(text, "none")) return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel log_level() noexcept {
+  const int raw = g_level.load(std::memory_order_relaxed);
+  if (raw >= 0) return static_cast<LogLevel>(raw);
+  return init_from_env();
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  std::lock_guard lock{g_emit_mutex};
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace cs::obs

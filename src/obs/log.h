@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/format.h"
+
+/// Leveled structured logger for the whole pipeline.
+///
+/// The level comes from the `CS_LOG_LEVEL` environment variable
+/// (trace|debug|info|warn|error|off, default warn) and can be overridden
+/// programmatically. Every line goes to stderr as
+///
+///   [level] component: message
+///
+/// so bench stdout (the reproduced tables) stays clean and diffable.
+/// Emission is mutex-serialized; the level check itself is a relaxed
+/// atomic load, cheap enough for hot paths.
+namespace cs::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Current threshold (first call reads CS_LOG_LEVEL).
+LogLevel log_level() noexcept;
+
+/// Overrides the threshold for the rest of the process.
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug", "WARN", ... ; returns fallback on unknown input.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept;
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Emits one pre-formatted line (no level check — use the templates below).
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, std::string_view format,
+         const Args&... args) {
+  if (!log_enabled(level)) return;
+  log_line(level, component, util::fmt(format, args...));
+}
+
+template <typename... Args>
+void log_trace(std::string_view component, std::string_view format,
+               const Args&... args) {
+  log(LogLevel::kTrace, component, format, args...);
+}
+template <typename... Args>
+void log_debug(std::string_view component, std::string_view format,
+               const Args&... args) {
+  log(LogLevel::kDebug, component, format, args...);
+}
+template <typename... Args>
+void log_info(std::string_view component, std::string_view format,
+              const Args&... args) {
+  log(LogLevel::kInfo, component, format, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, std::string_view format,
+              const Args&... args) {
+  log(LogLevel::kWarn, component, format, args...);
+}
+template <typename... Args>
+void log_error(std::string_view component, std::string_view format,
+               const Args&... args) {
+  log(LogLevel::kError, component, format, args...);
+}
+
+}  // namespace cs::obs

@@ -68,6 +68,9 @@ std::vector<std::uint8_t> build_frame(net::Ipv4 src, net::Ipv4 dst,
 
 }  // namespace
 
+// Deliberately uninstrumented: this parser runs in ~6 ns and even a gated
+// counter is measurable here. The pipeline counts packets one layer up,
+// in FlowTable::add.
 std::optional<Decoded> decode_frame(std::span<const std::uint8_t> frame) {
   if (frame.size() < kEthHeaderLen + kIpv4MinHeaderLen) return std::nullopt;
   if (read_u16(frame.data() + 12) != kEtherTypeIpv4) return std::nullopt;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cs::pcap {
 
 FlowTable::FlowTable() : FlowTable(Options{}) {}
@@ -10,6 +13,18 @@ FlowTable::FlowTable(Options options) : options_(options) {}
 
 void FlowTable::add(const Packet& packet) {
   const auto decoded = decode_frame(packet.bytes());
+  // Per-packet counters hide behind the detailed-metrics gate; the flag
+  // check is noise next to the flow-table hash lookup below.
+  if (obs::detailed_metrics()) {
+    static auto& packets_metric = obs::counter("pcap.decode.packets");
+    static auto& bytes_metric = obs::counter("pcap.decode.bytes");
+    packets_metric.inc();
+    bytes_metric.inc(packet.data.size());
+    if (!decoded) {
+      static auto& truncated_metric = obs::counter("pcap.decode.truncated");
+      truncated_metric.inc();
+    }
+  }
   if (!decoded) {
     ++undecodable_;
     return;
@@ -76,12 +91,15 @@ void FlowTable::add_decoded(const Decoded& decoded, double timestamp) {
 void FlowTable::finalize(Flow&& flow) { done_.push_back(std::move(flow)); }
 
 std::vector<Flow> FlowTable::finish() {
+  obs::Span span{"pcap.flow.finish"};
   for (auto& [key, flow] : open_) done_.push_back(std::move(flow));
   open_.clear();
   std::sort(done_.begin(), done_.end(),
             [](const Flow& a, const Flow& b) {
               return a.first_ts < b.first_ts;
             });
+  static auto& flows_metric = obs::counter("pcap.flow.flows");
+  flows_metric.inc(done_.size());
   return std::move(done_);
 }
 

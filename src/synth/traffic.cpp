@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcap/decode.h"
 #include "pcap/file.h"
 #include "proto/http.h"
@@ -195,6 +198,7 @@ void TrafficGenerator::setup_endpoints() {
 }
 
 std::vector<pcap::Packet> TrafficGenerator::generate() {
+  obs::Span span{"synth.traffic.generate"};
   util::Rng rng{config_.seed};
   std::vector<pcap::Packet> packets;
   packets.reserve(1 << 18);
@@ -460,6 +464,12 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
             [](const pcap::Packet& a, const pcap::Packet& b) {
               return a.timestamp < b.timestamp;
             });
+  std::uint64_t wire_bytes = 0;
+  for (const auto& p : packets) wire_bytes += p.data.size();
+  obs::counter("synth.traffic.packets").inc(packets.size());
+  obs::counter("synth.traffic.bytes").inc(wire_bytes);
+  obs::log_debug("synth.traffic", "generated {} packets ({} wire bytes)",
+                 packets.size(), wire_bytes);
   return packets;
 }
 

@@ -4,6 +4,9 @@
 #include <stdexcept>
 
 #include "dns/wordlist.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/format.h"
 
 namespace cs::synth {
@@ -998,11 +1001,16 @@ class World::Builder {
 };
 
 World::World(WorldConfig config) : config_(config) {
+  obs::Span span{"synth.world.build"};
   ec2_ = std::make_unique<cloud::Provider>(
       cloud::Provider::make_ec2(config.seed ^ 0xEC2));
   azure_ = std::make_unique<cloud::Provider>(
       cloud::Provider::make_azure(config.seed ^ 0xA2));
   Builder{*this}.build();
+  obs::counter("synth.world.builds").inc();
+  obs::counter("synth.world.domains").inc(domains_.size());
+  obs::log_debug("synth.world", "built world: {} domains, seed {}",
+                 domains_.size(), config.seed);
 }
 
 const DomainTruth* World::domain(std::string_view name) const {

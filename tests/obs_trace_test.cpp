@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+// Global allocation counter for the zero-allocation guarantee below. The
+// override must live in exactly one TU of the test binary.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cs::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  { Span span{"ignored"}; }
+  EXPECT_TRUE(Tracer::instance().events().empty());
+}
+
+TEST_F(TraceTest, DisabledSpanIsAllocationFree) {
+  Tracer::instance();  // settle the lazy singleton before measuring
+  const auto before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) Span span{"hot.path"};
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+TEST_F(TraceTest, NestedSpansAreParentedAndOrdered) {
+  Tracer::instance().enable_collection();
+  {
+    Span outer{"outer"};
+    { Span inner{"inner"}; }
+    { Span sibling{"sibling"}; }
+  }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 3u);
+
+  // Events are recorded at open time, so the order is pre-order.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].name, "sibling");
+
+  EXPECT_EQ(events[0].parent, -1);
+  EXPECT_EQ(events[1].parent, 0);
+  EXPECT_EQ(events[2].parent, 0);
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 1);
+
+  // Children are contained in the parent's time range.
+  for (int child : {1, 2}) {
+    EXPECT_GE(events[child].start_us, events[0].start_us);
+    EXPECT_LE(events[child].start_us + events[child].dur_us,
+              events[0].start_us + events[0].dur_us);
+  }
+  // The sibling opens at or after the first child closed.
+  EXPECT_GE(events[2].start_us, events[1].start_us + events[1].dur_us);
+}
+
+TEST_F(TraceTest, SpansOnAnotherThreadGetTheirOwnLane) {
+  Tracer::instance().enable_collection();
+  std::uint32_t main_tid = 0;
+  {
+    Span here{"main.span"};
+    main_tid = Tracer::thread_ordinal();
+    std::thread worker{[] { Span there{"worker.span"}; }};
+    worker.join();
+  }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& worker_event =
+      events[0].name == "worker.span" ? events[0] : events[1];
+  ASSERT_EQ(worker_event.name, "worker.span");
+  EXPECT_NE(worker_event.tid, main_tid);
+  // Nesting is per thread: the worker's span is a root, not a child of
+  // the main thread's open span.
+  EXPECT_EQ(worker_event.parent, -1);
+  EXPECT_EQ(worker_event.depth, 0);
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormed) {
+  Tracer::instance().enable_collection();
+  {
+    Span outer{"stage \"quoted\""};
+    Span inner{"study.dataset"};
+  }
+  const auto json = Tracer::instance().chrome_json();
+
+  // Structure: one object with a traceEvents array of "X" phase events.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"study.dataset\""), std::string::npos);
+  // The quote in the span name must be escaped.
+  EXPECT_NE(json.find("stage \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("stage \"quoted\""), std::string::npos);
+
+  // Braces and brackets balance (a cheap well-formedness proxy that
+  // catches missing separators and unterminated events).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, StatsAggregateByName) {
+  Tracer::instance().enable_collection();
+  for (int i = 0; i < 3; ++i) Span span{"repeated"};
+  {
+    Span parent{"parent"};
+    Span child{"repeated"};
+  }
+  const auto stats = Tracer::instance().stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "repeated");
+  EXPECT_EQ(stats[0].count, 4u);
+  EXPECT_EQ(stats[1].name, "parent");
+  EXPECT_EQ(stats[1].count, 1u);
+  // Parent self-time excludes the nested child's duration.
+  EXPECT_LE(stats[1].self_us, stats[1].total_us);
+
+  const auto summary = Tracer::instance().render_summary();
+  EXPECT_NE(summary.find("repeated"), std::string::npos);
+  EXPECT_NE(summary.find("parent"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  Tracer::instance().enable_collection();
+  { Span span{"gone"}; }
+  ASSERT_FALSE(Tracer::instance().events().empty());
+  Tracer::instance().clear();
+  EXPECT_TRUE(Tracer::instance().events().empty());
+}
+
+}  // namespace
+}  // namespace cs::obs
