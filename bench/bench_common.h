@@ -3,10 +3,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "core/report.h"
 #include "core/study.h"
+#include "exec/config.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +26,14 @@
 ///   CS_BENCH_JSON - write a machine-readable sidecar here at exit: wall
 ///                   time per pipeline stage plus every metrics counter,
 ///                   the input to the BENCH_* perf trajectory.
+/// Parallelism knobs (see DESIGN.md "Execution model"):
+///   CS_THREADS        - exec pool width (default: hardware concurrency);
+///                       the sidecar records it plus pool task/steal/queue
+///                       metrics.
+///   CS_BENCH_BASELINE - path to a previous sidecar (typically a
+///                       CS_THREADS=1 run of the same bench); the new
+///                       sidecar then reports baseline_wall_ms and the
+///                       speedup over it.
 /// The output is the reproduced table plus, where stated, an ablation.
 namespace cs::bench {
 
@@ -71,18 +81,55 @@ inline void json_escape_into(std::string& out, const std::string& text) {
   }
 }
 
+/// Pulls "wall_ms": <number> out of a previous sidecar. A full JSON
+/// parser would be overkill for reading back our own output.
+inline double read_baseline_wall_ms(const char* path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) {
+    obs::log_warn("bench", "cannot read CS_BENCH_BASELINE path '{}'", path);
+    return 0.0;
+  }
+  std::string text{std::istreambuf_iterator<char>{file},
+                   std::istreambuf_iterator<char>{}};
+  const auto pos = text.find("\"wall_ms\": ");
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + pos + 11, nullptr);
+}
+
 /// Writes the CS_BENCH_JSON sidecar: per-stage wall time from the span
-/// collector plus a dump of every counter. Registered via atexit from
-/// print_header so each bench main stays a straight-line reproduction.
+/// collector, the exec-pool shape (threads, tasks, steals, queue depth)
+/// plus a dump of every counter. Registered via atexit from print_header
+/// so each bench main stays a straight-line reproduction.
 inline void write_bench_sidecar() {
   const char* path = std::getenv("CS_BENCH_JSON");
   if (!path || !*path) return;
 
+  const double wall_ms = obs::Tracer::instance().epoch_now_us() / 1000.0;
   std::string out;
   out += "{\n  \"bench\": \"";
   json_escape_into(out, sidecar_bench_name());
   out += "\",\n  \"wall_ms\": ";
-  out += util::fmt("{:.3f}", obs::Tracer::instance().epoch_now_us() / 1000.0);
+  out += util::fmt("{:.3f}", wall_ms);
+  out += util::fmt(",\n  \"threads\": {}", exec::thread_count());
+  if (const char* baseline = std::getenv("CS_BENCH_BASELINE");
+      baseline && *baseline) {
+    if (const double base_ms = read_baseline_wall_ms(baseline);
+        base_ms > 0.0 && wall_ms > 0.0) {
+      out += util::fmt(",\n  \"baseline_wall_ms\": {:.3f}", base_ms);
+      out += util::fmt(",\n  \"speedup\": {:.3f}", base_ms / wall_ms);
+    }
+  }
+  {
+    const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+    std::int64_t max_depth = 0;
+    for (const auto& g : snapshot.gauges)
+      if (g.name == "exec.pool.max_queue_depth") max_depth = g.value;
+    out += util::fmt(
+        ",\n  \"pool\": {{\"tasks\": {}, \"steals\": {}, "
+        "\"max_queue_depth\": {}}}",
+        snapshot.counter("exec.pool.tasks"),
+        snapshot.counter("exec.pool.steals"), max_depth);
+  }
   out += ",\n  \"stages\": [";
   bool first = true;
   for (const auto& stage : obs::Tracer::instance().stats()) {

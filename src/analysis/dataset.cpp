@@ -4,9 +4,17 @@
 #include <set>
 
 #include "dns/wordlist.h"
+#include "exec/parallel.h"
 #include "internet/vantage.h"
+#include "obs/trace.h"
 
 namespace cs::analysis {
+namespace {
+
+/// The measurement host's resolver address (arbitrary non-cloud space).
+constexpr net::Ipv4 kProbeClient{199, 16, 0, 10};
+
+}  // namespace
 
 DatasetBuilder::DatasetBuilder(const synth::World& world, Options options)
     : world_(world),
@@ -16,28 +24,56 @@ DatasetBuilder::DatasetBuilder(const synth::World& world, Options options)
 }
 
 AlexaDataset DatasetBuilder::build() {
+  obs::Span span{"analysis.dataset.build"};
+  const auto& domains = world_.domains();
+
+  // One task per domain, each with its own resolver + enumerator (resolver
+  // caches are stateful, so tasks cannot share one). The enumerator's
+  // brute force additionally fans out inside the task via the factory; on
+  // a pool worker that nested region runs inline, which is exactly right —
+  // domains are the coarser, better-balanced unit.
+  dns::Enumerator::Options enum_options{.wordlist = options_.wordlist,
+                                        .attempt_axfr = options_.attempt_axfr,
+                                        .resolver_factory = [this] {
+                                          return world_.make_resolver(
+                                              kProbeClient);
+                                        }};
+  auto probes = exec::parallel_map(domains.size(), [&](std::size_t i) {
+    auto resolver = world_.make_resolver(kProbeClient);
+    dns::Enumerator enumerator{resolver, enum_options};
+    return probe_domain(domains[i], resolver, enumerator);
+  });
+
+  // Ordered reduction: domains stay in rank order and subdomain indices
+  // are rebased onto the merged vector, so the result matches what a
+  // sequential pass over `domains` would build.
   AlexaDataset dataset;
-  auto resolver = world_.make_resolver(net::Ipv4{199, 16, 0, 10});
-  dns::Enumerator enumerator{
-      resolver,
-      {.wordlist = options_.wordlist, .attempt_axfr = options_.attempt_axfr}};
-  for (const auto& domain : world_.domains())
-    probe_domain(domain, dataset, resolver, enumerator);
-  dataset.dns_queries_spent = resolver.upstream_queries();
+  dataset.domains.reserve(probes.size());
+  for (auto& probe : probes) {
+    const std::size_t base = dataset.cloud_subdomains.size();
+    for (std::size_t s = 0; s < probe.cloud_subdomains.size(); ++s)
+      probe.domain.cloud_subdomains.push_back(base + s);
+    std::move(probe.cloud_subdomains.begin(), probe.cloud_subdomains.end(),
+              std::back_inserter(dataset.cloud_subdomains));
+    dataset.domains.push_back(std::move(probe.domain));
+    dataset.dns_queries_spent += probe.queries_spent;
+  }
   return dataset;
 }
 
-void DatasetBuilder::probe_domain(const synth::DomainTruth& domain_truth,
-                                  AlexaDataset& dataset,
-                                  dns::Resolver& resolver,
-                                  dns::Enumerator& enumerator) {
-  DomainObservation domain_obs;
+DatasetBuilder::DomainProbe DatasetBuilder::probe_domain(
+    const synth::DomainTruth& domain_truth, dns::Resolver& resolver,
+    dns::Enumerator& enumerator) const {
+  DomainProbe probe;
+  DomainObservation& domain_obs = probe.domain;
   domain_obs.name = domain_truth.name;
   domain_obs.rank = domain_truth.rank;
 
   const auto enumerated = enumerator.enumerate(domain_truth.name);
   domain_obs.axfr_succeeded = enumerated.axfr_succeeded;
   domain_obs.subdomains_probed = enumerated.subdomains.size();
+  probe.queries_spent += enumerated.queries_spent;
+  const std::uint64_t queries_before = resolver.upstream_queries();
 
   const auto vantages = internet::planetlab_vantages(
       std::max<std::size_t>(1, options_.lookup_vantages));
@@ -110,10 +146,10 @@ void DatasetBuilder::probe_domain(const synth::DomainTruth& domain_truth,
       }
     }
 
-    domain_obs.cloud_subdomains.push_back(dataset.cloud_subdomains.size());
-    dataset.cloud_subdomains.push_back(std::move(obs));
+    probe.cloud_subdomains.push_back(std::move(obs));
   }
-  dataset.domains.push_back(std::move(domain_obs));
+  probe.queries_spent += resolver.upstream_queries() - queries_before;
+  return probe;
 }
 
 }  // namespace cs::analysis

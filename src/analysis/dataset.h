@@ -74,13 +74,23 @@ class DatasetBuilder {
 
   DatasetBuilder(const synth::World& world, Options options);
 
-  /// Runs the full §2.1 pipeline over every domain in the world.
+  /// Runs the full §2.1 pipeline over every domain in the world. Domains
+  /// fan out across the exec pool (each probe task owns its resolver);
+  /// results merge in rank order, so the dataset is byte-identical for
+  /// every CS_THREADS value.
   AlexaDataset build();
 
  private:
-  void probe_domain(const synth::DomainTruth& domain_truth,
-                    AlexaDataset& dataset, dns::Resolver& resolver,
-                    dns::Enumerator& enumerator);
+  /// Everything one domain's probe produces, merged by build() in order.
+  struct DomainProbe {
+    DomainObservation domain;
+    std::vector<SubdomainObservation> cloud_subdomains;
+    std::uint64_t queries_spent = 0;
+  };
+
+  DomainProbe probe_domain(const synth::DomainTruth& domain_truth,
+                           dns::Resolver& resolver,
+                           dns::Enumerator& enumerator) const;
 
   const synth::World& world_;
   CloudRanges ranges_;

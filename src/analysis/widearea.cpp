@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/parallel.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace cs::analysis {
@@ -62,7 +64,11 @@ Campaign run_campaign(internet::WideAreaModel& model,
           regions.size(), std::vector<std::optional<double>>(rounds)));
   campaign.tput_kbps = campaign.rtt_ms;
 
-  for (std::size_t v = 0; v < vantages.size(); ++v) {
+  // Vantages probe in parallel: every sample is a pure function of
+  // (model seed, path, time) and each task writes only its own [v] rows,
+  // so the campaign matrix is identical at any CS_THREADS value.
+  obs::Span span{"analysis.widearea.campaign"};
+  exec::parallel_for(vantages.size(), [&](std::size_t v) {
     for (std::size_t r = 0; r < regions.size(); ++r) {
       for (std::size_t round = 0; round < rounds; ++round) {
         const double t = static_cast<double>(start_time) +
@@ -80,7 +86,7 @@ Campaign run_campaign(internet::WideAreaModel& model,
             model.throughput_sample(vantages[v], *regions[r], t + 10.0);
       }
     }
-  }
+  });
   return campaign;
 }
 
@@ -140,20 +146,35 @@ std::vector<KRegionResult> optimal_k_regions(const Campaign& campaign) {
   for (std::size_t k = 1; k <= regions; ++k) {
     KRegionResult result;
     result.k = static_cast<int>(k);
+    // Materialize the size-k subsets in lexicographic order, score them
+    // in parallel, then pick winners sequentially with strict (first
+    // wins) comparisons — the same lexicographically-first tie-breaking
+    // the sequential exhaustive search had.
+    std::vector<std::vector<std::size_t>> subsets;
+    for_each_subset(regions, k, [&](const std::vector<std::size_t>& subset) {
+      subsets.push_back(subset);
+    });
+    struct SubsetScore {
+      double rtt = 0.0;
+      double tput = 0.0;
+    };
+    const auto scores =
+        exec::parallel_map(subsets.size(), [&](std::size_t i) {
+          return SubsetScore{score(subsets[i], true),
+                             score(subsets[i], false)};
+        });
     double best_rtt = 1e18, best_tput = -1.0;
     std::vector<std::size_t> best_lat_subset, best_tput_subset;
-    for_each_subset(regions, k, [&](const std::vector<std::size_t>& subset) {
-      const double rtt = score(subset, true);
-      if (rtt < best_rtt) {
-        best_rtt = rtt;
-        best_lat_subset = subset;
+    for (std::size_t i = 0; i < subsets.size(); ++i) {
+      if (scores[i].rtt < best_rtt) {
+        best_rtt = scores[i].rtt;
+        best_lat_subset = subsets[i];
       }
-      const double tput = score(subset, false);
-      if (tput > best_tput) {
-        best_tput = tput;
-        best_tput_subset = subset;
+      if (scores[i].tput > best_tput) {
+        best_tput = scores[i].tput;
+        best_tput_subset = subsets[i];
       }
-    });
+    }
     result.avg_rtt_ms = best_rtt;
     result.avg_tput_kbps = best_tput;
     for (const auto r : best_lat_subset)

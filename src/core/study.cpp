@@ -91,9 +91,7 @@ const proto::TraceLogs& Study::capture_logs() {
     StageScope stage{"study.capture_logs"};
     synth::TrafficGenerator generator{*world_, config_.traffic};
     const auto packets = generator.generate();
-    pcap::FlowTable table;
-    for (const auto& packet : packets) table.add(packet);
-    capture_logs_ = proto::analyze_flows(table.finish());
+    capture_logs_ = proto::analyze_flows(pcap::assemble_flows(packets));
   }
   return *capture_logs_;
 }

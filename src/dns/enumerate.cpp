@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cs::dns {
+namespace {
+
+/// Wordlist words probed per brute-force chunk. Fixed (never derived from
+/// the pool size) so the chunk boundaries — and with them each chunk
+/// resolver's cache behaviour and query count — are the same at every
+/// CS_THREADS.
+constexpr std::size_t kBruteChunkWords = 48;
+
+/// True when resolution found a real node (not NXDOMAIN/empty): the
+/// dnsmap existence test shared by both probing paths.
+bool name_exists(const ResolveResult& res) {
+  return res.rcode == Rcode::kNoError && !res.records.empty();
+}
+
+}  // namespace
 
 Enumerator::Enumerator(Resolver& resolver, Options options)
     : resolver_(resolver), options_(std::move(options)) {}
@@ -38,18 +54,62 @@ EnumerationResult Enumerator::enumerate(const Name& domain) {
     }
   }
 
+  std::uint64_t chunk_queries = 0;
   if (!result.axfr_succeeded) {
-    for (const auto& word : options_.wordlist) {
-      const auto candidate = domain.child(word);
-      if (!candidate) continue;
-      const auto res = resolver_.resolve(*candidate, RrType::kA);
-      // A name "exists" if resolution did not NXDOMAIN — NODATA names are
-      // real nodes (they may hold other types), matching dnsmap semantics.
-      if (res.rcode == Rcode::kNoError && !res.records.empty()) {
-        found.insert(*candidate);
-        brute_hits.inc();
-      } else {
-        brute_misses.inc();
+    const auto& words = options_.wordlist;
+    if (options_.resolver_factory && !words.empty()) {
+      // Parallel fan-out: fixed-size wordlist chunks, one fresh resolver
+      // per chunk, merged in chunk order. Hits/misses are aggregated per
+      // chunk and added once, so counter totals match the sequential path.
+      struct ChunkResult {
+        std::vector<Name> found;
+        std::uint64_t queries = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+      };
+      const std::size_t chunk_count =
+          (words.size() + kBruteChunkWords - 1) / kBruteChunkWords;
+      const auto chunks = exec::parallel_map(
+          chunk_count,
+          [&](std::size_t chunk) {
+            ChunkResult out;
+            Resolver resolver = options_.resolver_factory();
+            const std::size_t begin = chunk * kBruteChunkWords;
+            const std::size_t end =
+                std::min(words.size(), begin + kBruteChunkWords);
+            for (std::size_t w = begin; w < end; ++w) {
+              const auto candidate = domain.child(words[w]);
+              if (!candidate) continue;
+              // A name "exists" if resolution did not NXDOMAIN — NODATA
+              // names are real nodes (they may hold other types), matching
+              // dnsmap semantics.
+              if (name_exists(resolver.resolve(*candidate, RrType::kA))) {
+                out.found.push_back(*candidate);
+                ++out.hits;
+              } else {
+                ++out.misses;
+              }
+            }
+            out.queries = resolver.upstream_queries();
+            return out;
+          },
+          /*grain=*/1);
+      for (const auto& chunk : chunks) {
+        found.insert(chunk.found.begin(), chunk.found.end());
+        chunk_queries += chunk.queries;
+        brute_hits.inc(chunk.hits);
+        brute_misses.inc(chunk.misses);
+      }
+    } else {
+      for (const auto& word : words) {
+        const auto candidate = domain.child(word);
+        if (!candidate) continue;
+        if (name_exists(resolver_.resolve(*candidate, RrType::kA))) {
+          found.insert(*candidate);
+          brute_hits.inc();
+        } else {
+          brute_misses.inc();
+        }
       }
     }
   }
@@ -60,7 +120,8 @@ EnumerationResult Enumerator::enumerate(const Name& domain) {
   }
 
   result.subdomains.assign(found.begin(), found.end());
-  result.queries_spent = resolver_.upstream_queries() - queries_before;
+  result.queries_spent =
+      resolver_.upstream_queries() - queries_before + chunk_queries;
   return result;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,14 @@ class Enumerator {
     /// Probe the apex itself too (the paper's dataset keys on subdomains,
     /// apex A records count as the bare domain).
     bool include_apex = false;
+    /// When set, the brute-force wordlist fans out over the exec pool in
+    /// fixed-size chunks, each chunk confirming candidates through its own
+    /// resolver built by this factory (resolvers are stateful, so threads
+    /// cannot share one). The chunking is independent of CS_THREADS, so
+    /// discovered names *and query counts* are byte-identical at any
+    /// thread count. Unset = sequential probing through the shared
+    /// resolver, as before.
+    std::function<Resolver()> resolver_factory;
   };
 
   Enumerator(Resolver& resolver, Options options);

@@ -14,7 +14,7 @@ void SimulatedDnsNetwork::set_down(net::Ipv4 address, bool down) {
 
 std::optional<std::vector<std::uint8_t>> SimulatedDnsNetwork::exchange(
     net::Ipv4 client, net::Ipv4 server, std::span<const std::uint8_t> query) {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   if (observer_) observer_(client, server);
   const auto it = servers_.find(server.value());
   if (it == servers_.end() || it->second.down) return std::nullopt;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -31,6 +32,12 @@ class DnsTransport {
 };
 
 /// In-process transport mapping server IPs to AuthoritativeServer objects.
+///
+/// exchange() is safe to call from many resolver threads at once *after*
+/// the topology is built: attach/set_down/set_observer mutate the routing
+/// table and must happen before (or between) parallel query phases, which
+/// is how World uses it — servers attach during world construction, the
+/// dataset builder fans out afterwards.
 class SimulatedDnsNetwork final : public DnsTransport {
  public:
   /// Registers a server reachable at `address`. One server object may be
@@ -48,7 +55,9 @@ class SimulatedDnsNetwork final : public DnsTransport {
       net::Ipv4 client, net::Ipv4 server,
       std::span<const std::uint8_t> query) override;
 
-  std::uint64_t query_count() const noexcept { return query_count_; }
+  std::uint64_t query_count() const noexcept {
+    return query_count_.load(std::memory_order_relaxed);
+  }
   std::size_t server_count() const noexcept { return servers_.size(); }
 
   /// Finds the server object registered at an address, if any.
@@ -61,7 +70,7 @@ class SimulatedDnsNetwork final : public DnsTransport {
   };
   std::unordered_map<std::uint32_t, Entry> servers_;
   Observer observer_;
-  std::uint64_t query_count_ = 0;
+  std::atomic<std::uint64_t> query_count_{0};
 };
 
 }  // namespace cs::dns

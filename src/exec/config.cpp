@@ -1,0 +1,59 @@
+#include "exec/config.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "obs/log.h"
+
+namespace cs::exec {
+namespace {
+
+/// 0 = no override; otherwise the forced thread count.
+std::atomic<unsigned> g_override{0};
+
+}  // namespace
+
+std::optional<unsigned> parse_threads(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 9) return std::nullopt;
+  unsigned value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  return value == 0 ? hardware_threads() : value;
+}
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned thread_count() noexcept {
+  if (const unsigned forced = g_override.load(std::memory_order_relaxed))
+    return forced;
+  const char* value = std::getenv("CS_THREADS");
+  if (!value || !*value) return hardware_threads();
+  if (const auto parsed = parse_threads(value)) return *parsed;
+  obs::log_warn("exec", "ignoring CS_THREADS='{}' (want a non-negative "
+                "integer; 0 = hardware concurrency)", value);
+  return hardware_threads();
+}
+
+void set_thread_count(unsigned n) noexcept {
+  g_override.store(n, std::memory_order_relaxed);
+}
+
+ScopedThreads::ScopedThreads(unsigned n)
+    : previous_(g_override.load(std::memory_order_relaxed)) {
+  set_thread_count(n);
+  ThreadPool::rebuild_global();
+}
+
+ScopedThreads::~ScopedThreads() {
+  set_thread_count(previous_);
+  ThreadPool::rebuild_global();
+}
+
+}  // namespace cs::exec

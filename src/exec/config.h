@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+/// Execution-engine configuration: how many threads the study pipeline may
+/// use. The single knob is CS_THREADS:
+///
+///   CS_THREADS=1   sequential (the pool runs everything inline)
+///   CS_THREADS=8   eight workers
+///   CS_THREADS=0   hardware concurrency (also the default when unset)
+///
+/// Parsing is strict in the env_size style: values with trailing garbage
+/// ("4x"), signs, or non-digits are rejected with a warning rather than
+/// silently misread, because a misparsed thread count would quietly change
+/// every bench's scaling story.
+namespace cs::exec {
+
+/// Strictly parses a thread-count string. Returns nullopt for anything but
+/// a plain non-negative decimal integer; 0 is mapped to the hardware
+/// concurrency. Exposed for tests.
+std::optional<unsigned> parse_threads(std::string_view text) noexcept;
+
+/// std::thread::hardware_concurrency with a floor of 1.
+unsigned hardware_threads() noexcept;
+
+/// The resolved thread count: a set_thread_count override if present,
+/// else CS_THREADS (strictly parsed, warned + ignored when malformed),
+/// else hardware concurrency. Always >= 1.
+unsigned thread_count() noexcept;
+
+/// Programmatic override (tests, benches, the determinism harness).
+/// Passing 0 clears the override, returning control to CS_THREADS. Takes
+/// effect on the next ThreadPool::global() rebuild — callers normally use
+/// ScopedThreads, which handles the rebuild.
+void set_thread_count(unsigned n) noexcept;
+
+/// RAII thread-count override that rebuilds the global pool on entry and
+/// restores the previous configuration (rebuilding again) on exit.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(unsigned n);
+  ~ScopedThreads();
+
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  unsigned previous_ = 0;
+};
+
+}  // namespace cs::exec

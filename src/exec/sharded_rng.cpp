@@ -1,0 +1,22 @@
+#include "exec/sharded_rng.h"
+
+namespace cs::exec {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ShardedRng::stream_seed(std::uint64_t shard) const noexcept {
+  // Two scramble rounds so that shard indices (small, sequential) land far
+  // apart before they seed the xoshiro state.
+  return splitmix64(splitmix64(base_seed_ ^ 0x5E4D12C0FFEE00ABULL) +
+                    splitmix64(shard));
+}
+
+}  // namespace cs::exec

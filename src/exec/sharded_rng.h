@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+/// Deterministic RNG sharding for parallel stages.
+///
+/// A sequential stage that threads one util::Rng through all its work
+/// cannot be parallelized without changing the draw order. ShardedRng is
+/// the contract that replaces it: the stage is first re-expressed as
+/// independent shards (an endpoint, a domain, a wordlist chunk), each
+/// shard draws from its own stream derived *only* from (base seed, shard
+/// index), and shard outputs are merged in index order. The result is then
+/// byte-identical for any CS_THREADS — the sharding, not the scheduler,
+/// decides every random draw.
+///
+/// Streams are derived by a double splitmix64 scramble of the shard index
+/// into the base seed, the same construction util::Rng itself uses for
+/// seeding, so sibling streams start statistically uncorrelated even for
+/// adjacent indices.
+namespace cs::exec {
+
+class ShardedRng {
+ public:
+  explicit ShardedRng(std::uint64_t base_seed) noexcept
+      : base_seed_(base_seed) {}
+
+  /// Seed of the shard's stream (exposed so callers can persist it).
+  std::uint64_t stream_seed(std::uint64_t shard) const noexcept;
+
+  /// An independent generator for one shard. Equal (base seed, shard)
+  /// always yields an equal stream.
+  util::Rng stream(std::uint64_t shard) const noexcept {
+    return util::Rng{stream_seed(shard)};
+  }
+
+  std::uint64_t base_seed() const noexcept { return base_seed_; }
+
+ private:
+  std::uint64_t base_seed_;
+};
+
+}  // namespace cs::exec

@@ -1,0 +1,169 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+#include <utility>
+
+#include "exec/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/format.h"
+
+namespace cs::exec {
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+std::uint64_t steady_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Histogram& task_latency_histogram() {
+  static auto& histogram = obs::histogram(
+      "exec.pool.task_us", {10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6});
+  return histogram;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : size_(threads == 0 ? 1 : threads) {
+  if (size_ <= 1) return;
+  // Construct the tracer from the controlling thread before any worker
+  // can: its constructor names the constructing thread's lane "main", and
+  // a lazily-started worker would otherwise claim (then clobber) it.
+  obs::Tracer::instance();
+  queues_.reserve(size_);
+  for (unsigned i = 0; i < size_; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(size_);
+  for (unsigned i = 0; i < size_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{sleep_mutex_};
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(Task task) {
+  static auto& tasks_metric = obs::counter("exec.pool.tasks");
+  tasks_metric.inc();
+  if (threads_.empty()) {
+    // Sequential mode: no workers to hand the task to.
+    task();
+    return;
+  }
+  const unsigned target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % size_;
+  std::size_t depth;
+  {
+    std::lock_guard lock{queues_[target]->mutex};
+    queues_[target]->tasks.push_back(std::move(task));
+    depth = queues_[target]->tasks.size();
+  }
+  const auto pending = pending_.fetch_add(1, std::memory_order_release) + 1;
+  // Track the high-water queue depth (pool-wide pending is the more
+  // meaningful "queue" for a stealing pool; per-deque depth understates
+  // bursts that round-robin spreads out).
+  std::int64_t seen = max_depth_.load(std::memory_order_relaxed);
+  const auto candidate =
+      static_cast<std::int64_t>(std::max<std::size_t>(pending, depth));
+  while (candidate > seen &&
+         !max_depth_.compare_exchange_weak(seen, candidate,
+                                           std::memory_order_relaxed)) {
+  }
+  static auto& depth_metric = obs::gauge("exec.pool.max_queue_depth");
+  depth_metric.set(max_depth_.load(std::memory_order_relaxed));
+  {
+    // Lock-step with the sleeper's predicate check so a worker that just
+    // saw an empty pool cannot miss this wakeup.
+    std::lock_guard lock{sleep_mutex_};
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_run_one(unsigned self) {
+  static auto& steals_metric = obs::counter("exec.pool.steals");
+  Task task;
+  bool stolen = false;
+  {
+    // Own deque first, newest-first (cache-warm).
+    auto& mine = *queues_[self];
+    std::lock_guard lock{mine.mutex};
+    if (!mine.tasks.empty()) {
+      task = std::move(mine.tasks.back());
+      mine.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal oldest-first from the other deques.
+    for (unsigned k = 1; k < size_ && !task; ++k) {
+      auto& victim = *queues_[(self + k) % size_];
+      std::lock_guard lock{victim.mutex};
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_acquire);
+  if (stolen) steals_metric.inc();
+  const auto started_us = steady_now_us();
+  task();
+  task_latency_histogram().observe(
+      static_cast<double>(steady_now_us() - started_us));
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  tls_on_worker = true;
+  // Stable, human-readable lane in Chrome-trace exports instead of a raw
+  // thread ordinal.
+  obs::Tracer::instance().set_thread_name(
+      util::fmt("exec-worker-{}", index));
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock lock{sleep_mutex_};
+    wake_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return tls_on_worker; }
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock{g_global_mutex};
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(thread_count());
+  return *slot;
+}
+
+void ThreadPool::rebuild_global() {
+  std::lock_guard lock{g_global_mutex};
+  global_slot().reset();
+}
+
+}  // namespace cs::exec

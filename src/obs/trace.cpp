@@ -43,6 +43,9 @@ void json_escape(std::string& out, std::string_view text) {
 }  // namespace
 
 Tracer::Tracer() : epoch_ns_(steady_now_ns()) {
+  // The thread constructing the tracer is, in practice, the program's main
+  // thread; give its lane a readable name up front.
+  thread_names_[thread_ordinal()] = "main";
   if (const char* path = std::getenv("CS_TRACE"); path && *path)
     enable_export(path);
 }
@@ -98,6 +101,17 @@ std::uint32_t Tracer::thread_ordinal() {
   thread_local const std::uint32_t ordinal =
       next.fetch_add(1, std::memory_order_relaxed);
   return ordinal;
+}
+
+void Tracer::set_thread_name(std::string name) {
+  std::lock_guard lock{mutex_};
+  thread_names_[thread_ordinal()] = std::move(name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names()
+    const {
+  std::lock_guard lock{mutex_};
+  return {thread_names_.begin(), thread_names_.end()};
 }
 
 std::int32_t Tracer::record(std::string_view name, std::uint64_t start_us,
@@ -162,6 +176,17 @@ std::string Tracer::chrome_json() const {
   out.reserve(128 + evs.size() * 96);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // Lane-name metadata first, so viewers label pool workers before any
+  // span event references their tid.
+  for (const auto& [tid, name] : thread_names()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    json_escape(out, name);
+    out += "\"}}";
+  }
   for (const auto& e : evs) {
     if (!first) out += ',';
     first = false;

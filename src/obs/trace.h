@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 /// Pipeline spans: RAII timers that nest, aggregate into a per-stage
@@ -89,12 +91,22 @@ class Tracer {
   /// Small dense ordinal for the calling thread (stable per thread).
   static std::uint32_t thread_ordinal();
 
+  /// Names the calling thread's lane in exports and summaries (pool
+  /// workers register as "exec-worker-0" ... so traces stay readable
+  /// instead of showing raw thread ordinals). Safe to call whether or not
+  /// collection is enabled; the last name registered for a thread wins.
+  void set_thread_name(std::string name);
+
+  /// Registered lane names by thread ordinal (exposed for tests).
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names() const;
+
  private:
   Tracer();
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<SpanEvent> events_;
+  std::map<std::uint32_t, std::string> thread_names_;
   std::string export_path_;
   std::int64_t epoch_ns_ = 0;
 };

@@ -1,7 +1,10 @@
 #include "pcap/flow.h"
 
 #include <algorithm>
+#include <optional>
+#include <tuple>
 
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -101,6 +104,79 @@ std::vector<Flow> FlowTable::finish() {
   static auto& flows_metric = obs::counter("pcap.flow.flows");
   flows_metric.inc(done_.size());
   return std::move(done_);
+}
+
+namespace {
+
+/// Flow-table shard count for assemble_flows. Fixed (never the pool
+/// size): shard membership only depends on the tuple hash, so the
+/// decomposition — and with it the output — is the same at every
+/// CS_THREADS value.
+constexpr std::size_t kFlowShards = 16;
+
+}  // namespace
+
+std::vector<Flow> assemble_flows(std::span<const Packet> packets,
+                                 FlowTable::Options options,
+                                 std::uint64_t* undecodable) {
+  obs::Span span{"pcap.flow.assemble"};
+
+  // Stage 1: decode every frame in parallel. Decoded payload views point
+  // into the caller's packet buffers, which outlive this function.
+  auto decoded = exec::parallel_map(packets.size(), [&](std::size_t i) {
+    return decode_frame(packets[i].bytes());
+  });
+
+  std::uint64_t dropped = 0;
+  std::uint64_t wire_bytes = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    wire_bytes += packets[i].data.size();
+    if (!decoded[i]) ++dropped;
+  }
+  if (obs::detailed_metrics()) {
+    obs::counter("pcap.decode.packets").inc(packets.size());
+    obs::counter("pcap.decode.bytes").inc(wire_bytes);
+    obs::counter("pcap.decode.truncated").inc(dropped);
+  }
+  if (undecodable) *undecodable = dropped;
+
+  // Stage 2: partition packet indices by canonical-tuple hash. All of a
+  // flow's packets share a canonical tuple, so they land in one shard and
+  // feed that shard's table in capture order — idle-timeout splits and
+  // initiator orientation come out exactly as with a single table.
+  std::vector<std::vector<std::size_t>> shards(kFlowShards);
+  const net::FiveTupleHash hasher;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (!decoded[i]) continue;
+    shards[hasher(decoded[i]->tuple.canonical()) % kFlowShards].push_back(i);
+  }
+
+  // Stage 3: one FlowTable per shard, in parallel.
+  auto shard_flows = exec::parallel_map(
+      kFlowShards,
+      [&](std::size_t s) {
+        FlowTable table{options};
+        for (const std::size_t i : shards[s])
+          table.add_decoded(*decoded[i], packets[i].timestamp);
+        return table.finish();
+      },
+      /*grain=*/1);
+
+  // Stage 4: merge and impose a total order. first_ts alone (the single
+  // table's sort key) leaves equal-timestamp flows in hash order; the
+  // extra keys make the result independent of the sharding entirely.
+  std::vector<Flow> flows;
+  std::size_t total = 0;
+  for (const auto& sf : shard_flows) total += sf.size();
+  flows.reserve(total);
+  for (auto& sf : shard_flows)
+    flows.insert(flows.end(), std::make_move_iterator(sf.begin()),
+                 std::make_move_iterator(sf.end()));
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    return std::tie(a.first_ts, a.tuple, a.packets, a.bytes) <
+           std::tie(b.first_ts, b.tuple, b.packets, b.bytes);
+  });
+  return flows;
 }
 
 }  // namespace cs::pcap

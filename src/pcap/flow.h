@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "pcap/decode.h"
+#include "pcap/packet.h"
 
 /// Flow assembly: groups decoded packets into logical bidirectional flows,
 /// the unit Bro reports on and the unit of every flow statistic in §3 of
@@ -70,5 +72,18 @@ class FlowTable {
   std::vector<Flow> done_;
   std::uint64_t undecodable_ = 0;
 };
+
+/// Assembles a whole capture into flows in one call, fanning out over the
+/// exec pool: packets decode in parallel, then flows build in hash-sharded
+/// FlowTables (a canonical 5-tuple always lands in one shard, so every
+/// flow is assembled from its packets in timestamp order exactly as a
+/// single table would). The shard count is fixed — never derived from
+/// CS_THREADS — and the merged result is sorted by a total order
+/// (first_ts, tuple, packets, bytes), so output is byte-identical at any
+/// thread count. `undecodable`, when non-null, receives the dropped-frame
+/// count a single FlowTable would have reported.
+std::vector<Flow> assemble_flows(std::span<const Packet> packets,
+                                 FlowTable::Options options = {},
+                                 std::uint64_t* undecodable = nullptr);
 
 }  // namespace cs::pcap

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
+#include "exec/parallel.h"
+#include "exec/sharded_rng.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -199,27 +202,27 @@ void TrafficGenerator::setup_endpoints() {
 
 std::vector<pcap::Packet> TrafficGenerator::generate() {
   obs::Span span{"synth.traffic.generate"};
-  util::Rng rng{config_.seed};
-  std::vector<pcap::Packet> packets;
-  packets.reserve(1 << 18);
+  // Every parallel unit of work (one endpoint's flows, one cloud's
+  // non-web flows) draws from its own deterministic RNG stream, so the
+  // merged capture is byte-identical at every CS_THREADS value.
+  const exec::ShardedRng shards{config_.seed};
 
-  auto university_client = [&rng]() {
+  auto university_client = [](util::Rng& rng) {
     return net::Endpoint{
         net::Ipv4{128, 104, static_cast<std::uint8_t>(rng.next_below(256)),
                   static_cast<std::uint8_t>(1 + rng.next_below(250))},
         static_cast<std::uint16_t>(32768 + rng.next_below(28000))};
   };
 
-  std::size_t ec2_web_flows = 0, azure_web_flows = 0;
-
   // Content-type pick weights by flow count: byte share / mean size.
   std::vector<double> content_weights;
   for (const auto& plan : kContentPlans)
     content_weights.push_back(plan.byte_share / plan.mean_kb);
 
-  auto emit_http_flow = [&](const TrafficEndpoint& ep, double start,
+  auto emit_http_flow = [&](util::Rng& rng, std::vector<pcap::Packet>& packets,
+                            const TrafficEndpoint& ep, double start,
                             std::uint64_t& emitted, std::uint64_t budget) {
-    const net::Endpoint client = university_client();
+    const net::Endpoint client = university_client(rng);
     const net::Endpoint server{ep.ip, 80};
     double t = start;
     std::uint32_t seq = rng()  % 100000;
@@ -279,10 +282,12 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     emitted += 54 * 2;
   };
 
-  auto emit_https_flow = [&](const TrafficEndpoint& ep, bool elephant,
+  auto emit_https_flow = [&](util::Rng& rng,
+                             std::vector<pcap::Packet>& packets,
+                             const TrafficEndpoint& ep, bool elephant,
                              double start, std::uint64_t& emitted,
                              std::uint64_t budget) {
-    const net::Endpoint client = university_client();
+    const net::Endpoint client = university_client(rng);
     const net::Endpoint server{ep.ip, 443};
     double t = start;
     std::uint32_t seq = rng() % 100000;
@@ -335,24 +340,48 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
   };
 
   // --- Web traffic by byte budget -------------------------------------
-  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-    const auto& ep = endpoints_[i];
-    const auto budget = static_cast<std::uint64_t>(
-        byte_shares_[i] * static_cast<double>(config_.total_web_bytes));
-    const bool elephant = byte_shares_[i] > 0.05;
-    std::uint64_t emitted = 0;
-    while (emitted < budget) {
-      const double start =
-          config_.start_time + rng.uniform01() * config_.duration_sec;
-      if (https_[i])
-        emit_https_flow(ep, elephant, start, emitted, budget);
-      else
-        emit_http_flow(ep, start, emitted, budget);
-      if (ep.provider == ProviderKind::kEc2)
-        ++ec2_web_flows;
-      else
-        ++azure_web_flows;
-    }
+  // One task per endpoint: endpoint i draws from RNG stream i and emits
+  // into its own packet vector; results merge in endpoint order below.
+  struct EndpointTraffic {
+    std::vector<pcap::Packet> packets;
+    std::size_t flows = 0;
+  };
+  auto per_endpoint = exec::parallel_map(
+      endpoints_.size(),
+      [&](std::size_t i) {
+        obs::Span ep_span{"synth.traffic.endpoint"};
+        EndpointTraffic out;
+        util::Rng rng = shards.stream(i);
+        const auto& ep = endpoints_[i];
+        const auto budget = static_cast<std::uint64_t>(
+            byte_shares_[i] * static_cast<double>(config_.total_web_bytes));
+        const bool elephant = byte_shares_[i] > 0.05;
+        std::uint64_t emitted = 0;
+        while (emitted < budget) {
+          const double start =
+              config_.start_time + rng.uniform01() * config_.duration_sec;
+          if (https_[i])
+            emit_https_flow(rng, out.packets, ep, elephant, start, emitted,
+                            budget);
+          else
+            emit_http_flow(rng, out.packets, ep, start, emitted, budget);
+          ++out.flows;
+        }
+        return out;
+      },
+      /*grain=*/1);
+
+  std::size_t ec2_web_flows = 0, azure_web_flows = 0;
+  std::vector<pcap::Packet> packets;
+  packets.reserve(1 << 18);
+  for (std::size_t i = 0; i < per_endpoint.size(); ++i) {
+    if (endpoints_[i].provider == ProviderKind::kEc2)
+      ec2_web_flows += per_endpoint[i].flows;
+    else
+      azure_web_flows += per_endpoint[i].flows;
+    packets.insert(packets.end(),
+                   std::make_move_iterator(per_endpoint[i].packets.begin()),
+                   std::make_move_iterator(per_endpoint[i].packets.end()));
   }
 
   // --- Non-web flows by count (Table 2 flow mix) -----------------------
@@ -372,14 +401,16 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     if (out.empty()) out.push_back(endpoints_.front().ip);
     return out;
   };
-  auto any_instance_ip = [&](ProviderKind kind) {
+  auto any_instance_ip = [&](util::Rng& rng, ProviderKind kind) {
     const auto& provider =
         kind == ProviderKind::kEc2 ? world_.ec2() : world_.azure();
     const auto& instances = provider.instances();
     return instances[rng.next_below(instances.size())].public_ip;
   };
 
-  auto emit_count_flows = [&](ProviderKind kind, std::size_t total) {
+  auto emit_count_flows = [&](util::Rng& rng,
+                              std::vector<pcap::Packet>& packets,
+                              ProviderKind kind, std::size_t total) {
     const auto dns_servers = cloud_dns_servers(kind);
     const double dns_frac = kind == ProviderKind::kEc2 ? 0.1033 : 0.1159;
     const double udp_frac = kind == ProviderKind::kEc2 ? 0.0019 : 0.1477;
@@ -388,7 +419,7 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
 
     const auto n_dns = static_cast<std::size_t>(total * dns_frac);
     for (std::size_t i = 0; i < n_dns; ++i) {
-      const auto client = university_client();
+      const auto client = university_client(rng);
       const net::Endpoint server{
           dns_servers[rng.next_below(dns_servers.size())], 53};
       const double t =
@@ -401,8 +432,8 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     }
     const auto n_udp = static_cast<std::size_t>(total * udp_frac);
     for (std::size_t i = 0; i < n_udp; ++i) {
-      const auto client = university_client();
-      const net::Endpoint server{any_instance_ip(kind),
+      const auto client = university_client(rng);
+      const net::Endpoint server{any_instance_ip(rng, kind),
                                  static_cast<std::uint16_t>(
                                      3000 + rng.next_below(30000))};
       const double t =
@@ -416,8 +447,8 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     const auto n_icmp = std::max<std::size_t>(
         1, static_cast<std::size_t>(total * icmp_frac));
     for (std::size_t i = 0; i < n_icmp; ++i) {
-      const auto client = university_client();
-      const auto server = any_instance_ip(kind);
+      const auto client = university_client(rng);
+      const auto server = any_instance_ip(rng, kind);
       const double t =
           config_.start_time + rng.uniform01() * config_.duration_sec;
       std::vector<std::uint8_t> ping(48, 0x44);
@@ -428,8 +459,8 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     }
     const auto n_tcp = static_cast<std::size_t>(total * tcp_frac);
     for (std::size_t i = 0; i < n_tcp; ++i) {
-      const auto client = university_client();
-      const net::Endpoint server{any_instance_ip(kind),
+      const auto client = university_client(rng);
+      const net::Endpoint server{any_instance_ip(rng, kind),
                                  rng.chance(0.5) ? std::uint16_t{22}
                                                  : std::uint16_t{25}};
       double t = config_.start_time + rng.uniform01() * config_.duration_sec;
@@ -457,13 +488,38 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     }
   };
 
-  emit_count_flows(ProviderKind::kEc2, ec2_total);
-  emit_count_flows(ProviderKind::kAzure, azure_total);
+  // Non-web flows for the two clouds run as two more tasks, with RNG
+  // streams placed after the per-endpoint streams.
+  struct NonWebPlan {
+    ProviderKind kind;
+    std::size_t total;
+  };
+  const NonWebPlan non_web_plans[] = {
+      {ProviderKind::kEc2, ec2_total},
+      {ProviderKind::kAzure, azure_total},
+  };
+  auto non_web = exec::parallel_map(
+      std::size(non_web_plans),
+      [&](std::size_t i) {
+        obs::Span nw_span{"synth.traffic.non_web"};
+        std::vector<pcap::Packet> out;
+        util::Rng rng = shards.stream(endpoints_.size() + i);
+        emit_count_flows(rng, out, non_web_plans[i].kind,
+                         non_web_plans[i].total);
+        return out;
+      },
+      /*grain=*/1);
+  for (auto& chunk : non_web)
+    packets.insert(packets.end(), std::make_move_iterator(chunk.begin()),
+                   std::make_move_iterator(chunk.end()));
 
-  std::sort(packets.begin(), packets.end(),
-            [](const pcap::Packet& a, const pcap::Packet& b) {
-              return a.timestamp < b.timestamp;
-            });
+  // stable_sort, not sort: equal timestamps keep the fixed merge order
+  // (endpoint order, then non-web), so the capture is independent of the
+  // thread count *and* of the sort implementation's tie-breaking.
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const pcap::Packet& a, const pcap::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
   std::uint64_t wire_bytes = 0;
   for (const auto& p : packets) wire_bytes += p.data.size();
   obs::counter("synth.traffic.packets").inc(packets.size());

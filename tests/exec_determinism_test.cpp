@@ -1,0 +1,68 @@
+// The exec engine's core promise: a study computed on N threads is
+// byte-identical to the same study computed on 1 thread. Every parallel
+// stage (DNS enumeration fan-out, traffic synthesis, sharded flow
+// assembly, the wide-area campaign and its k-region search) is behind
+// these comparisons via the rendered reports.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/widearea.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "exec/config.h"
+
+namespace cs::core {
+namespace {
+
+StudyConfig small_config(std::uint64_t seed) {
+  StudyConfig config;
+  config.world.seed = seed;
+  config.world.domain_count = 100;
+  config.traffic.total_web_bytes = 2ull * 1024 * 1024;
+  config.dataset.lookup_vantages = 2;
+  config.dataset.collect_name_servers = false;
+  config.campaign_vantages = 6;
+  config.campaign_days = 0.25;
+  return config;
+}
+
+/// Everything we compare, rendered to text under one thread-count.
+struct Rendered {
+  std::string table1;  ///< capture: traffic synthesis + flow assembly
+  std::string table3;  ///< cloud usage: the DNS dataset
+  std::string table9;  ///< regions
+  std::string fig12;   ///< k-region exhaustive search
+  std::uint64_t dns_queries = 0;
+};
+
+Rendered render_with_threads(std::uint64_t seed, unsigned threads) {
+  exec::ScopedThreads guard{threads};
+  Study study{small_config(seed)};
+  Rendered out;
+  out.table1 = render_table1(study.capture());
+  out.table3 = render_table3(study.cloud_usage());
+  out.table9 = render_table9(study.regions());
+  out.fig12 = render_fig12(analysis::optimal_k_regions(study.campaign()));
+  out.dns_queries = study.dataset().dns_queries_spent;
+  return out;
+}
+
+class ExecDeterminism : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecDeterminism, EightThreadsMatchesOneThread) {
+  const auto sequential = render_with_threads(GetParam(), 1);
+  const auto parallel = render_with_threads(GetParam(), 8);
+  EXPECT_EQ(sequential.table1, parallel.table1);
+  EXPECT_EQ(sequential.table3, parallel.table3);
+  EXPECT_EQ(sequential.table9, parallel.table9);
+  EXPECT_EQ(sequential.fig12, parallel.fig12);
+  EXPECT_EQ(sequential.dns_queries, parallel.dns_queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoSeeds, ExecDeterminism,
+                         testing::Values(2013ull, 777ull));
+
+}  // namespace
+}  // namespace cs::core
