@@ -6,6 +6,7 @@
 #include "analysis/ranges.h"
 #include "dns/message.h"
 #include "dns/resolver.h"
+#include "fault/fault.h"
 #include "pcap/decode.h"
 #include "pcap/flow.h"
 #include "proto/http.h"
@@ -108,6 +109,24 @@ void BM_IterativeResolution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IterativeResolution);
+
+// The injector's contract when CS_FAULT is unset: one relaxed load and a
+// branch. Compare against BM_IterativeResolution to confirm the guarded
+// exchange path costs the same with the injector compiled in.
+void BM_FaultCheckDisabled(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(fault::active_plan());
+}
+BENCHMARK(BM_FaultCheckDisabled);
+
+void BM_FaultDecideEnabled(benchmark::State& state) {
+  fault::Spec spec;
+  spec.loss = 0.02;
+  const fault::Plan plan{spec};
+  std::uint64_t key = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(plan.decide(fault::Kind::kLoss, key++));
+}
+BENCHMARK(BM_FaultDecideEnabled);
 
 void BM_WorldBuild(benchmark::State& state) {
   for (auto _ : state) {

@@ -81,6 +81,10 @@ int main(int argc, char** argv) {
   emit("fig12.txt",
        core::render_fig12(analysis::optimal_k_regions(study.campaign())));
 
+  // Not a paper artifact: how much data the run lost along the way
+  // (meaningful under CS_FAULT, all-zero otherwise).
+  emit("data_quality.txt", core::render_data_quality(study));
+
   std::cout << util::fmt("\n{} artifacts written. Compare against the "
                          "paper with EXPERIMENTS.md.\n",
                          written);

@@ -89,11 +89,16 @@ DatasetBuilder::DomainProbe DatasetBuilder::probe_domain(
     // First a single-vantage lookup (the filtering query), then the
     // distributed lookups from every vantage to capture geo-specific
     // records; caches are flushed between vantages, as the paper did.
+    std::size_t lookups_ok = 0;
     for (std::size_t v = 0; v < vantages.size(); ++v) {
       resolver.flush_cache();
       resolver.set_client_address(vantages[v].address);
       const auto result = resolver.resolve(subdomain, dns::RrType::kA);
-      if (!result.ok()) continue;
+      if (!result.ok()) {
+        ++domain_obs.failed_lookups[dns::to_string(result.rcode)];
+        continue;
+      }
+      ++lookups_ok;
       for (const auto& rr : result.records) obs.records.push_back(rr);
       for (const auto addr : result.addresses()) addresses.insert(addr);
       for (const auto& cname : result.cname_chain()) cnames.insert(cname);
@@ -102,6 +107,14 @@ DatasetBuilder::DomainProbe DatasetBuilder::probe_domain(
         obs.direct_a_record = true;
     }
     resolver.flush_cache();
+
+    // A name every vantage failed to resolve is missing data — recording
+    // it as "other hosting" would corrupt the §3 aggregates, so it goes
+    // to the unresolved ledger instead.
+    if (lookups_ok == 0) {
+      ++domain_obs.unresolved_subdomains;
+      continue;
+    }
 
     bool any_cloud = false;
     for (const auto addr : addresses) {

@@ -46,6 +46,14 @@ struct DomainObservation {
   std::vector<std::size_t> cloud_subdomains;
   /// Count of discovered subdomains with only non-cloud addresses.
   std::size_t other_only_subdomains = 0;
+  /// Failed per-vantage subdomain lookups, keyed by rcode name
+  /// ("SERVFAIL", "NXDOMAIN", ...) — the data-quality ledger for this
+  /// domain under flaky servers / injected faults.
+  std::map<std::string, std::size_t> failed_lookups;
+  /// Discovered subdomains where every vantage lookup failed. These are
+  /// deliberately *not* folded into other_only_subdomains: an unresolved
+  /// name is missing data, not evidence of non-cloud hosting.
+  std::size_t unresolved_subdomains = 0;
 };
 
 struct AlexaDataset {
@@ -57,6 +65,17 @@ struct AlexaDataset {
     std::size_t n = 0;
     for (const auto& d : domains)
       if (!d.cloud_subdomains.empty()) ++n;
+    return n;
+  }
+  std::uint64_t failed_lookup_count() const {
+    std::uint64_t n = 0;
+    for (const auto& d : domains)
+      for (const auto& [reason, count] : d.failed_lookups) n += count;
+    return n;
+  }
+  std::size_t unresolved_subdomain_count() const {
+    std::size_t n = 0;
+    for (const auto& d : domains) n += d.unresolved_subdomains;
     return n;
   }
 };

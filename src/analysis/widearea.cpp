@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "exec/parallel.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
 
@@ -63,14 +65,32 @@ Campaign run_campaign(internet::WideAreaModel& model,
       std::vector<std::vector<std::optional<double>>>(
           regions.size(), std::vector<std::optional<double>>(rounds)));
   campaign.tput_kbps = campaign.rtt_ms;
+  campaign.dropped_rounds.assign(vantages.size(), 0);
 
   // Vantages probe in parallel: every sample is a pure function of
   // (model seed, path, time) and each task writes only its own [v] rows,
-  // so the campaign matrix is identical at any CS_THREADS value.
+  // so the campaign matrix is identical at any CS_THREADS value. Fault
+  // dropout keeps that property by drawing each vantage's offline rounds
+  // from a per-vantage stream (shard = vantage index), never from shared
+  // state.
   obs::Span span{"analysis.widearea.campaign"};
+  const auto* plan = fault::active_plan();
   exec::parallel_for(vantages.size(), [&](std::size_t v) {
+    std::vector<bool> offline;
+    if (plan && plan->spec().vantage_drop > 0.0) {
+      offline.resize(rounds);
+      auto rng = plan->stream(fault::Kind::kVantageDrop, v);
+      for (std::size_t round = 0; round < rounds; ++round) {
+        offline[round] = rng.chance(plan->spec().vantage_drop);
+        if (offline[round]) ++campaign.dropped_rounds[v];
+      }
+      static auto& dropped_metric =
+          obs::counter("fault.campaign.dropped_rounds");
+      dropped_metric.inc(campaign.dropped_rounds[v]);
+    }
     for (std::size_t r = 0; r < regions.size(); ++r) {
       for (std::size_t round = 0; round < rounds; ++round) {
+        if (!offline.empty() && offline[round]) continue;
         const double t = static_cast<double>(start_time) +
                          round * campaign.round_seconds;
         // 5 TCP pings, averaged, timeouts excluded (§5.1).

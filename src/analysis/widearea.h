@@ -18,9 +18,18 @@ struct Campaign {
   double round_seconds = 900.0;
   std::vector<std::vector<std::vector<std::optional<double>>>> rtt_ms;
   std::vector<std::vector<std::vector<std::optional<double>>>> tput_kbps;
+  /// Rounds each vantage sat out entirely (PlanetLab-node dropout,
+  /// injected by cs::fault); every consumer already treats the resulting
+  /// nullopt samples as lost probes.
+  std::vector<std::uint64_t> dropped_rounds;
 
   std::size_t rounds() const {
     return rtt_ms.empty() || rtt_ms[0].empty() ? 0 : rtt_ms[0][0].size();
+  }
+  std::uint64_t total_dropped_rounds() const {
+    std::uint64_t total = 0;
+    for (const auto n : dropped_rounds) total += n;
+    return total;
   }
 };
 

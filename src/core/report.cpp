@@ -4,6 +4,8 @@
 #include <set>
 
 #include "carto/proximity.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
 #include "util/format.h"
 #include "util/table.h"
 
@@ -467,6 +469,50 @@ std::string render_fig12(const std::vector<analysis::KRegionResult>& results) {
     t.add(result.k, regions, result.avg_rtt_ms, result.avg_tput_kbps);
   }
   return t.render();
+}
+
+std::string render_data_quality(Study& study) {
+  const auto& dataset = study.dataset();
+  const auto& campaign = study.campaign();
+  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+
+  std::string head = "Fault plan: ";
+  if (const auto* plan = fault::active_plan()) {
+    const auto& s = plan->spec();
+    head += util::fmt(
+        "loss={} timeout={} truncate={} servfail={} corrupt={} "
+        "vantage_drop={} seed={}",
+        s.loss, s.timeout, s.truncate, s.servfail, s.corrupt,
+        s.vantage_drop, s.seed);
+  } else {
+    head += "none (CS_FAULT unset)";
+  }
+  head += "\n";
+
+  Table t{{"Signal", "Count"}};
+  t.caption("Data quality: losses, retries, and unresolved names");
+  t.add("DNS queries spent", dataset.dns_queries_spent);
+  t.add("DNS lookups failed", dataset.failed_lookup_count());
+  // Aggregate the per-domain failure ledgers by reason.
+  {
+    std::map<std::string, std::uint64_t> by_reason;
+    for (const auto& domain : dataset.domains)
+      for (const auto& [reason, count] : domain.failed_lookups)
+        by_reason[reason] += count;
+    for (const auto& [reason, count] : by_reason)
+      t.add("  failed with " + reason, count);
+  }
+  t.add("Unresolved subdomains", dataset.unresolved_subdomain_count());
+  t.add("Resolver retries", snapshot.counter("dns.resolver.retries"));
+  t.add("Resolver timeouts", snapshot.counter("dns.resolver.timeouts"));
+  t.add("Injected DNS loss", snapshot.counter("fault.dns.loss"));
+  t.add("Injected DNS timeouts", snapshot.counter("fault.dns.timeout"));
+  t.add("Injected DNS truncations", snapshot.counter("fault.dns.truncate"));
+  t.add("Injected DNS SERVFAILs", snapshot.counter("fault.dns.servfail"));
+  t.add("Truncated capture frames", snapshot.counter("fault.pcap.truncated"));
+  t.add("Corrupted capture frames", snapshot.counter("fault.pcap.corrupted"));
+  t.add("Campaign vantage-rounds dropped", campaign.total_dropped_rounds());
+  return head + t.render();
 }
 
 }  // namespace cs::core

@@ -40,4 +40,11 @@ std::string render_fig9_10(const analysis::ClientRegionAverages& averages);
 std::string render_fig11(const analysis::FlappingSeries& series);
 std::string render_fig12(const std::vector<analysis::KRegionResult>& results);
 
+/// Data-quality appendix: how much raw signal the study lost to drops,
+/// retries, truncation, dead vantage rounds, and unresolved names — fed
+/// by the dataset/campaign ledgers plus the obs fault counters. Under an
+/// active cs::fault plan this is the proof the pipeline degraded
+/// gracefully instead of corrupting its aggregates.
+std::string render_data_quality(Study& study);
+
 }  // namespace cs::core

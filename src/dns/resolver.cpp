@@ -49,10 +49,12 @@ std::optional<Message> Resolver::ask(net::Ipv4 server, const Name& name,
 }
 
 void Resolver::cache_put(const Name& name, RrType type, Rcode rcode,
-                         const std::vector<ResourceRecord>& records) {
+                         const std::vector<ResourceRecord>& records,
+                         std::optional<std::uint32_t> ttl_override) {
   if (!options_.use_cache) return;
   std::uint32_t ttl = 300;
   for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  if (ttl_override) ttl = *ttl_override;
   CacheEntry entry;
   entry.records = records;
   entry.rcode = rcode;
@@ -121,18 +123,37 @@ Rcode Resolver::resolve_step(const Name& name, RrType type,
   std::vector<net::Ipv4> servers = options_.root_servers;
   std::vector<ResourceRecord> collected;
 
+  // Failure at any delegation step is a dead delegation: negatively cache
+  // the SERVFAIL with a short pinned TTL so repeated lookups don't
+  // re-probe the whole server list until kServFailCacheTtl passes.
+  const auto servfail = [&](const Name& n, RrType t) {
+    cache_put(n, t, Rcode::kServFail, {}, kServFailCacheTtl);
+    return Rcode::kServFail;
+  };
+
   for (int hop = 0; hop < options_.max_referrals; ++hop) {
-    if (servers.empty()) return Rcode::kServFail;
+    if (servers.empty()) return servfail(name, type);
 
     std::optional<Message> response;
-    // Try servers in order until one responds (timeout tolerance).
+    // Try servers in order (up to max_server_attempts of them) until one
+    // responds — the paper's dig runs tolerated flaky authoritatives the
+    // same way.
+    static auto& retry_metric = obs::counter("dns.resolver.retries");
+    static auto& timeout_metric = obs::counter("dns.resolver.timeouts");
     int attempts = 0;
     for (const auto server : servers) {
-      if (attempts++ > options_.server_retries) break;
+      if (attempts >= options_.max_server_attempts) break;
+      if (attempts > 0) {
+        ++retries_;
+        retry_metric.inc();
+      }
+      ++attempts;
       response = ask(server, name, type);
       if (response) break;
+      ++timeouts_;
+      timeout_metric.inc();
     }
-    if (!response) return Rcode::kServFail;
+    if (!response) return servfail(name, type);
 
     if (response->header.rcode != Rcode::kNoError) {
       cache_put(name, type, response->header.rcode, collected);

@@ -43,8 +43,18 @@ class Resolver {
     bool recursion_desired = false;  ///< the paper queried with norecurse
     int max_referrals = 32;          ///< delegation-depth guard
     int max_cname_hops = 12;
-    int server_retries = 2;  ///< alternates servers on timeouts
+    /// Total servers tried per delegation step before giving up: the
+    /// first attempt plus up to (max_server_attempts - 1) retries against
+    /// alternate servers. (This was previously named `server_retries`,
+    /// which undersold the bound by one — the loop always admitted
+    /// retries + 1 attempts. The count is now named for what it bounds.)
+    int max_server_attempts = 3;
   };
+
+  /// TTL for negatively cached timeout-driven SERVFAIL: long enough that
+  /// repeated lookups of a dead delegation don't re-probe the whole
+  /// server list every time, short enough that recovery is noticed.
+  static constexpr std::uint32_t kServFailCacheTtl = 30;
 
   Resolver(DnsTransport& transport, Options options);
 
@@ -73,6 +83,10 @@ class Resolver {
   std::uint64_t upstream_queries() const noexcept {
     return upstream_queries_;
   }
+  /// Exchanges that produced no usable response (timeout / lost / bad
+  /// decode) and attempts beyond the first within one delegation step.
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+  std::uint64_t retries() const noexcept { return retries_; }
 
  private:
   struct CacheKey {
@@ -101,8 +115,11 @@ class Resolver {
   std::vector<net::Ipv4> referral_addresses(const Message& response,
                                             int depth);
 
+  /// `ttl_override` pins the entry's lifetime (negative caching); when
+  /// absent the TTL is the minimum record TTL, capped at 300 s.
   void cache_put(const Name& name, RrType type, Rcode rcode,
-                 const std::vector<ResourceRecord>& records);
+                 const std::vector<ResourceRecord>& records,
+                 std::optional<std::uint32_t> ttl_override = std::nullopt);
   const CacheEntry* cache_get(const Name& name, RrType type);
 
   DnsTransport& transport_;
@@ -112,6 +129,8 @@ class Resolver {
   std::uint16_t next_id_ = 1;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t upstream_queries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace cs::dns

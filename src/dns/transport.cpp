@@ -1,5 +1,9 @@
 #include "dns/transport.h"
 
+#include "dns/message.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
 namespace cs::dns {
 
 void SimulatedDnsNetwork::attach(net::Ipv4 address,
@@ -18,7 +22,45 @@ std::optional<std::vector<std::uint8_t>> SimulatedDnsNetwork::exchange(
   if (observer_) observer_(client, server);
   const auto it = servers_.find(server.value());
   if (it == servers_.end() || it->second.down) return std::nullopt;
-  return it->second.server->handle_wire(client, query);
+
+  // Fault injection sits on the wire, not in the server: the resolver
+  // sees exactly what a lossy network would show it. Decisions key off
+  // the exchange itself (client, server, query bytes), so the same study
+  // seed injects the same faults at any CS_THREADS.
+  const auto* plan = fault::active_plan();
+  std::uint64_t key = 0;
+  if (plan) [[unlikely]] {
+    key = fault::exchange_key(client.value(), server.value(), query);
+    if (plan->decide(fault::Kind::kLoss, key)) {
+      static auto& losses = obs::counter("fault.dns.loss");
+      losses.inc();
+      return std::nullopt;  // query never arrived
+    }
+    if (plan->decide(fault::Kind::kTimeout, key)) {
+      static auto& timeouts = obs::counter("fault.dns.timeout");
+      timeouts.inc();
+      return std::nullopt;  // server reached, answer never came back
+    }
+    if (plan->decide(fault::Kind::kServFail, key)) {
+      static auto& servfails = obs::counter("fault.dns.servfail");
+      servfails.inc();
+      if (const auto parsed = Message::decode(query))
+        return Message::response_to(*parsed, Rcode::kServFail, false)
+            .encode();
+      return std::nullopt;
+    }
+  }
+
+  auto response = it->second.server->handle_wire(client, query);
+  if (plan && plan->decide(fault::Kind::kTruncate, key)) [[unlikely]] {
+    static auto& truncations = obs::counter("fault.dns.truncate");
+    truncations.inc();
+    // A strict prefix of the response; the resolver's decode rejects it
+    // and treats the exchange as lost.
+    auto rng = plan->stream(fault::Kind::kTruncate, key);
+    response.resize(rng.next_below(response.size()));
+  }
+  return response;
 }
 
 std::shared_ptr<AuthoritativeServer> SimulatedDnsNetwork::server_at(

@@ -16,8 +16,10 @@
 ///
 /// The resolver only sees wire bytes, so the same resolver code would run
 /// over a real UDP socket; in this repository the transport routes the
-/// bytes to in-process AuthoritativeServer instances, with optional loss
-/// so failure handling is testable.
+/// bytes to in-process AuthoritativeServer instances. Seeded faults
+/// (cs::fault, CS_FAULT) are injected here on the wire — dropped,
+/// timed-out, truncated, and SERVFAIL'd exchanges — so failure handling
+/// is testable deterministically.
 namespace cs::dns {
 
 class DnsTransport {

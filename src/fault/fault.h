@@ -1,0 +1,144 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "exec/sharded_rng.h"
+#include "util/rng.h"
+
+/// Deterministic, seed-driven fault injection for the whole pipeline.
+///
+/// The paper's measurements ran against a hostile real world — flaky
+/// PlanetLab vantages, timing-out authoritative servers, truncated
+/// captures. This module recreates that hostility on demand so the
+/// consumers (resolver, flow assembly, campaign aggregation) can prove
+/// they degrade gracefully instead of corrupting aggregates.
+///
+/// Contract:
+///  - Faults are configured by CS_FAULT
+///    (`CS_FAULT=loss=0.02,timeout=0.01,truncate=0.005,servfail=0.01`) or
+///    programmatically via a Spec + ScopedPlan.
+///  - Every decision is a pure function of (plan seed, fault kind, event
+///    key): the key identifies the event (a DNS exchange, a capture
+///    record index, a campaign vantage), never the thread or call order,
+///    so an injected run is byte-identical at any CS_THREADS. Streams are
+///    derived through exec::ShardedRng, the same per-shard construction
+///    the parallel stages use for their own randomness.
+///  - With CS_FAULT unset the injector is a no-op: active_plan() is one
+///    relaxed atomic load + branch, cheap enough for per-exchange and
+///    per-record call sites (the ~6 ns decode_frame loop stays
+///    uninstrumented; injection happens one layer up).
+namespace cs::fault {
+
+/// What the injector can do to one event.
+enum class Kind : std::uint8_t {
+  kLoss = 0,     ///< query/probe dropped in flight (caller sees a timeout)
+  kTimeout,      ///< server reached but never answers
+  kTruncate,     ///< response/frame cut short
+  kServFail,     ///< authoritative server answers SERVFAIL
+  kCorrupt,      ///< frame bytes flipped in place
+  kVantageDrop,  ///< campaign vantage offline for a whole round
+};
+inline constexpr std::size_t kKindCount = 6;
+
+const char* to_string(Kind kind) noexcept;
+
+/// Per-kind fault rates plus the seed the decision streams derive from.
+struct Spec {
+  double loss = 0.0;
+  double timeout = 0.0;
+  double truncate = 0.0;
+  double servfail = 0.0;
+  double corrupt = 0.0;
+  double vantage_drop = 0.0;
+  std::uint64_t seed = 0xC10D5FA17ULL;
+
+  double rate(Kind kind) const noexcept;
+  bool any() const noexcept;
+
+  /// Strictly parses a `key=value,key=value` spec (the CS_FAULT syntax).
+  /// Keys: loss, timeout, truncate, servfail, corrupt, vantage_drop
+  /// (probabilities in [0,1]) and seed (u64). Unknown keys, out-of-range
+  /// rates, duplicate keys, or trailing garbage reject the whole spec —
+  /// a misread fault rate would silently change every downstream number.
+  static std::optional<Spec> parse(std::string_view text) noexcept;
+};
+
+/// An immutable fault plan: the Spec compiled into per-kind ShardedRng
+/// roots. Decisions are stateless — see the determinism contract above.
+class Plan {
+ public:
+  explicit Plan(Spec spec) noexcept;
+
+  const Spec& spec() const noexcept { return spec_; }
+
+  /// Bernoulli decision for one event. Equal (spec, kind, key) always
+  /// decides the same way.
+  bool decide(Kind kind, std::uint64_t key) const noexcept;
+
+  /// A per-event generator for faults that need more than a yes/no (the
+  /// truncation point, the corrupted byte offset). Sibling keys yield
+  /// uncorrelated streams via the ShardedRng scramble.
+  util::Rng stream(Kind kind, std::uint64_t key) const noexcept;
+
+ private:
+  Spec spec_;
+  std::array<exec::ShardedRng, kKindCount> roots_;
+};
+
+/// Stable key for a DNS exchange: mixes client, server, and the query
+/// wire bytes (qname/qtype/id), so the key is a property of the exchange
+/// itself, not of which thread or in which order it ran.
+std::uint64_t exchange_key(std::uint32_t client, std::uint32_t server,
+                           std::span<const std::uint8_t> query) noexcept;
+
+namespace detail {
+/// -1 = CS_FAULT not yet read; 0 = no plan; 1 = plan installed.
+extern std::atomic<int> g_state;
+extern std::atomic<const Plan*> g_plan;
+const Plan* init_plan_from_env() noexcept;
+}  // namespace detail
+
+/// The process-wide plan, or nullptr when injection is off (the common
+/// case: one relaxed load + predictable branch).
+inline const Plan* active_plan() noexcept {
+  const int s = detail::g_state.load(std::memory_order_acquire);
+  if (s == 0) [[likely]] return nullptr;
+  if (s == 1) return detail::g_plan.load(std::memory_order_acquire);
+  return detail::init_plan_from_env();
+}
+
+/// Installs `plan` (nullptr disables injection). The caller keeps
+/// ownership and must keep the plan alive while installed. Not safe to
+/// call while parallel stages are in flight — swap between phases, which
+/// is how ScopedPlan and the tests use it.
+void set_plan(const Plan* plan) noexcept;
+
+/// RAII plan for tests and examples: installs on construction, restores
+/// the previous plan on destruction.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const Spec& spec);
+  /// Parses `spec_text` (CS_FAULT syntax); throws std::invalid_argument
+  /// on a malformed spec.
+  explicit ScopedPlan(std::string_view spec_text);
+  ~ScopedPlan();
+
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+  const Plan& plan() const noexcept { return *plan_; }
+
+ private:
+  std::unique_ptr<Plan> plan_;
+  const Plan* previous_ = nullptr;
+  int previous_state_ = 0;
+};
+
+}  // namespace cs::fault

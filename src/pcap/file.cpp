@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
 namespace cs::pcap {
 namespace {
 
@@ -113,6 +116,27 @@ std::optional<Packet> PcapReader::next() {
   if (caplen &&
       std::fread(packet.data.data(), 1, caplen, impl_->file) != caplen)
     throw std::runtime_error{"PcapReader: truncated packet body"};
+
+  // Seeded capture damage, keyed by record index: a short snaplen-style
+  // cut or a flipped byte, exactly what a lossy capture host produces.
+  // Downstream decode rejects the frame; flow assembly counts it and
+  // moves on.
+  if (const auto* plan = fault::active_plan(); plan && !packet.data.empty())
+      [[unlikely]] {
+    const std::uint64_t index = count_;
+    if (plan->decide(fault::Kind::kTruncate, index)) {
+      static auto& truncated = obs::counter("fault.pcap.truncated");
+      truncated.inc();
+      auto rng = plan->stream(fault::Kind::kTruncate, index);
+      packet.data.resize(rng.next_below(packet.data.size()));
+    }
+    if (!packet.data.empty() && plan->decide(fault::Kind::kCorrupt, index)) {
+      static auto& corrupted = obs::counter("fault.pcap.corrupted");
+      corrupted.inc();
+      auto rng = plan->stream(fault::Kind::kCorrupt, index);
+      packet.data[rng.next_below(packet.data.size())] ^= 0xFF;
+    }
+  }
   ++count_;
   return packet;
 }

@@ -38,7 +38,9 @@ class PcapWriter {
   std::uint64_t count_ = 0;
 };
 
-/// Streaming reader.
+/// Streaming reader. When a cs::fault plan is active (CS_FAULT), read
+/// frames may come back deterministically truncated or corrupted, keyed
+/// by record index — the decode layer rejects them cleanly.
 class PcapReader {
  public:
   /// Opens `path` and validates the global header.

@@ -4,72 +4,115 @@
 #include <cmath>
 
 namespace cs::util {
+namespace {
+
+/// Copies the finite values out of `xs`. NaNs violate std::sort's
+/// strict-weak-ordering requirement (undefined behaviour) and poison any
+/// quantile they touch, so every batch helper filters through this first.
+/// Infinities are kept: they order correctly and a diverged sample is
+/// still a sample.
+std::vector<double> drop_nans(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs)
+    if (!std::isnan(x)) out.push_back(x);
+  return out;
+}
+
+/// Linear-interpolated quantile of an already-sorted, NaN-free sample.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  // Short-circuit exact hits and equal endpoints: the interpolation
+  // formula would otherwise compute inf - inf = NaN when the sample
+  // contains infinities (an endpoint quantile of {.., inf} must be inf).
+  if (frac == 0.0 || sorted[lo] == sorted[hi]) return sorted[lo];
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
 
 double mean(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
   double total = 0.0;
-  for (double x : xs) total += x;
-  return total / static_cast<double>(xs.size());
+  std::size_t n = 0;
+  for (const double x : xs) {
+    if (std::isnan(x)) continue;
+    total += x;
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
 }
 
 double stddev(std::span<const double> xs) noexcept {
-  if (xs.size() < 2) return 0.0;
   const double m = mean(xs);
   double acc = 0.0;
-  for (double x : xs) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(xs.size()));
+  std::size_t n = 0;
+  for (const double x : xs) {
+    if (std::isnan(x)) continue;
+    acc += (x - m) * (x - m);
+    ++n;
+  }
+  return n >= 2 ? std::sqrt(acc / static_cast<double>(n)) : 0.0;
 }
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
 double quantile(std::span<const double> xs, double q) {
-  if (xs.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  std::vector<double> copy(xs.begin(), xs.end());
+  std::vector<double> copy = drop_nans(xs);
+  if (copy.empty()) return 0.0;
   std::sort(copy.begin(), copy.end());
-  const double pos = q * static_cast<double>(copy.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return copy[lo] + (copy[hi] - copy[lo]) * frac;
+  return sorted_quantile(copy, q);
 }
 
 double min_of(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
-  return *std::min_element(xs.begin(), xs.end());
+  double best = 0.0;
+  bool seen = false;
+  for (const double x : xs) {
+    if (std::isnan(x)) continue;
+    if (!seen || x < best) best = x;
+    seen = true;
+  }
+  return best;
 }
 
 double max_of(std::span<const double> xs) noexcept {
-  if (xs.empty()) return 0.0;
-  return *std::max_element(xs.begin(), xs.end());
+  double best = 0.0;
+  bool seen = false;
+  for (const double x : xs) {
+    if (std::isnan(x)) continue;
+    if (!seen || x > best) best = x;
+    seen = true;
+  }
+  return best;
 }
 
 Summary summarize(std::span<const double> xs) {
   Summary s;
-  s.count = xs.size();
-  if (xs.empty()) return s;
-  std::vector<double> copy(xs.begin(), xs.end());
+  std::vector<double> copy = drop_nans(xs);
+  s.count = copy.size();
+  s.dropped_nans = xs.size() - copy.size();
+  if (copy.empty()) return s;
   std::sort(copy.begin(), copy.end());
-  auto q = [&copy](double quant) {
-    const double pos = quant * static_cast<double>(copy.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, copy.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return copy[lo] + (copy[hi] - copy[lo]) * frac;
-  };
   s.mean = mean(copy);
   s.stddev = stddev(copy);
   s.min = copy.front();
-  s.p25 = q(0.25);
-  s.median = q(0.5);
-  s.p75 = q(0.75);
-  s.p95 = q(0.95);
-  s.p99 = q(0.99);
+  s.p25 = sorted_quantile(copy, 0.25);
+  s.median = sorted_quantile(copy, 0.5);
+  s.p75 = sorted_quantile(copy, 0.75);
+  s.p95 = sorted_quantile(copy, 0.95);
+  s.p99 = sorted_quantile(copy, 0.99);
   s.max = copy.back();
   return s;
 }
 
 void RunningStats::add(double x) noexcept {
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
   if (n_ == 0) {
     min_ = max_ = x;
   } else {

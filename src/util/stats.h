@@ -5,29 +5,40 @@
 #include <vector>
 
 /// Small statistics helpers shared by analysis and benchmarking code.
+///
+/// All batch helpers ignore NaN inputs: lossy measurement paths (timed-out
+/// probes, injected faults) can surface NaN samples, and a NaN fed to
+/// std::sort breaks strict weak ordering — undefined behaviour that used
+/// to return garbage percentiles. Results are therefore computed over the
+/// non-NaN subset and are themselves never NaN (empty subset = 0, like
+/// empty input). Infinities are kept; they order fine.
 namespace cs::util {
 
-/// Arithmetic mean; returns 0 for an empty span.
+/// Arithmetic mean of non-NaN values; 0 when none.
 double mean(std::span<const double> xs) noexcept;
 
-/// Population standard deviation; returns 0 for fewer than 2 samples.
+/// Population standard deviation of non-NaN values; 0 for fewer than 2.
 double stddev(std::span<const double> xs) noexcept;
 
-/// Exact median (copies and partially sorts). Returns 0 for empty input.
+/// Exact median of non-NaN values (copies and sorts). 0 when none.
 double median(std::span<const double> xs);
 
-/// Linear-interpolated quantile, q in [0,1]. Returns 0 for empty input.
+/// Linear-interpolated quantile over non-NaN values, q clamped to [0,1].
+/// Returns 0 when no non-NaN value exists.
 double quantile(std::span<const double> xs, double q);
 
-/// Smallest element; 0 for empty input.
+/// Smallest non-NaN element; 0 when none.
 double min_of(std::span<const double> xs) noexcept;
 
-/// Largest element; 0 for empty input.
+/// Largest non-NaN element; 0 when none.
 double max_of(std::span<const double> xs) noexcept;
 
-/// Five-number-style summary of a sample.
+/// Five-number-style summary of a sample. `count` is the number of
+/// samples actually summarized; NaN inputs are excluded and tallied in
+/// `dropped_nans` so data-quality reporting can surface them.
 struct Summary {
   std::size_t count = 0;
+  std::size_t dropped_nans = 0;
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
@@ -42,11 +53,14 @@ struct Summary {
 /// Computes the full summary in one pass over a sorted copy.
 Summary summarize(std::span<const double> xs);
 
-/// Accumulates a streaming mean/variance (Welford) without storing samples.
+/// Accumulates a streaming mean/variance (Welford) without storing
+/// samples. NaN samples are ignored (and counted) rather than poisoning
+/// every later moment.
 class RunningStats {
  public:
   void add(double x) noexcept;
   std::size_t count() const noexcept { return n_; }
+  std::size_t nan_count() const noexcept { return nan_count_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
   double variance() const noexcept;  ///< population variance
   double stddev() const noexcept;
@@ -56,6 +70,7 @@ class RunningStats {
 
  private:
   std::size_t n_ = 0;
+  std::size_t nan_count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;

@@ -225,6 +225,62 @@ TEST_F(ResolverFixture, AxfrDeniedClientGetsNothing) {
   EXPECT_FALSE(resolver.try_axfr(Name::must_parse("example.com")));
 }
 
+TEST_F(ResolverFixture, TimeoutServFailNegativelyCached) {
+  network.set_down(net::Ipv4(198, 41, 0, 4), true);
+  Resolver resolver{network, options()};
+  const auto name = Name::must_parse("www.example.com");
+  EXPECT_EQ(resolver.resolve(name, RrType::kA).rcode, Rcode::kServFail);
+  const auto after_first = resolver.upstream_queries();
+  // The dead delegation is negatively cached: repeating the lookup must
+  // not re-probe the server list.
+  EXPECT_EQ(resolver.resolve(name, RrType::kA).rcode, Rcode::kServFail);
+  EXPECT_EQ(resolver.upstream_queries(), after_first);
+  EXPECT_GE(resolver.cache_hits(), 1u);
+  // ... but the entry is short-lived, so recovery is noticed.
+  network.set_down(net::Ipv4(198, 41, 0, 4), false);
+  resolver.advance_time(Resolver::kServFailCacheTtl + 1);
+  EXPECT_TRUE(resolver.resolve(name, RrType::kA).ok());
+  EXPECT_GT(resolver.upstream_queries(), after_first);
+}
+
+TEST_F(ResolverFixture, AttemptCountMatchesMaxServerAttempts) {
+  // Five dead roots, default max_server_attempts = 3: exactly three
+  // upstream queries (one first try + two retries), then SERVFAIL.
+  auto opts = options();
+  opts.root_servers = {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 0, 0, 2),
+                       net::Ipv4(10, 0, 0, 3), net::Ipv4(10, 0, 0, 4),
+                       net::Ipv4(10, 0, 0, 5)};
+  Resolver resolver{network, opts};
+  const auto r = resolver.resolve(Name::must_parse("www.example.com"),
+                                  RrType::kA);
+  EXPECT_EQ(r.rcode, Rcode::kServFail);
+  EXPECT_EQ(resolver.upstream_queries(),
+            static_cast<std::uint64_t>(opts.max_server_attempts));
+  EXPECT_EQ(resolver.timeouts(), 3u);
+  EXPECT_EQ(resolver.retries(), 2u);
+}
+
+TEST_F(ResolverFixture, AttemptBudgetBoundsFailover) {
+  // A live root hiding behind three dead ones is out of reach for the
+  // default budget of 3 attempts, and reachable at 4.
+  auto opts = options();
+  opts.root_servers = {net::Ipv4(10, 0, 0, 1), net::Ipv4(10, 0, 0, 2),
+                       net::Ipv4(10, 0, 0, 3), net::Ipv4(198, 41, 0, 4)};
+  {
+    Resolver resolver{network, opts};
+    EXPECT_EQ(resolver.resolve(Name::must_parse("www.example.com"),
+                               RrType::kA)
+                  .rcode,
+              Rcode::kServFail);
+  }
+  opts.max_server_attempts = 4;
+  Resolver resolver{network, opts};
+  EXPECT_TRUE(
+      resolver.resolve(Name::must_parse("www.example.com"), RrType::kA).ok());
+  EXPECT_EQ(resolver.retries(), 3u);
+  EXPECT_EQ(resolver.timeouts(), 3u);
+}
+
 TEST_F(ResolverFixture, NsLookupReturnsNameServers) {
   Resolver resolver{network, options()};
   const auto r =

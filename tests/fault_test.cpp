@@ -1,0 +1,154 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cs::fault {
+namespace {
+
+TEST(FaultSpec, ParsesFullSpec) {
+  const auto spec = Spec::parse(
+      "loss=0.02,timeout=0.01,truncate=0.005,servfail=0.01,corrupt=0.5,"
+      "vantage_drop=0.25,seed=42");
+  ASSERT_TRUE(spec);
+  EXPECT_DOUBLE_EQ(spec->loss, 0.02);
+  EXPECT_DOUBLE_EQ(spec->timeout, 0.01);
+  EXPECT_DOUBLE_EQ(spec->truncate, 0.005);
+  EXPECT_DOUBLE_EQ(spec->servfail, 0.01);
+  EXPECT_DOUBLE_EQ(spec->corrupt, 0.5);
+  EXPECT_DOUBLE_EQ(spec->vantage_drop, 0.25);
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_TRUE(spec->any());
+}
+
+TEST(FaultSpec, ParsesPartialSpec) {
+  const auto spec = Spec::parse("loss=1");
+  ASSERT_TRUE(spec);
+  EXPECT_DOUBLE_EQ(spec->loss, 1.0);
+  EXPECT_DOUBLE_EQ(spec->timeout, 0.0);
+  EXPECT_TRUE(spec->any());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  // Strict in the env_size/CS_THREADS style: any defect rejects the whole
+  // spec rather than silently injecting different faults than asked for.
+  EXPECT_FALSE(Spec::parse(""));
+  EXPECT_FALSE(Spec::parse("loss"));                 // no value
+  EXPECT_FALSE(Spec::parse("loss=0.02x"));           // trailing garbage
+  EXPECT_FALSE(Spec::parse("loss=1.5"));             // rate above 1
+  EXPECT_FALSE(Spec::parse("loss=-0.1"));            // negative rate
+  EXPECT_FALSE(Spec::parse("loss=nan"));             // non-finite
+  EXPECT_FALSE(Spec::parse("drop=0.1"));             // unknown key
+  EXPECT_FALSE(Spec::parse("loss=0.1,loss=0.2"));    // duplicate key
+  EXPECT_FALSE(Spec::parse("loss=0.1,"));            // empty trailing entry
+  EXPECT_FALSE(Spec::parse("seed=12beef"));          // non-decimal seed
+}
+
+TEST(FaultPlan, DecisionsAreDeterministic) {
+  Spec spec;
+  spec.loss = 0.3;
+  spec.seed = 7;
+  const Plan a{spec};
+  const Plan b{spec};
+  for (std::uint64_t key = 0; key < 2000; ++key)
+    ASSERT_EQ(a.decide(Kind::kLoss, key), b.decide(Kind::kLoss, key)) << key;
+}
+
+TEST(FaultPlan, DecisionRateTracksSpec) {
+  Spec spec;
+  spec.loss = 0.2;
+  spec.seed = 11;
+  const Plan plan{spec};
+  std::size_t hits = 0;
+  constexpr std::size_t kTrials = 20000;
+  for (std::uint64_t key = 0; key < kTrials; ++key)
+    hits += plan.decide(Kind::kLoss, key);
+  const double observed = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(observed, 0.2, 0.02);
+}
+
+TEST(FaultPlan, KindsDrawFromIndependentStreams) {
+  Spec spec;
+  spec.loss = 0.5;
+  spec.timeout = 0.5;
+  spec.seed = 3;
+  const Plan plan{spec};
+  std::size_t agree = 0;
+  constexpr std::size_t kTrials = 4000;
+  for (std::uint64_t key = 0; key < kTrials; ++key)
+    agree += plan.decide(Kind::kLoss, key) == plan.decide(Kind::kTimeout, key);
+  // Correlated streams would agree (or disagree) nearly always.
+  EXPECT_GT(agree, kTrials / 3);
+  EXPECT_LT(agree, 2 * kTrials / 3);
+}
+
+TEST(FaultPlan, SeedChangesDecisions) {
+  Spec a, b;
+  a.loss = b.loss = 0.5;
+  a.seed = 1;
+  b.seed = 2;
+  const Plan plan_a{a}, plan_b{b};
+  std::size_t differ = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key)
+    differ += plan_a.decide(Kind::kLoss, key) != plan_b.decide(Kind::kLoss, key);
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(FaultPlan, ZeroRateNeverFires) {
+  Spec spec;  // all rates zero
+  const Plan plan{spec};
+  for (std::uint64_t key = 0; key < 1000; ++key)
+    ASSERT_FALSE(plan.decide(Kind::kServFail, key));
+}
+
+TEST(FaultPlan, StreamIsIndependentOfDecisionDraw) {
+  Spec spec;
+  spec.truncate = 1.0;
+  const Plan plan{spec};
+  auto rng_a = plan.stream(Kind::kTruncate, 99);
+  auto rng_b = plan.stream(Kind::kTruncate, 99);
+  EXPECT_EQ(rng_a(), rng_b());  // same key -> same stream
+  auto rng_c = plan.stream(Kind::kTruncate, 100);
+  auto rng_d = plan.stream(Kind::kTruncate, 99);
+  EXPECT_NE(rng_c(), rng_d());  // different key -> different stream
+}
+
+TEST(FaultExchangeKey, SensitiveToAllInputs) {
+  const std::vector<std::uint8_t> query = {0x12, 0x34, 0x01, 0x00};
+  std::vector<std::uint8_t> other_query = query;
+  other_query[0] ^= 1;
+  const auto base = exchange_key(1, 2, query);
+  EXPECT_EQ(base, exchange_key(1, 2, query));
+  EXPECT_NE(base, exchange_key(3, 2, query));
+  EXPECT_NE(base, exchange_key(1, 3, query));
+  EXPECT_NE(base, exchange_key(1, 2, other_query));
+}
+
+TEST(FaultGlobalPlan, ScopedPlanInstallsAndRestores) {
+  // CS_FAULT is unset in the test environment, so the default is off.
+  EXPECT_EQ(active_plan(), nullptr);
+  {
+    ScopedPlan scoped{"loss=0.5,seed=9"};
+    ASSERT_NE(active_plan(), nullptr);
+    EXPECT_DOUBLE_EQ(active_plan()->spec().loss, 0.5);
+    {
+      Spec inner;
+      inner.timeout = 0.25;
+      ScopedPlan nested{inner};
+      ASSERT_NE(active_plan(), nullptr);
+      EXPECT_DOUBLE_EQ(active_plan()->spec().timeout, 0.25);
+    }
+    ASSERT_NE(active_plan(), nullptr);
+    EXPECT_DOUBLE_EQ(active_plan()->spec().loss, 0.5);
+  }
+  EXPECT_EQ(active_plan(), nullptr);
+}
+
+TEST(FaultGlobalPlan, ScopedPlanRejectsMalformedSpec) {
+  EXPECT_THROW(ScopedPlan{"bogus"}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs::fault

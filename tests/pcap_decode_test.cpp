@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,71 @@ TEST(Decode, UnknownIpProtoClassifiedOther) {
   const auto decoded = decode_frame(packet.bytes());
   ASSERT_TRUE(decoded);
   EXPECT_EQ(decoded->tuple.proto, net::IpProto::kOther);
+}
+
+// Table-driven corpus of malformed frames: every way a captured frame can
+// lie about its own structure must yield nullopt, never an out-of-bounds
+// read. The fault injector's truncation/corruption paths rely on exactly
+// these rejections.
+TEST(Decode, MalformedFrameCorpus) {
+  struct Case {
+    const char* name;
+    bool udp;  ///< mutate a UDP base frame instead of the TCP one
+    std::function<void(std::vector<std::uint8_t>&)> mutate;
+  };
+  const std::vector<Case> corpus = {
+      {"frame shorter than ethernet header", false,
+       [](auto& d) { d.resize(10); }},
+      {"ethernet header only", false, [](auto& d) { d.resize(14); }},
+      {"ip header cut midway", false, [](auto& d) { d.resize(14 + 12); }},
+      {"ip version not 4", false, [](auto& d) { d[14] = 0x65; }},
+      {"ihl below minimum", false, [](auto& d) { d[14] = 0x43; }},
+      {"ihl beyond captured bytes", false, [](auto& d) { d[14] = 0x4F; }},
+      {"total_length beyond captured bytes", false,
+       [](auto& d) { d[16] = 0xFF, d[17] = 0xFF; }},
+      {"total_length below ihl", false,
+       [](auto& d) { d[16] = 0, d[17] = 10; }},
+      {"total_length cuts tcp header short", false,
+       [](auto& d) { d[16] = 0, d[17] = 20 + 10; }},
+      {"tcp data offset below minimum", false,
+       [](auto& d) { d[14 + 20 + 12] = 0x40; }},
+      {"tcp data offset beyond segment", false,
+       [](auto& d) { d[14 + 20 + 12] = 0xF0; }},
+      {"udp length below header size", true,
+       [](auto& d) { d[14 + 20 + 4] = 0, d[14 + 20 + 5] = 4; }},
+      {"udp length beyond datagram", true,
+       [](auto& d) { d[14 + 20 + 4] = 0, d[14 + 20 + 5] = 200; }},
+  };
+  const auto payload = payload_of("xyz");
+  for (const auto& c : corpus) {
+    auto packet =
+        c.udp ? make_udp_packet(1.0, kClient, kServer, payload)
+              : make_tcp_packet(1.0, kClient, kServer,
+                                TcpFlags{.ack = true, .psh = true}, 7,
+                                payload);
+    ASSERT_TRUE(decode_frame(packet.bytes())) << c.name << " (base frame)";
+    c.mutate(packet.data);
+    EXPECT_FALSE(decode_frame(packet.bytes())) << c.name;
+  }
+}
+
+// The truncation oracle behind the pcap fault injector: our builders emit
+// frames whose IP total length accounts for every captured byte, so ANY
+// strict prefix — not just the handful of lengths above — must be
+// rejected. Injected truncation therefore always yields an undecodable
+// frame, never a silently shortened flow.
+TEST(Decode, EveryStrictPrefixOfValidFrameRejected) {
+  for (const bool udp : {false, true}) {
+    const auto payload = payload_of("hello");
+    const auto packet =
+        udp ? make_udp_packet(1.0, kClient, kServer, payload)
+            : make_tcp_packet(1.0, kClient, kServer, TcpFlags{.ack = true},
+                              7, payload);
+    for (std::size_t len = 0; len < packet.data.size(); ++len) {
+      const std::span<const std::uint8_t> cut{packet.data.data(), len};
+      EXPECT_FALSE(decode_frame(cut)) << (udp ? "udp" : "tcp") << " len=" << len;
+    }
+  }
 }
 
 TEST(Decode, TcpFlagsByteRoundTrip) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace cs::util {
@@ -77,6 +79,79 @@ TEST(Stats, SummaryEmpty) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+}
+
+// Regression: NaN samples used to reach std::sort, whose strict-weak-
+// ordering contract NaN violates (undefined behaviour — in practice,
+// garbage percentiles). Every helper now computes over the non-NaN
+// subset; none may ever return NaN for NaN-laced input.
+TEST(Stats, NanLacedSamplesAreIgnored) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs = {nan, 10, nan, 20, 30, nan, 40, nan};
+  EXPECT_DOUBLE_EQ(mean(xs), 25.0);
+  EXPECT_FALSE(std::isnan(stddev(xs)));
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 10.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 40.0);
+}
+
+TEST(Stats, AllNanBehavesLikeEmpty) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs = {nan, nan, nan};
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(median(xs), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 0.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 0.0);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.dropped_nans, 3u);
+  EXPECT_FALSE(std::isnan(s.mean));
+}
+
+TEST(Stats, SummaryCountsDroppedNans) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  std::vector<double> laced = xs;
+  laced.insert(laced.begin(), nan);
+  laced.insert(laced.begin() + 50, nan);
+  laced.push_back(nan);
+  const Summary clean = summarize(xs);
+  const Summary s = summarize(laced);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.dropped_nans, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, clean.mean);
+  EXPECT_DOUBLE_EQ(s.median, clean.median);
+  EXPECT_DOUBLE_EQ(s.p95, clean.p95);
+  EXPECT_DOUBLE_EQ(s.min, clean.min);
+  EXPECT_DOUBLE_EQ(s.max, clean.max);
+}
+
+TEST(Stats, InfinitiesAreKept) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs = {1, 2, inf, 3};
+  EXPECT_DOUBLE_EQ(max_of(xs), inf);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), inf);
+  EXPECT_EQ(summarize(xs).count, 4u);
+}
+
+TEST(RunningStats, NanSamplesCountedNotAccumulated) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(nan);
+  rs.add(3.0);
+  rs.add(nan);
+  EXPECT_EQ(rs.count(), 2u);
+  EXPECT_EQ(rs.nan_count(), 2u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+  EXPECT_FALSE(std::isnan(rs.stddev()));
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 4.0);
 }
 
 TEST(RunningStats, MatchesBatch) {
