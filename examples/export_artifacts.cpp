@@ -3,34 +3,53 @@
 // and an RFC-1035 master file for a domain's zone — then re-import both
 // to show the round trip is lossless.
 //
-//   ./examples/export_artifacts [output_dir]
+//   ./examples/export_artifacts [output_dir] [--checkpoint <dir>] [--resume]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "core/study.h"
 #include "dns/zonefile.h"
-#include "pcap/flow.h"
 #include "proto/logfile.h"
-#include "synth/traffic.h"
+#include "util/env.h"
 #include "util/format.h"
 
 int main(int argc, char** argv) {
   using namespace cs;
+
+  std::vector<std::string> positional;
+  std::string checkpoint_dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--checkpoint") {
+      if (i + 1 >= argc) {
+        std::cerr << "--checkpoint needs a directory\n";
+        return 2;
+      }
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
   const std::filesystem::path dir =
-      argc > 1 ? argv[1] : "/tmp/cloudscope_artifacts";
+      !positional.empty() ? positional[0] : "/tmp/cloudscope_artifacts";
   std::filesystem::create_directories(dir);
 
-  synth::WorldConfig world_config;
-  world_config.domain_count = 200;
-  synth::World world{world_config};
+  core::StudyConfig config;
+  config.world.domain_count = 200;
+  config.traffic.total_web_bytes = 4ull * 1024 * 1024;
+  config.checkpoint_dir = checkpoint_dir;
+  if (resume && checkpoint_dir.empty() && !util::env_text("CS_CHECKPOINT")) {
+    std::cerr << "--resume needs --checkpoint <dir> or CS_CHECKPOINT\n";
+    return 2;
+  }
+  core::Study study{config};
 
   // 1. The capture, as Zeek logs.
-  synth::TrafficConfig traffic_config;
-  traffic_config.total_web_bytes = 4ull * 1024 * 1024;
-  synth::TrafficGenerator generator{world, traffic_config};
-  pcap::FlowTable table;
-  for (const auto& packet : generator.generate()) table.add(packet);
-  const auto logs = proto::analyze_flows(table.finish());
+  const auto& logs = study.capture_logs();
 
   auto write = [&dir](const std::string& name, const std::string& text) {
     std::ofstream out{dir / name};
@@ -48,6 +67,7 @@ int main(int argc, char** argv) {
                          reparsed.size(), logs.conns.size());
 
   // 2. A domain zone, as a master file pulled over AXFR-like access.
+  auto& world = study.world();
   auto resolver = world.make_resolver(net::Ipv4(199, 16, 0, 10));
   for (const auto& domain : world.domains()) {
     if (!domain.axfr_open || !domain.cloud_using()) continue;
@@ -70,5 +90,11 @@ int main(int argc, char** argv) {
         parsed.errors.size());
     break;  // one exemplar is enough
   }
+
+  if (const auto& store = study.checkpoint_store())
+    std::cout << util::fmt("resumed {} of {} stages from {}\n",
+                           study.stages_resumed(),
+                           core::Study::stage_table().size(),
+                           store->dir().string());
   return 0;
 }

@@ -4,27 +4,90 @@
 // artifact to a file.
 //
 //   ./examples/paper_reproduction [output_dir] [domain_count]
+//       [--checkpoint <dir>] [--resume] [--halt-after <stage>]
+//
+// --checkpoint <dir>  snapshot each completed stage into <dir>
+// --resume            reuse snapshots from --checkpoint / CS_CHECKPOINT
+//                     (snapshotting implies resuming; the flag exists so
+//                     `--resume` alone can point at CS_CHECKPOINT)
+// --halt-after <st>   build through stage <st>, then exit 0 — a
+//                     deterministic stand-in for "the run was killed
+//                     here", used by the crash-resume CI job
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "core/report.h"
 #include "core/study.h"
+#include "util/env.h"
 #include "util/format.h"
 
 int main(int argc, char** argv) {
   using namespace cs;
+
+  std::vector<std::string> positional;
+  std::string checkpoint_dir;
+  std::string halt_after;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--checkpoint") {
+      if (i + 1 >= argc) {
+        std::cerr << "--checkpoint needs a directory\n";
+        return 2;
+      }
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--halt-after") {
+      if (i + 1 >= argc) {
+        std::cerr << "--halt-after needs a stage name\n";
+        return 2;
+      }
+      halt_after = argv[++i];
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+
   const std::filesystem::path dir =
-      argc > 1 ? argv[1] : "/tmp/cloudscope_paper";
+      !positional.empty() ? positional[0] : "/tmp/cloudscope_paper";
   std::filesystem::create_directories(dir);
 
   core::StudyConfig config;
   config.world.domain_count =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1500;
+      positional.size() > 1 ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                            : 1500;
+  config.checkpoint_dir = checkpoint_dir;
+  if (resume && checkpoint_dir.empty() &&
+      !util::env_text("CS_CHECKPOINT")) {
+    std::cerr << "--resume needs --checkpoint <dir> or CS_CHECKPOINT\n";
+    return 2;
+  }
+
   std::cout << "Reproducing all tables and figures over "
             << config.world.domain_count << " domains into " << dir.string()
             << " ...\n";
   core::Study study{config};
+
+  if (!halt_after.empty()) {
+    bool found = false;
+    for (const auto& desc : core::Study::stage_table()) {
+      study.build_stage(desc.name);
+      if (halt_after == desc.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "--halt-after: unknown stage '" << halt_after << "'\n";
+      return 2;
+    }
+    std::cout << "Halted after stage '" << halt_after
+              << "' (simulated crash).\n";
+    return 0;
+  }
 
   std::size_t written = 0;
   auto emit = [&](const std::string& name, const std::string& text) {
@@ -84,6 +147,12 @@ int main(int argc, char** argv) {
   // Not a paper artifact: how much data the run lost along the way
   // (meaningful under CS_FAULT, all-zero otherwise).
   emit("data_quality.txt", core::render_data_quality(study));
+
+  if (const auto& store = study.checkpoint_store())
+    std::cout << util::fmt("resumed {} of {} stages from {}\n",
+                           study.stages_resumed(),
+                           core::Study::stage_table().size(),
+                           store->dir().string());
 
   std::cout << util::fmt("\n{} artifacts written. Compare against the "
                          "paper with EXPERIMENTS.md.\n",

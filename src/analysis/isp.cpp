@@ -5,11 +5,26 @@
 
 namespace cs::analysis {
 
+std::vector<const cloud::Instance*> launch_probe_fleet(cloud::Provider& ec2) {
+  std::vector<const cloud::Instance*> fleet;
+  for (const auto& region : ec2.regions())
+    for (int zone = 0; zone < region.zone_count; ++zone)
+      // Three instances per zone, as in the paper.
+      for (int i = 0; i < 3; ++i)
+        fleet.push_back(&ec2.launch({.account = "isp-probe",
+                                     .region = region.name,
+                                     .zone_label = zone,
+                                     .type = "m1.medium"}));
+  return fleet;
+}
+
 IspStudy run_isp_study(cloud::Provider& ec2,
                        const internet::AsTopology& topology,
                        const std::vector<internet::VantagePoint>& vantages,
                        int traceroutes_per_pair) {
   IspStudy study;
+  const auto fleet = launch_probe_fleet(ec2);
+  std::size_t next_probe = 0;
   for (const auto& region : ec2.regions()) {
     IspDiversityRow row;
     row.region = region.name;
@@ -17,13 +32,10 @@ IspStudy run_isp_study(cloud::Provider& ec2,
     std::size_t total_routes = 0;
 
     for (int zone = 0; zone < region.zone_count; ++zone) {
-      // Three instances per zone, as in the paper.
-      std::vector<const cloud::Instance*> probes;
-      for (int i = 0; i < 3; ++i)
-        probes.push_back(&ec2.launch({.account = "isp-probe",
-                                      .region = region.name,
-                                      .zone_label = zone,
-                                      .type = "m1.medium"}));
+      std::vector<const cloud::Instance*> probes{
+          fleet.begin() + static_cast<std::ptrdiff_t>(next_probe),
+          fleet.begin() + static_cast<std::ptrdiff_t>(next_probe + 3)};
+      next_probe += 3;
       std::set<std::uint32_t> distinct;
       for (const auto* probe : probes) {
         for (const auto& vantage : vantages) {

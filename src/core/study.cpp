@@ -4,6 +4,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pcap/flow.h"
+#include "util/env.h"
 
 namespace cs::core {
 namespace {
@@ -12,7 +13,8 @@ namespace {
 /// sidecars, and a debug log line on completion.
 class StageScope {
  public:
-  explicit StageScope(const char* stage) : stage_(stage), span_(stage) {
+  explicit StageScope(std::string stage)
+      : stage_(std::move(stage)), span_(stage_) {
     start_us_ = obs::Tracer::instance().epoch_now_us();
   }
   ~StageScope() {
@@ -23,16 +25,96 @@ class StageScope {
   }
 
  private:
-  const char* stage_;
+  std::string stage_;
   obs::Span span_;
   std::uint64_t start_us_ = 0;
 };
 
+constexpr const char* kDepsDataset[] = {"dataset"};
+constexpr const char* kDepsCaptureLogs[] = {"capture_logs"};
+
+/// Canonical build order. Every supervised stage appears here; deps name
+/// the stages forced first (both when building and when resuming, so the
+/// world mutates in the same order either way).
+constexpr Study::StageDesc kStageTable[] = {
+    {"dataset", {}},
+    {"cloud_usage", kDepsDataset},
+    {"patterns", kDepsDataset},
+    {"regions", kDepsDataset},
+    {"capture_logs", {}},
+    {"capture", kDepsCaptureLogs},
+    {"zone_study", kDepsDataset},
+    {"campaign", {}},
+    {"isp_study", {}},
+};
+
 }  // namespace
 
-Study::Study(StudyConfig config) : config_(std::move(config)) {
-  StageScope stage{"study.world"};
-  world_ = std::make_unique<synth::World>(config_.world);
+Study::Study(StudyConfig config)
+    : config_(std::move(config)), supervisor_(config_.supervision) {
+  {
+    StageScope stage{"study.world"};
+    world_ = std::make_unique<synth::World>(config_.world);
+  }
+  std::string dir = config_.checkpoint_dir;
+  if (dir.empty())
+    if (const auto env = util::env_text("CS_CHECKPOINT")) dir = *env;
+  if (!dir.empty()) {
+    store_.emplace(dir, config_hash());
+    obs::log_info("core.study", "checkpointing to {} (config hash 0x{:x})",
+                  dir, store_->config_hash());
+  }
+}
+
+std::uint64_t Study::config_hash() const {
+  // Only fields that shape stage artifacts participate; checkpoint_dir
+  // and supervision steer *how* stages run, not what they produce.
+  snap::Writer w;
+  w.u64(config_.world.seed);
+  w.u64(config_.world.domain_count);
+  w.f64(config_.world.adoption_scale);
+  w.boolean(config_.world.plant_marquee_domains);
+  w.u64(config_.traffic.seed);
+  w.f64(config_.traffic.start_time);
+  w.f64(config_.traffic.duration_sec);
+  w.u64(config_.traffic.total_web_bytes);
+  w.u64(config_.traffic.emitted_flow_cap);
+  w.count(config_.dataset.wordlist.size());
+  for (const auto& word : config_.dataset.wordlist) w.str(word);
+  w.boolean(config_.dataset.attempt_axfr);
+  w.u64(config_.dataset.lookup_vantages);
+  w.boolean(config_.dataset.collect_name_servers);
+  w.u64(config_.campaign_vantages);
+  w.f64(config_.campaign_days);
+  w.u64(config_.isp_vantages);
+  return snap::fnv1a(w.bytes());
+}
+
+template <typename T, typename Build, typename Replay>
+const T& Study::stage(const char* name, std::optional<T>& slot, Build&& build,
+                      Replay&& replay) {
+  if (slot) return *slot;
+  auto& run = stage_runs_.emplace_back();
+  run.stage = name;
+  if (store_) {
+    if (auto loaded = store_->template load<T>(name)) {
+      // The artifact is done, but its builder's world side effects (the
+      // instance launches that shift every later address allocation) are
+      // not in the snapshot — replay them so downstream stages see the
+      // same world an uninterrupted run would have.
+      replay();
+      run.from_snapshot = true;
+      slot = std::move(*loaded);
+      obs::counter("study.stages_resumed").inc();
+      return *slot;
+    }
+  }
+  {
+    StageScope scope{std::string{"study."} + name};
+    slot = supervisor_.run(run, build, [] { return T{}; });
+  }
+  if (store_ && !run.degraded) store_->save(name, *slot);
+  return *slot;
 }
 
 const analysis::CloudRanges& Study::ranges() {
@@ -54,55 +136,69 @@ const std::map<std::string, std::size_t>& Study::rank_map() {
 }
 
 const analysis::AlexaDataset& Study::dataset() {
-  if (!dataset_) {
-    StageScope stage{"study.dataset"};
-    analysis::DatasetBuilder builder{*world_, config_.dataset};
-    dataset_ = builder.build();
-  }
-  return *dataset_;
+  return stage(
+      "dataset", dataset_,
+      [&] {
+        analysis::DatasetBuilder builder{*world_, config_.dataset};
+        return builder.build();
+      },
+      [] {});
 }
 
 const analysis::CloudUsageReport& Study::cloud_usage() {
-  if (!cloud_usage_) {
-    StageScope stage{"study.cloud_usage"};
-    cloud_usage_ = analysis::analyze_cloud_usage(dataset());
-  }
-  return *cloud_usage_;
+  return stage(
+      "cloud_usage", cloud_usage_,
+      [&] {
+        const auto& data = dataset();
+        return analysis::analyze_cloud_usage(data);
+      },
+      [&] { dataset(); });
 }
 
 const analysis::PatternReport& Study::patterns() {
-  if (!patterns_) {
-    StageScope stage{"study.patterns"};
-    patterns_ = analysis::analyze_patterns(dataset(), ranges());
-  }
-  return *patterns_;
+  return stage(
+      "patterns", patterns_,
+      [&] {
+        const auto& data = dataset();
+        return analysis::analyze_patterns(data, ranges());
+      },
+      [&] { dataset(); });
 }
 
 const analysis::RegionReport& Study::regions() {
-  if (!regions_) {
-    StageScope stage{"study.regions"};
-    regions_ = analysis::analyze_regions(dataset(), ranges());
-  }
-  return *regions_;
+  return stage(
+      "regions", regions_,
+      [&] {
+        const auto& data = dataset();
+        return analysis::analyze_regions(data, ranges());
+      },
+      [&] { dataset(); });
 }
 
 const proto::TraceLogs& Study::capture_logs() {
-  if (!capture_logs_) {
-    StageScope stage{"study.capture_logs"};
-    synth::TrafficGenerator generator{*world_, config_.traffic};
-    const auto packets = generator.generate();
-    capture_logs_ = proto::analyze_flows(pcap::assemble_flows(packets));
-  }
-  return *capture_logs_;
+  return stage(
+      "capture_logs", capture_logs_,
+      [&] {
+        synth::TrafficGenerator generator{*world_, config_.traffic};
+        const auto packets = generator.generate();
+        return proto::analyze_flows(pcap::assemble_flows(packets));
+      },
+      [&] {
+        // The generator's constructor launches the heavy-hitter tenants;
+        // replaying just the construction keeps provider address
+        // allocation identical without regenerating a week of traffic.
+        synth::TrafficGenerator generator{*world_, config_.traffic};
+      });
 }
 
 const analysis::CaptureReport& Study::capture() {
-  if (!capture_) {
-    StageScope stage{"study.capture"};
-    capture_ = analysis::analyze_capture(capture_logs(), ranges(),
-                                         rank_map());
-  }
-  return *capture_;
+  return stage(
+      "capture", capture_,
+      [&] {
+        const auto& logs = capture_logs();
+        return analysis::analyze_capture(logs, ranges(), rank_map());
+      },
+      [&] { capture_logs(); });
 }
 
 internet::WideAreaModel& Study::wan_model() {
@@ -119,8 +215,9 @@ internet::AsTopology& Study::as_topology() {
 }
 
 const analysis::ZoneStudy& Study::zone_study() {
-  if (!zone_study_) {
-    StageScope stage{"study.zone_study"};
+  // Idempotent across retries and shared with the replay path: the
+  // estimator constructors launch carto probe fleets into EC2.
+  const auto ensure_estimators = [&] {
     if (!proximity_)
       proximity_.emplace(
           world_->ec2(),
@@ -130,34 +227,73 @@ const analysis::ZoneStudy& Study::zone_study() {
           world_->ec2(), wan_model(),
           carto::LatencyZoneEstimator::Options{.seed =
                                                    config_.world.seed ^ 2});
-    zone_study_ = analysis::run_zone_study(dataset(), ranges(), *world_,
-                                           *proximity_, *latency_);
-  }
-  return *zone_study_;
+  };
+  return stage(
+      "zone_study", zone_study_,
+      [&] {
+        const auto& data = dataset();
+        ensure_estimators();
+        return analysis::run_zone_study(data, ranges(), *world_, *proximity_,
+                                        *latency_);
+      },
+      [&] {
+        dataset();
+        ensure_estimators();
+      });
 }
 
 const analysis::Campaign& Study::campaign() {
-  if (!campaign_) {
-    StageScope stage{"study.campaign"};
-    const auto vantages =
-        internet::planetlab_vantages(config_.campaign_vantages);
-    std::vector<const cloud::Region*> regions;
-    for (const auto& region : world_->ec2().regions())
-      regions.push_back(&region);
-    campaign_ = analysis::run_campaign(wan_model(), vantages, regions,
-                                       config_.campaign_days);
-  }
-  return *campaign_;
+  return stage(
+      "campaign", campaign_,
+      [&] {
+        const auto vantages =
+            internet::planetlab_vantages(config_.campaign_vantages);
+        std::vector<const cloud::Region*> regions;
+        for (const auto& region : world_->ec2().regions())
+          regions.push_back(&region);
+        return analysis::run_campaign(wan_model(), vantages, regions,
+                                      config_.campaign_days);
+      },
+      [] {});
 }
 
 const analysis::IspStudy& Study::isp_study() {
-  if (!isp_study_) {
-    StageScope stage{"study.isp_study"};
-    const auto vantages = internet::planetlab_vantages(config_.isp_vantages);
-    isp_study_ =
-        analysis::run_isp_study(world_->ec2(), as_topology(), vantages);
-  }
-  return *isp_study_;
+  return stage(
+      "isp_study", isp_study_,
+      [&] {
+        const auto vantages =
+            internet::planetlab_vantages(config_.isp_vantages);
+        return analysis::run_isp_study(world_->ec2(), as_topology(),
+                                       vantages);
+      },
+      [&] { analysis::launch_probe_fleet(world_->ec2()); });
+}
+
+std::span<const Study::StageDesc> Study::stage_table() { return kStageTable; }
+
+bool Study::build_stage(std::string_view name) {
+  if (name == "dataset") dataset();
+  else if (name == "cloud_usage") cloud_usage();
+  else if (name == "patterns") patterns();
+  else if (name == "regions") regions();
+  else if (name == "capture_logs") capture_logs();
+  else if (name == "capture") capture();
+  else if (name == "zone_study") zone_study();
+  else if (name == "campaign") campaign();
+  else if (name == "isp_study") isp_study();
+  else return false;
+  return true;
+}
+
+void Study::build_all() {
+  for (const auto& desc : stage_table()) build_stage(desc.name);
+}
+
+std::size_t Study::stages_resumed() const noexcept {
+  std::size_t n = 0;
+  for (const auto& run : stage_runs_)
+    if (run.from_snapshot) ++n;
+  return n;
 }
 
 }  // namespace cs::core

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "analysis/capture.h"
 #include "analysis/cloud_usage.h"
@@ -14,12 +18,16 @@
 #include "analysis/widearea.h"
 #include "analysis/zones.h"
 #include "internet/traceroute.h"
+#include "snap/store.h"
+#include "snap/supervisor.h"
 #include "synth/traffic.h"
 #include "synth/world.h"
 
 /// CloudScope's front door: one object that owns the simulated universe
-/// and lazily runs each stage of the paper's pipeline, caching results so
-/// several experiments can share one expensive build.
+/// and runs each stage of the paper's pipeline under supervision —
+/// bounded retries, optional graceful degradation — caching results in
+/// memory and, when a checkpoint directory is configured, on disk so a
+/// killed run resumes instead of starting over.
 ///
 /// Typical use:
 ///   cs::core::Study study{cs::core::StudyConfig{}};
@@ -36,6 +44,16 @@ struct StudyConfig {
   std::size_t campaign_vantages = 40;
   double campaign_days = 1.0;
   std::size_t isp_vantages = 100;
+
+  /// Where stage snapshots live; empty defers to CS_CHECKPOINT (and when
+  /// that is unset too, checkpointing is off). Deliberately excluded from
+  /// the config hash: pointing two runs of the same study at different
+  /// directories must not invalidate their snapshots.
+  std::string checkpoint_dir;
+  /// Retry/deadline/degradation policy for every supervised stage.
+  /// Also excluded from the hash — supervision changes how a stage is
+  /// driven, never what a completed stage produced.
+  snap::SupervisorOptions supervision;
 };
 
 class Study {
@@ -62,9 +80,54 @@ class Study {
   internet::WideAreaModel& wan_model();
   internet::AsTopology& as_topology();
 
+  // --- stage table & supervision ----------------------------------------
+
+  /// One supervised stage: its name and the stages it forces first.
+  struct StageDesc {
+    const char* name;
+    std::span<const char* const> deps;
+  };
+  /// Every supervised stage in canonical build order. (ranges/rank_map/
+  /// wan_model/as_topology are cheap derived views, not stages.)
+  static std::span<const StageDesc> stage_table();
+
+  /// Builds (or resumes) the named stage; false if the name is unknown.
+  bool build_stage(std::string_view name);
+  /// Builds (or resumes) every stage in table order.
+  void build_all();
+
+  /// Per-stage supervision records, in the order stages were entered.
+  /// A deque so records stay stable while nested stage builds append.
+  const std::deque<snap::StageRun>& stage_runs() const noexcept {
+    return stage_runs_;
+  }
+  std::size_t stages_resumed() const noexcept;
+
+  /// FNV-1a over every config field that shapes stage artifacts (world,
+  /// traffic, dataset options, campaign and ISP scale). Snapshots bind to
+  /// this; checkpoint_dir and supervision do not participate.
+  std::uint64_t config_hash() const;
+
+  /// The active checkpoint store, or nullopt when checkpointing is off.
+  const std::optional<snap::Store>& checkpoint_store() const noexcept {
+    return store_;
+  }
+
  private:
+  /// The lazy-build skeleton every stage accessor shares. `build` runs
+  /// the stage under the supervisor; `replay` re-applies the stage's
+  /// world side effects (dependency forcing + instance launches) when the
+  /// artifact itself came from a snapshot, so downstream stages see an
+  /// identical world either way.
+  template <typename T, typename Build, typename Replay>
+  const T& stage(const char* name, std::optional<T>& slot, Build&& build,
+                 Replay&& replay);
+
   StudyConfig config_;
   std::unique_ptr<synth::World> world_;
+  std::optional<snap::Store> store_;
+  snap::Supervisor supervisor_;
+  std::deque<snap::StageRun> stage_runs_;
   std::optional<analysis::CloudRanges> ranges_;
   std::optional<std::map<std::string, std::size_t>> rank_map_;
   std::optional<analysis::AlexaDataset> dataset_;

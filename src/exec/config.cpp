@@ -1,11 +1,11 @@
 #include "exec/config.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <thread>
 
 #include "exec/thread_pool.h"
 #include "obs/log.h"
+#include "util/env.h"
 
 namespace cs::exec {
 namespace {
@@ -16,13 +16,9 @@ std::atomic<unsigned> g_override{0};
 }  // namespace
 
 std::optional<unsigned> parse_threads(std::string_view text) noexcept {
-  if (text.empty() || text.size() > 9) return std::nullopt;
-  unsigned value = 0;
-  for (const char c : text) {
-    if (c < '0' || c > '9') return std::nullopt;
-    value = value * 10 + static_cast<unsigned>(c - '0');
-  }
-  return value == 0 ? hardware_threads() : value;
+  const auto value = util::parse_env_unsigned(text);
+  if (!value) return std::nullopt;
+  return *value == 0 ? hardware_threads() : *value;
 }
 
 unsigned hardware_threads() noexcept {
@@ -33,11 +29,13 @@ unsigned hardware_threads() noexcept {
 unsigned thread_count() noexcept {
   if (const unsigned forced = g_override.load(std::memory_order_relaxed))
     return forced;
-  const char* value = std::getenv("CS_THREADS");
-  if (!value || !*value) return hardware_threads();
-  if (const auto parsed = parse_threads(value)) return *parsed;
-  obs::log_warn("exec", "ignoring CS_THREADS='{}' (want a non-negative "
-                "integer; 0 = hardware concurrency)", value);
+  const auto value = util::env_text("CS_THREADS");
+  if (!value) return hardware_threads();
+  if (const auto parsed = parse_threads(*value)) return *parsed;
+  obs::log_warn("exec", "{}",
+                util::env_malformed("CS_THREADS", *value,
+                                    "a non-negative integer; 0 = hardware "
+                                    "concurrency"));
   return hardware_threads();
 }
 

@@ -2,16 +2,16 @@
 
 #include <charconv>
 #include <cmath>
-#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 
 #include "obs/log.h"
+#include "util/env.h"
 
 namespace cs::fault {
 namespace {
 
-/// Per-kind salts so the six decision families draw from unrelated
+/// Per-kind salts so the seven decision families draw from unrelated
 /// ShardedRng roots even under one spec seed.
 constexpr std::uint64_t kKindSalt[kKindCount] = {
     0x10551055F001F001ULL,  // loss
@@ -20,6 +20,7 @@ constexpr std::uint64_t kKindSalt[kKindCount] = {
     0x5EF41150BADC0DE5ULL,  // servfail
     0xC0442070C0442070ULL,  // corrupt
     0xD20902D20902FA11ULL,  // vantage drop
+    0x57A6EAB027ABA6E5ULL,  // stage abort
 };
 
 constexpr std::size_t index(Kind kind) noexcept {
@@ -55,6 +56,7 @@ const char* to_string(Kind kind) noexcept {
     case Kind::kServFail: return "servfail";
     case Kind::kCorrupt: return "corrupt";
     case Kind::kVantageDrop: return "vantage_drop";
+    case Kind::kStageAbort: return "stage_abort";
   }
   return "unknown";
 }
@@ -67,13 +69,14 @@ double Spec::rate(Kind kind) const noexcept {
     case Kind::kServFail: return servfail;
     case Kind::kCorrupt: return corrupt;
     case Kind::kVantageDrop: return vantage_drop;
+    case Kind::kStageAbort: return stage_abort;
   }
   return 0.0;
 }
 
 bool Spec::any() const noexcept {
   return loss > 0.0 || timeout > 0.0 || truncate > 0.0 || servfail > 0.0 ||
-         corrupt > 0.0 || vantage_drop > 0.0;
+         corrupt > 0.0 || vantage_drop > 0.0 || stage_abort > 0.0;
 }
 
 std::optional<Spec> Spec::parse(std::string_view text) noexcept {
@@ -110,6 +113,8 @@ std::optional<Spec> Spec::parse(std::string_view text) noexcept {
     else if (key == "corrupt") slot = &spec.corrupt, kind = index(Kind::kCorrupt);
     else if (key == "vantage_drop")
       slot = &spec.vantage_drop, kind = index(Kind::kVantageDrop);
+    else if (key == "stage_abort")
+      slot = &spec.stage_abort, kind = index(Kind::kStageAbort);
     else
       return std::nullopt;
     if (seen[kind]) return std::nullopt;
@@ -128,7 +133,8 @@ Plan::Plan(Spec spec) noexcept
              exec::ShardedRng{spec.seed ^ kKindSalt[2]},
              exec::ShardedRng{spec.seed ^ kKindSalt[3]},
              exec::ShardedRng{spec.seed ^ kKindSalt[4]},
-             exec::ShardedRng{spec.seed ^ kKindSalt[5]}} {}
+             exec::ShardedRng{spec.seed ^ kKindSalt[5]},
+             exec::ShardedRng{spec.seed ^ kKindSalt[6]}} {}
 
 bool Plan::decide(Kind kind, std::uint64_t key) const noexcept {
   const double rate = spec_.rate(kind);
@@ -168,19 +174,20 @@ const Plan* init_plan_from_env() noexcept {
   if (current >= 0)  // another thread (or a ScopedPlan) won the race
     return current == 1 ? g_plan.load(std::memory_order_acquire) : nullptr;
 
-  const char* env = std::getenv("CS_FAULT");
-  if (!env || !*env) {
+  const auto env = util::env_text("CS_FAULT");
+  if (!env) {
     g_state.store(0, std::memory_order_release);
     return nullptr;
   }
-  const auto spec = Spec::parse(env);
+  const auto spec = Spec::parse(*env);
   if (!spec || !spec->any()) {
     if (!spec)
-      obs::log_warn("fault",
-                    "ignoring malformed CS_FAULT='{}' (want "
-                    "loss=P,timeout=P,truncate=P,servfail=P[,corrupt=P]"
-                    "[,vantage_drop=P][,seed=N] with P in [0,1])",
-                    env);
+      obs::log_warn(
+          "fault", "{}",
+          util::env_malformed(
+              "CS_FAULT", *env,
+              "loss=P,timeout=P,truncate=P,servfail=P[,corrupt=P]"
+              "[,vantage_drop=P][,stage_abort=P][,seed=N] with P in [0,1]"));
     g_state.store(0, std::memory_order_release);
     return nullptr;
   }

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+#include <optional>
+
+#include "util/env.h"
 
 namespace cs::obs {
 namespace {
@@ -23,14 +25,6 @@ const char* level_name(LogLevel level) noexcept {
   return "?";
 }
 
-LogLevel init_from_env() noexcept {
-  LogLevel level = LogLevel::kWarn;
-  if (const char* env = std::getenv("CS_LOG_LEVEL"))
-    level = parse_log_level(env, level);
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
-  return level;
-}
-
 bool iequals(std::string_view a, std::string_view b) noexcept {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i)
@@ -38,9 +32,7 @@ bool iequals(std::string_view a, std::string_view b) noexcept {
   return true;
 }
 
-}  // namespace
-
-LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
+std::optional<LogLevel> try_parse_log_level(std::string_view text) noexcept {
   if (iequals(text, "trace")) return LogLevel::kTrace;
   if (iequals(text, "debug")) return LogLevel::kDebug;
   if (iequals(text, "info")) return LogLevel::kInfo;
@@ -48,7 +40,31 @@ LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
     return LogLevel::kWarn;
   if (iequals(text, "error")) return LogLevel::kError;
   if (iequals(text, "off") || iequals(text, "none")) return LogLevel::kOff;
-  return fallback;
+  return std::nullopt;
+}
+
+LogLevel init_from_env() noexcept {
+  LogLevel level = LogLevel::kWarn;
+  std::optional<std::string> malformed;
+  if (const auto env = util::env_text("CS_LOG_LEVEL")) {
+    if (const auto parsed = try_parse_log_level(*env))
+      level = *parsed;
+    else
+      malformed = *env;
+  }
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  // Warn only after the level is installed, so the warning itself obeys it.
+  if (malformed && level <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, "obs",
+             util::env_malformed("CS_LOG_LEVEL", *malformed,
+                                 "trace/debug/info/warn/error/off"));
+  return level;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
+  return try_parse_log_level(text).value_or(fallback);
 }
 
 LogLevel log_level() noexcept {

@@ -1,9 +1,10 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
+
+#include "obs/log.h"
+#include "util/env.h"
 
 namespace cs::obs {
 
@@ -11,11 +12,15 @@ namespace detail {
 
 int init_detailed_metrics_from_env() noexcept {
   int on = 0;
-  if (const char* env = std::getenv("CS_METRICS"))
-    on = (!std::strcmp(env, "1") || !std::strcmp(env, "true") ||
-          !std::strcmp(env, "on"))
-             ? 1
-             : 0;
+  if (const auto env = util::env_text("CS_METRICS")) {
+    if (const auto flag = util::parse_env_flag(*env)) {
+      on = *flag ? 1 : 0;
+    } else {
+      log_warn("obs", "{}",
+               util::env_malformed("CS_METRICS", *env,
+                                   "1/true/on/yes or 0/false/off/no"));
+    }
+  }
   g_detailed_metrics.store(on, std::memory_order_relaxed);
   return on;
 }

@@ -1,11 +1,11 @@
 #include "obs/trace.h"
 
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "util/env.h"
 #include "util/table.h"
 
 namespace cs::obs {
@@ -46,8 +46,7 @@ Tracer::Tracer() : epoch_ns_(steady_now_ns()) {
   // The thread constructing the tracer is, in practice, the program's main
   // thread; give its lane a readable name up front.
   thread_names_[thread_ordinal()] = "main";
-  if (const char* path = std::getenv("CS_TRACE"); path && *path)
-    enable_export(path);
+  if (const auto path = util::env_text("CS_TRACE")) enable_export(*path);
 }
 
 Tracer& Tracer::instance() {

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "analysis/capture.h"
+#include "analysis/cloud_usage.h"
+#include "analysis/dataset.h"
+#include "analysis/isp.h"
+#include "analysis/patterns.h"
+#include "analysis/regions.h"
+#include "analysis/widearea.h"
+#include "analysis/zones.h"
+#include "proto/logs.h"
+#include "snap/codec.h"
+
+/// Snapshot codecs for every cached stage result in core::Study. One
+/// encode/decode pair per artifact type; the store picks the overload by
+/// the slot's static type. Decoding validates as it goes (DNS names are
+/// re-parsed through their own validators, enums are range-checked) and
+/// throws SnapshotError rather than materialising nonsense.
+///
+/// Round-trip contract, pinned by snap_codec_test: for every artifact
+/// `a`, encode(decode(encode(a))) produces the same bytes as encode(a).
+namespace cs::snap {
+
+void encode_artifact(Writer& w, const analysis::AlexaDataset& v);
+void decode_artifact(Reader& r, analysis::AlexaDataset& v);
+
+void encode_artifact(Writer& w, const analysis::CloudUsageReport& v);
+void decode_artifact(Reader& r, analysis::CloudUsageReport& v);
+
+void encode_artifact(Writer& w, const analysis::PatternReport& v);
+void decode_artifact(Reader& r, analysis::PatternReport& v);
+
+void encode_artifact(Writer& w, const analysis::RegionReport& v);
+void decode_artifact(Reader& r, analysis::RegionReport& v);
+
+void encode_artifact(Writer& w, const proto::TraceLogs& v);
+void decode_artifact(Reader& r, proto::TraceLogs& v);
+
+void encode_artifact(Writer& w, const analysis::CaptureReport& v);
+void decode_artifact(Reader& r, analysis::CaptureReport& v);
+
+void encode_artifact(Writer& w, const analysis::ZoneStudy& v);
+void decode_artifact(Reader& r, analysis::ZoneStudy& v);
+
+void encode_artifact(Writer& w, const analysis::Campaign& v);
+void decode_artifact(Reader& r, analysis::Campaign& v);
+
+void encode_artifact(Writer& w, const analysis::IspStudy& v);
+void decode_artifact(Reader& r, analysis::IspStudy& v);
+
+}  // namespace cs::snap

@@ -1,0 +1,89 @@
+#include "snap/store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "obs/log.h"
+#include "util/format.h"
+
+namespace cs::snap {
+
+Store::Store(std::filesystem::path dir, std::uint64_t config_hash)
+    : dir_(std::move(dir)), config_hash_(config_hash) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    obs::log_warn("snap", "cannot create checkpoint dir {}: {}", dir_.string(),
+                  ec.message());
+}
+
+std::filesystem::path Store::path_for(std::string_view stage) const {
+  return dir_ / (std::string{stage} + ".snap");
+}
+
+std::optional<std::vector<std::uint8_t>> Store::load_payload(
+    std::string_view stage) {
+  const auto path = path_for(stage);
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    record(Event::Kind::kMissing, stage, {});
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> file{std::istreambuf_iterator<char>{in},
+                                 std::istreambuf_iterator<char>{}};
+  try {
+    return unframe_snapshot(file, stage, config_hash_);
+  } catch (const SnapshotError& e) {
+    record(Event::Kind::kRejected, stage, e.what());
+    return std::nullopt;
+  }
+}
+
+bool Store::save_payload(std::string_view stage,
+                         std::span<const std::uint8_t> payload) {
+  const auto file = frame_snapshot(stage, config_hash_, payload);
+  const auto final_path = path_for(stage);
+  const auto tmp_path =
+      dir_ / (std::string{stage} + ".snap.tmp");
+  {
+    std::ofstream out{tmp_path, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      obs::log_warn("snap", "cannot open {} for writing", tmp_path.string());
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+    out.flush();
+    if (!out) {
+      obs::log_warn("snap", "short write to {}", tmp_path.string());
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    obs::log_warn("snap", "cannot rename {} into place: {}", tmp_path.string(),
+                  ec.message());
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  record(Event::Kind::kSaved, stage, {});
+  return true;
+}
+
+void Store::record(Event::Kind kind, std::string_view stage,
+                   std::string detail) {
+  if (kind == Event::Kind::kRejected)
+    obs::log_warn("snap", "rejecting snapshot for stage '{}': {}", stage,
+                  detail);
+  else if (kind == Event::Kind::kLoaded)
+    obs::log_info("snap", "resumed stage '{}' from {}", stage,
+                  path_for(stage).string());
+  events_.push_back({kind, std::string{stage}, std::move(detail)});
+}
+
+}  // namespace cs::snap

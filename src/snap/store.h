@@ -1,0 +1,86 @@
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snap/artifacts.h"
+#include "snap/codec.h"
+
+/// Checkpoint directory management: one `<stage>.snap` file per completed
+/// pipeline stage, written atomically (tmp + rename) so a crash mid-write
+/// never leaves a half snapshot where the next run would find it.
+namespace cs::snap {
+
+/// What happened when a stage asked the store for its snapshot; surfaced
+/// in the data-quality report so resume behaviour is auditable.
+struct Event {
+  enum class Kind {
+    kLoaded,    ///< snapshot validated and decoded; stage skipped
+    kMissing,   ///< no file — first run or stage never completed
+    kRejected,  ///< file present but failed validation; stage rebuilds
+    kSaved,     ///< stage result snapshotted
+  };
+  Kind kind;
+  std::string stage;
+  std::string detail;  ///< rejection reason, empty otherwise
+};
+
+class Store {
+ public:
+  /// Creates the directory if needed. `config_hash` binds every snapshot
+  /// to the study configuration that produced it.
+  Store(std::filesystem::path dir, std::uint64_t config_hash);
+
+  /// Loads and decodes `<stage>.snap`. Any defect — truncation, bad
+  /// checksum, version or config-hash mismatch, codec error — is recorded
+  /// as a kRejected event and reported as nullopt: the caller rebuilds.
+  template <typename T>
+  std::optional<T> load(std::string_view stage) {
+    const auto payload = load_payload(stage);
+    if (!payload) return std::nullopt;
+    try {
+      Reader r{*payload};
+      T value{};
+      decode_artifact(r, value);
+      r.require_done();
+      record(Event::Kind::kLoaded, stage, {});
+      return value;
+    } catch (const SnapshotError& e) {
+      record(Event::Kind::kRejected, stage, e.what());
+      return std::nullopt;
+    }
+  }
+
+  /// Encodes, frames, and atomically writes `<stage>.snap`. Returns false
+  /// (after logging) if the filesystem refuses; the pipeline carries on —
+  /// a failed snapshot only costs the next run a rebuild.
+  template <typename T>
+  bool save(std::string_view stage, const T& value) {
+    Writer w;
+    encode_artifact(w, value);
+    return save_payload(stage, w.bytes());
+  }
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+  std::uint64_t config_hash() const noexcept { return config_hash_; }
+  const std::vector<Event>& events() const noexcept { return events_; }
+
+  std::filesystem::path path_for(std::string_view stage) const;
+
+ private:
+  std::optional<std::vector<std::uint8_t>> load_payload(
+      std::string_view stage);
+  bool save_payload(std::string_view stage,
+                    std::span<const std::uint8_t> payload);
+  void record(Event::Kind kind, std::string_view stage,
+              std::string detail);
+
+  std::filesystem::path dir_;
+  std::uint64_t config_hash_;
+  std::vector<Event> events_;
+};
+
+}  // namespace cs::snap

@@ -1,0 +1,71 @@
+#include "snap/supervisor.h"
+
+#include <thread>
+
+#include "fault/fault.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace cs::snap {
+
+std::uint64_t stage_abort_key(std::string_view stage, int attempt) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (const char c : stage) mix(static_cast<std::uint8_t>(c));
+  mix(0xFF);  // separator: "a" attempt 0x01 != "a\x01" attempt 0
+  for (int i = 0; i < 4; ++i)
+    mix(static_cast<std::uint8_t>(static_cast<std::uint32_t>(attempt) >>
+                                  (8 * i)));
+  return h;
+}
+
+int Supervisor::backoff_delay_ms(int retry) const noexcept {
+  if (retry < 1 || options_.backoff_base_ms <= 0) return 0;
+  // base * 2^(retry-1), saturating at the cap without overflow.
+  std::int64_t delay = options_.backoff_base_ms;
+  for (int i = 1; i < retry && delay < options_.backoff_cap_ms; ++i)
+    delay *= 2;
+  if (options_.backoff_cap_ms > 0 && delay > options_.backoff_cap_ms)
+    delay = options_.backoff_cap_ms;
+  return static_cast<int>(delay);
+}
+
+bool Supervisor::pause_before_retry(
+    StageRun& run, int retry,
+    std::chrono::steady_clock::time_point started) const {
+  if (options_.stage_deadline_ms > 0) {
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count();
+    if (spent >= options_.stage_deadline_ms) {
+      run.deadline_hit = true;
+      obs::log_warn("snap", "stage '{}' hit its {}ms deadline after {} attempt(s)",
+                    run.stage, options_.stage_deadline_ms, run.attempts);
+      return false;
+    }
+  }
+  const int delay = backoff_delay_ms(retry);
+  obs::log_warn("snap", "stage '{}' attempt {} failed ({}); retrying in {}ms",
+                run.stage, run.attempts, run.last_error, delay);
+  static auto& retries = obs::counter("snap.supervisor.retries");
+  retries.inc();
+  if (delay > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds{delay});
+  return true;
+}
+
+void Supervisor::maybe_inject_abort(const std::string& stage, int attempt) {
+  const auto* plan = fault::active_plan();
+  if (!plan) [[likely]] return;
+  if (!plan->decide(fault::Kind::kStageAbort, stage_abort_key(stage, attempt)))
+    return;
+  static auto& aborts = obs::counter("fault.stage.abort");
+  aborts.inc();
+  throw InjectedStageAbort{"injected stage abort: stage '" + stage +
+                           "' attempt " + std::to_string(attempt + 1)};
+}
+
+}  // namespace cs::snap

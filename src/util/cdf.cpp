@@ -39,6 +39,11 @@ double Cdf::value_at(double q) const {
   return samples_[idx];
 }
 
+std::span<const double> Cdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
 std::vector<Cdf::Point> Cdf::points() const {
   ensure_sorted();
   std::vector<Point> pts;

@@ -1,0 +1,53 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace cs::util {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if ((a[i] | 0x20) != (b[i] | 0x20)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> env_text(const char* name) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return std::nullopt;
+  return std::string{value};
+}
+
+std::string env_malformed(std::string_view name, std::string_view value,
+                          std::string_view expected) {
+  std::string out = "ignoring ";
+  out += name;
+  out += "='";
+  out += value;
+  out += "' (want ";
+  out += expected;
+  out += ")";
+  return out;
+}
+
+std::optional<bool> parse_env_flag(std::string_view text) noexcept {
+  for (const auto* on : {"1", "true", "on", "yes"})
+    if (iequals(text, on)) return true;
+  for (const auto* off : {"0", "false", "off", "no"})
+    if (iequals(text, off)) return false;
+  return std::nullopt;
+}
+
+std::optional<unsigned> parse_env_unsigned(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 9) return std::nullopt;
+  unsigned value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace cs::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// One strict home for the process's CS_* environment knobs. Every
+/// subsystem used to hand-roll its own getenv parsing with slightly
+/// different laxness (CS_METRICS accepted "true", CS_LOG_LEVEL silently
+/// swallowed typos); this helper gives them one set of rules and one
+/// malformed-value message, so a misspelt knob always warns the same way
+/// instead of silently changing behaviour.
+///
+/// util cannot depend on obs, so nothing here logs: parsers return
+/// nullopt and `env_malformed` renders the uniform warning text for the
+/// caller to emit through its own component logger.
+namespace cs::util {
+
+/// The variable's value, or nullopt when unset or empty (the two are
+/// deliberately equivalent: `CS_X= cmd` disables like unsetting does).
+std::optional<std::string> env_text(const char* name);
+
+/// The uniform warning for a malformed value:
+/// `ignoring NAME='value' (want EXPECTED)`.
+std::string env_malformed(std::string_view name, std::string_view value,
+                          std::string_view expected);
+
+/// Strict boolean: 1/true/on/yes or 0/false/off/no, case-insensitive.
+std::optional<bool> parse_env_flag(std::string_view text) noexcept;
+
+/// Strict unsigned decimal, at most 9 digits (no sign, no whitespace).
+std::optional<unsigned> parse_env_unsigned(std::string_view text) noexcept;
+
+}  // namespace cs::util

@@ -1,0 +1,303 @@
+// cs::snap codec coverage: every stage artifact must round-trip through
+// its binary codec byte-identically, and every way a snapshot file can be
+// damaged — truncation, bit flips, foreign versions, a different study
+// configuration — must be rejected with a SnapshotError, never a crash or
+// a silent partial decode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "core/study.h"
+#include "fault/fault.h"
+#include "snap/artifacts.h"
+#include "snap/codec.h"
+#include "snap/store.h"
+
+namespace cs::snap {
+namespace {
+
+core::StudyConfig small_config() {
+  core::StudyConfig config;
+  config.world.seed = 2013;
+  config.world.domain_count = 100;
+  config.traffic.total_web_bytes = 2ull * 1024 * 1024;
+  config.dataset.lookup_vantages = 2;
+  // Keep NS collection on: it populates the dataset's name-server and
+  // AXFR fields, so the round-trip exercises every codec branch.
+  config.dataset.collect_name_servers = true;
+  config.campaign_vantages = 6;
+  config.campaign_days = 0.25;
+  config.isp_vantages = 10;
+  return config;
+}
+
+/// One shared study for all round-trip tests; artifacts build lazily.
+core::Study& shared_study() {
+  static core::Study study{small_config()};
+  return study;
+}
+
+template <typename T>
+std::vector<std::uint8_t> encoded(const T& value) {
+  Writer w;
+  encode_artifact(w, value);
+  return std::move(w).take();
+}
+
+/// The codec contract: encode(decode(encode(a))) == encode(a), and the
+/// decoder consumes the payload exactly.
+template <typename T>
+void expect_roundtrip(const T& value) {
+  const auto first = encoded(value);
+  Reader r{first};
+  T decoded{};
+  decode_artifact(r, decoded);
+  r.require_done();
+  EXPECT_EQ(first, encoded(decoded));
+}
+
+TEST(ArtifactRoundTrip, Dataset) { expect_roundtrip(shared_study().dataset()); }
+TEST(ArtifactRoundTrip, CloudUsage) {
+  expect_roundtrip(shared_study().cloud_usage());
+}
+TEST(ArtifactRoundTrip, Patterns) {
+  expect_roundtrip(shared_study().patterns());
+}
+TEST(ArtifactRoundTrip, Regions) { expect_roundtrip(shared_study().regions()); }
+TEST(ArtifactRoundTrip, CaptureLogs) {
+  expect_roundtrip(shared_study().capture_logs());
+}
+TEST(ArtifactRoundTrip, Capture) { expect_roundtrip(shared_study().capture()); }
+TEST(ArtifactRoundTrip, ZoneStudy) {
+  expect_roundtrip(shared_study().zone_study());
+}
+TEST(ArtifactRoundTrip, Campaign) {
+  expect_roundtrip(shared_study().campaign());
+}
+TEST(ArtifactRoundTrip, IspStudy) {
+  expect_roundtrip(shared_study().isp_study());
+}
+
+TEST(ArtifactRoundTrip, EmptyArtifactsRoundTripToo) {
+  // Degraded stages substitute default-constructed artifacts; those must
+  // be encodable as well.
+  expect_roundtrip(analysis::AlexaDataset{});
+  expect_roundtrip(analysis::CloudUsageReport{});
+  expect_roundtrip(analysis::PatternReport{});
+  expect_roundtrip(analysis::RegionReport{});
+  expect_roundtrip(proto::TraceLogs{});
+  expect_roundtrip(analysis::CaptureReport{});
+  expect_roundtrip(analysis::ZoneStudy{});
+  expect_roundtrip(analysis::Campaign{});
+  expect_roundtrip(analysis::IspStudy{});
+}
+
+// ---------------------------------------------------------------------
+// Framing: header, checksum, and the rejection paths.
+
+std::vector<std::uint8_t> sample_payload() {
+  Writer w;
+  w.str("payload with some structure");
+  w.u64(0xDEADBEEFCAFEF00DULL);
+  w.f64(3.25);
+  return std::move(w).take();
+}
+
+constexpr std::uint64_t kHash = 0x1122334455667788ULL;
+
+TEST(Framing, RoundTripReturnsThePayload) {
+  const auto payload = sample_payload();
+  const auto file = frame_snapshot("dataset", kHash, payload);
+  EXPECT_EQ(unframe_snapshot(file, "dataset", kHash), payload);
+}
+
+TEST(Framing, EmptyPayloadRoundTrips) {
+  const auto file = frame_snapshot("dataset", kHash, {});
+  EXPECT_TRUE(unframe_snapshot(file, "dataset", kHash).empty());
+}
+
+TEST(Framing, EveryTruncationLengthIsRejected) {
+  const auto file = frame_snapshot("dataset", kHash, sample_payload());
+  for (std::size_t len = 0; len < file.size(); ++len) {
+    EXPECT_THROW(unframe_snapshot(std::span{file}.first(len), "dataset",
+                                  kHash),
+                 SnapshotError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Framing, BitFlipsAnywhereAreRejected) {
+  const auto file = frame_snapshot("dataset", kHash, sample_payload());
+  // Reuse the fault module's corruption streams to pick deterministic
+  // flip sites; a single flipped bit must fail the checksum (or, when the
+  // trailer itself is hit, the comparison against the recomputed hash).
+  fault::Spec spec;
+  spec.corrupt = 1.0;
+  spec.seed = 7;
+  const fault::Plan plan{spec};
+  for (std::uint64_t trial = 0; trial < 64; ++trial) {
+    auto rng = plan.stream(fault::Kind::kCorrupt, trial);
+    auto copy = file;
+    const auto offset = rng.next_below(copy.size());
+    copy[offset] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_THROW(unframe_snapshot(copy, "dataset", kHash), SnapshotError)
+        << "flip at offset " << offset;
+  }
+}
+
+/// Rewrites the trailer so the checksum holds again after tampering —
+/// isolating the *semantic* rejection paths from the checksum one.
+std::vector<std::uint8_t> refresh_checksum(std::vector<std::uint8_t> file) {
+  const auto body = std::span{file}.first(file.size() - 8);
+  const auto checksum = fnv1a(body);
+  for (int i = 0; i < 8; ++i)
+    file[file.size() - 8 + i] =
+        static_cast<std::uint8_t>(checksum >> (8 * i));
+  return file;
+}
+
+std::string rejection_reason(std::span<const std::uint8_t> file,
+                             std::string_view stage, std::uint64_t hash) {
+  try {
+    unframe_snapshot(file, stage, hash);
+  } catch (const SnapshotError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Framing, ForeignMagicIsRejected) {
+  auto file = frame_snapshot("dataset", kHash, sample_payload());
+  file[0] = 'X';
+  file = refresh_checksum(std::move(file));
+  EXPECT_NE(rejection_reason(file, "dataset", kHash).find("magic"),
+            std::string::npos);
+}
+
+TEST(Framing, WrongFormatVersionIsRejected) {
+  auto file = frame_snapshot("dataset", kHash, sample_payload());
+  file[4] = static_cast<std::uint8_t>(kFormatVersion + 1);  // version lives
+  file = refresh_checksum(std::move(file));                 // after "CSNP"
+  EXPECT_NE(rejection_reason(file, "dataset", kHash).find("version"),
+            std::string::npos);
+}
+
+TEST(Framing, MismatchedConfigHashIsRejected) {
+  const auto file = frame_snapshot("dataset", kHash, sample_payload());
+  EXPECT_NE(rejection_reason(file, "dataset", kHash ^ 1).find("config hash"),
+            std::string::npos);
+}
+
+TEST(Framing, WrongStageNameIsRejected) {
+  const auto file = frame_snapshot("dataset", kHash, sample_payload());
+  EXPECT_NE(rejection_reason(file, "capture", kHash).find("stage"),
+            std::string::npos);
+}
+
+TEST(Framing, TrailingGarbageIsRejected) {
+  auto file = frame_snapshot("dataset", kHash, sample_payload());
+  file.insert(file.end() - 8, {0x00, 0x01, 0x02});  // extra bytes in body
+  file = refresh_checksum(std::move(file));
+  EXPECT_THROW(unframe_snapshot(file, "dataset", kHash), SnapshotError);
+}
+
+TEST(Reader, CorruptedCountCannotRequestAbsurdAllocations) {
+  // A corrupted length field must be caught by the OOM guard, not handed
+  // to vector::reserve.
+  Writer w;
+  w.count(1ull << 40);
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.count(sizeof(double)), SnapshotError);
+}
+
+TEST(Reader, BooleanRejectsNonCanonicalBytes) {
+  Writer w;
+  w.u8(2);
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.boolean(), SnapshotError);
+}
+
+// ---------------------------------------------------------------------
+// Store: atomic save/load plus the event ledger.
+
+std::filesystem::path fresh_dir(const char* name) {
+  const auto dir = std::filesystem::path{testing::TempDir()} / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool has_tmp_files(const std::filesystem::path& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator{dir})
+    if (entry.path().extension() == ".tmp") return true;
+  return false;
+}
+
+TEST(Store, SaveThenLoadRoundTrips) {
+  const auto dir = fresh_dir("snap_store_roundtrip");
+  Store store{dir, kHash};
+  const auto& dataset = shared_study().dataset();
+  ASSERT_TRUE(store.save("dataset", dataset));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for("dataset")));
+  EXPECT_FALSE(has_tmp_files(dir));
+
+  Store reopened{dir, kHash};
+  const auto loaded = reopened.load<analysis::AlexaDataset>("dataset");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(encoded(*loaded), encoded(dataset));
+  ASSERT_FALSE(reopened.events().empty());
+  EXPECT_EQ(reopened.events().back().kind, Event::Kind::kLoaded);
+}
+
+TEST(Store, MissingFileIsAMissEvent) {
+  const auto dir = fresh_dir("snap_store_missing");
+  Store store{dir, kHash};
+  EXPECT_FALSE(store.load<analysis::AlexaDataset>("dataset").has_value());
+  ASSERT_FALSE(store.events().empty());
+  EXPECT_EQ(store.events().back().kind, Event::Kind::kMissing);
+}
+
+TEST(Store, CorruptedFileIsRejectedNotCrashed) {
+  const auto dir = fresh_dir("snap_store_corrupt");
+  Store store{dir, kHash};
+  ASSERT_TRUE(store.save("dataset", shared_study().dataset()));
+
+  // Flip one byte in the middle of the file on disk.
+  const auto path = store.path_for("dataset");
+  std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  f.read(&byte, 1);
+  byte ^= 0x10;
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&byte, 1);
+  f.close();
+
+  Store reopened{dir, kHash};
+  EXPECT_FALSE(reopened.load<analysis::AlexaDataset>("dataset").has_value());
+  ASSERT_FALSE(reopened.events().empty());
+  EXPECT_EQ(reopened.events().back().kind, Event::Kind::kRejected);
+  EXPECT_FALSE(reopened.events().back().detail.empty());
+}
+
+TEST(Store, DifferentConfigHashRejectsTheSnapshot) {
+  const auto dir = fresh_dir("snap_store_confighash");
+  {
+    Store store{dir, kHash};
+    ASSERT_TRUE(store.save("dataset", shared_study().dataset()));
+  }
+  Store other{dir, kHash ^ 0xFF};
+  EXPECT_FALSE(other.load<analysis::AlexaDataset>("dataset").has_value());
+  EXPECT_EQ(other.events().back().kind, Event::Kind::kRejected);
+  EXPECT_NE(other.events().back().detail.find("config hash"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs::snap

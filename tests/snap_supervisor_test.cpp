@@ -1,0 +1,280 @@
+// cs::snap supervision: bounded retries with deterministic backoff, the
+// fail/degrade exhaustion policies, and the exception-safety contract —
+// an attempt that dies (via the fault plan's stage_abort) leaves no
+// partial artifact behind, and the retry rebuilds byte-identically.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "snap/artifacts.h"
+#include "snap/codec.h"
+#include "snap/store.h"
+#include "snap/supervisor.h"
+
+namespace cs::snap {
+namespace {
+
+SupervisorOptions fast_options() {
+  SupervisorOptions options;
+  options.backoff_base_ms = 1;
+  options.backoff_cap_ms = 2;
+  return options;
+}
+
+TEST(Supervisor, FirstTrySucceedsWithOneAttempt) {
+  Supervisor supervisor{fast_options()};
+  StageRun run;
+  run.stage = "demo";
+  const int result = supervisor.run(run, [] { return 7; }, [] { return -1; });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(run.attempts, 1);
+  EXPECT_FALSE(run.degraded);
+  EXPECT_TRUE(run.last_error.empty());
+}
+
+TEST(Supervisor, TransientFailuresAreRetriedAway) {
+  Supervisor supervisor{fast_options()};
+  StageRun run;
+  run.stage = "demo";
+  int calls = 0;
+  const int result = supervisor.run(
+      run,
+      [&] {
+        if (++calls < 3) throw std::runtime_error{"transient"};
+        return 7;
+      },
+      [] { return -1; });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(run.attempts, 3);
+  EXPECT_FALSE(run.degraded);
+  EXPECT_TRUE(run.last_error.empty());
+}
+
+TEST(Supervisor, FailPolicyRethrowsAfterExhaustion) {
+  auto options = fast_options();
+  options.max_attempts = 2;
+  Supervisor supervisor{options};
+  StageRun run;
+  run.stage = "demo";
+  try {
+    supervisor.run(
+        run, [&]() -> int { throw std::runtime_error{"persistent"}; },
+        [] { return -1; });
+    FAIL() << "exhaustion under kFail must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stage 'demo'"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("persistent"), std::string::npos) << what;
+  }
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_FALSE(run.degraded);
+}
+
+TEST(Supervisor, DegradePolicySubstitutesTheFallback) {
+  auto options = fast_options();
+  options.max_attempts = 2;
+  options.on_exhausted = OnExhausted::kDegrade;
+  Supervisor supervisor{options};
+  StageRun run;
+  run.stage = "demo";
+  const int result = supervisor.run(
+      run, [&]() -> int { throw std::runtime_error{"persistent"}; },
+      [] { return 42; });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(run.attempts, 2);
+  EXPECT_TRUE(run.degraded);
+  EXPECT_EQ(run.last_error, "persistent");
+}
+
+TEST(Supervisor, MaxAttemptsIsClampedToAtLeastOne) {
+  auto options = fast_options();
+  options.max_attempts = 0;
+  Supervisor supervisor{options};
+  StageRun run;
+  run.stage = "demo";
+  EXPECT_EQ(supervisor.run(run, [] { return 5; }, [] { return -1; }), 5);
+  EXPECT_EQ(run.attempts, 1);
+}
+
+TEST(Supervisor, BackoffDoublesFromBaseToCap) {
+  Supervisor supervisor{SupervisorOptions{}};  // base 25, cap 1000
+  EXPECT_EQ(supervisor.backoff_delay_ms(1), 25);
+  EXPECT_EQ(supervisor.backoff_delay_ms(2), 50);
+  EXPECT_EQ(supervisor.backoff_delay_ms(3), 100);
+  EXPECT_EQ(supervisor.backoff_delay_ms(4), 200);
+  EXPECT_EQ(supervisor.backoff_delay_ms(5), 400);
+  EXPECT_EQ(supervisor.backoff_delay_ms(6), 800);
+  EXPECT_EQ(supervisor.backoff_delay_ms(7), 1000);
+  EXPECT_EQ(supervisor.backoff_delay_ms(20), 1000);  // saturates, no UB
+}
+
+TEST(Supervisor, DeadlineStopsFurtherRetries) {
+  auto options = fast_options();
+  options.max_attempts = 5;
+  options.stage_deadline_ms = 1;
+  options.on_exhausted = OnExhausted::kDegrade;
+  Supervisor supervisor{options};
+  StageRun run;
+  run.stage = "demo";
+  const int result = supervisor.run(
+      run,
+      [&]() -> int {
+        std::this_thread::sleep_for(std::chrono::milliseconds{5});
+        throw std::runtime_error{"slow failure"};
+      },
+      [] { return 42; });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(run.attempts, 1);  // the deadline fired before any retry
+  EXPECT_TRUE(run.deadline_hit);
+  EXPECT_TRUE(run.degraded);
+}
+
+TEST(StageAbortKey, IsAPureFunctionOfStageAndAttempt) {
+  EXPECT_EQ(stage_abort_key("dataset", 0), stage_abort_key("dataset", 0));
+  EXPECT_NE(stage_abort_key("dataset", 0), stage_abort_key("dataset", 1));
+  EXPECT_NE(stage_abort_key("dataset", 0), stage_abort_key("capture", 0));
+  // The 0xFF separator keeps (stage, attempt) framings distinct.
+  EXPECT_NE(stage_abort_key("a", 1), stage_abort_key("b", 0));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end exception safety through a real Study stage.
+
+core::StudyConfig small_config(std::uint64_t seed) {
+  core::StudyConfig config;
+  config.world.seed = seed;
+  config.world.domain_count = 100;
+  config.traffic.total_web_bytes = 2ull * 1024 * 1024;
+  config.dataset.lookup_vantages = 2;
+  config.dataset.collect_name_servers = false;
+  config.campaign_vantages = 6;
+  config.campaign_days = 0.25;
+  config.isp_vantages = 10;
+  return config;
+}
+
+template <typename T>
+std::vector<std::uint8_t> encoded(const T& value) {
+  Writer w;
+  encode_artifact(w, value);
+  return std::move(w).take();
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path{testing::TempDir()} / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool has_tmp_files(const std::filesystem::path& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator{dir})
+    if (entry.path().extension() == ".tmp") return true;
+  return false;
+}
+
+/// Finds a fault seed where, at rate 0.5, the dataset stage aborts on
+/// attempt 0 and survives attempt 1 — decisions are pure functions of
+/// (seed, kind, key), so the search is deterministic and cheap.
+std::uint64_t seed_aborting_first_dataset_attempt() {
+  fault::Spec spec;
+  spec.stage_abort = 0.5;
+  for (std::uint64_t seed = 1; seed < 4096; ++seed) {
+    spec.seed = seed;
+    const fault::Plan plan{spec};
+    if (plan.decide(fault::Kind::kStageAbort, stage_abort_key("dataset", 0)) &&
+        !plan.decide(fault::Kind::kStageAbort, stage_abort_key("dataset", 1)))
+      return seed;
+  }
+  ADD_FAILURE() << "no suitable fault seed below 4096";
+  return 0;
+}
+
+TEST(StageAbortInjection, RetryRebuildsTheIdenticalArtifact) {
+  obs::MetricsRegistry::instance().reset_values();
+
+  // Reference: the same stage built with no fault plan installed.
+  std::vector<std::uint8_t> reference;
+  {
+    core::Study study{small_config(2013)};
+    reference = encoded(study.dataset());
+  }
+
+  fault::Spec spec;
+  spec.stage_abort = 0.5;
+  spec.seed = seed_aborting_first_dataset_attempt();
+
+  const auto dir = fresh_dir("snap_abort_retry");
+  auto config = small_config(2013);
+  config.checkpoint_dir = dir.string();
+  config.supervision.backoff_base_ms = 1;
+  std::uint64_t hash = 0;
+  {
+    fault::ScopedPlan plan{spec};
+    core::Study study{config};
+    hash = study.config_hash();
+    // Attempt 0 dies before the build body runs; the supervisor retries
+    // and attempt 1 must produce exactly what a fault-free build does.
+    EXPECT_EQ(encoded(study.dataset()), reference);
+    ASSERT_FALSE(study.stage_runs().empty());
+    const auto& run = study.stage_runs().front();
+    EXPECT_EQ(run.stage, "dataset");
+    EXPECT_EQ(run.attempts, 2);
+    EXPECT_FALSE(run.degraded);
+    EXPECT_TRUE(run.last_error.empty());
+  }
+
+  // No partial artifact: no leftover tmp file, and the one snapshot on
+  // disk validates and decodes to the reference bytes.
+  EXPECT_FALSE(has_tmp_files(dir));
+  Store store{dir, hash};
+  const auto loaded = store.load<analysis::AlexaDataset>("dataset");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(encoded(*loaded), reference);
+
+  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_GE(snapshot.counter("fault.stage.abort"), 1u);
+  EXPECT_GE(snapshot.counter("snap.supervisor.retries"), 1u);
+}
+
+TEST(StageAbortInjection, DegradedPipelineCompletesAndReportsItself) {
+  obs::MetricsRegistry::instance().reset_values();
+  // Every attempt of every stage aborts; under kDegrade the pipeline
+  // must still run to completion on empty artifacts and say so.
+  fault::ScopedPlan plan{"stage_abort=1.0,seed=9"};
+  auto config = small_config(777);
+  config.supervision.max_attempts = 2;
+  config.supervision.backoff_base_ms = 1;
+  config.supervision.on_exhausted = OnExhausted::kDegrade;
+  core::Study study{config};
+  study.build_all();
+
+  for (const auto& run : study.stage_runs()) {
+    EXPECT_TRUE(run.degraded) << run.stage;
+    EXPECT_EQ(run.attempts, 2) << run.stage;
+    EXPECT_FALSE(run.last_error.empty()) << run.stage;
+  }
+
+  const std::string quality = core::render_data_quality(study);
+  EXPECT_NE(quality.find("DEGRADED"), std::string::npos);
+  EXPECT_NE(quality.find("dataset"), std::string::npos);
+  EXPECT_NE(quality.find("injected stage abort"), std::string::npos);
+
+  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_GE(snapshot.counter("fault.stage.abort"),
+            2u * core::Study::stage_table().size());
+}
+
+}  // namespace
+}  // namespace cs::snap

@@ -1,0 +1,93 @@
+// Tests for util::env — the one strict parser behind every CS_* knob.
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace cs::util {
+namespace {
+
+/// setenv/unsetenv wrapper that restores the prior state on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) previous_ = old;
+    if (value)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (previous_)
+      ::setenv(name_, previous_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+TEST(EnvText, ReturnsValueWhenSet) {
+  ScopedEnv env{"CS_ENV_TEST", "hello"};
+  const auto text = env_text("CS_ENV_TEST");
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, "hello");
+}
+
+TEST(EnvText, UnsetIsNullopt) {
+  ScopedEnv env{"CS_ENV_TEST", nullptr};
+  EXPECT_FALSE(env_text("CS_ENV_TEST").has_value());
+}
+
+TEST(EnvText, EmptyIsEquivalentToUnset) {
+  ScopedEnv env{"CS_ENV_TEST", ""};
+  EXPECT_FALSE(env_text("CS_ENV_TEST").has_value());
+}
+
+TEST(EnvFlag, AcceptsCanonicalTrueTokens) {
+  for (const char* text : {"1", "true", "on", "yes", "TRUE", "On", "YeS"}) {
+    const auto flag = parse_env_flag(text);
+    ASSERT_TRUE(flag.has_value()) << text;
+    EXPECT_TRUE(*flag) << text;
+  }
+}
+
+TEST(EnvFlag, AcceptsCanonicalFalseTokens) {
+  for (const char* text : {"0", "false", "off", "no", "FALSE", "Off", "nO"}) {
+    const auto flag = parse_env_flag(text);
+    ASSERT_TRUE(flag.has_value()) << text;
+    EXPECT_FALSE(*flag) << text;
+  }
+}
+
+TEST(EnvFlag, RejectsEverythingElse) {
+  for (const char* text :
+       {"", "2", "tru", "yess", " 1", "1 ", "enable", "y", "n", "01"}) {
+    EXPECT_FALSE(parse_env_flag(text).has_value()) << "'" << text << "'";
+  }
+}
+
+TEST(EnvUnsigned, ParsesPlainDecimal) {
+  EXPECT_EQ(parse_env_unsigned("0"), 0u);
+  EXPECT_EQ(parse_env_unsigned("8"), 8u);
+  EXPECT_EQ(parse_env_unsigned("123"), 123u);
+  EXPECT_EQ(parse_env_unsigned("999999999"), 999999999u);  // 9 digits: max
+}
+
+TEST(EnvUnsigned, RejectsMalformedText) {
+  for (const char* text : {"", "-1", "+1", " 1", "1 ", "1x", "x1", "1.5",
+                           "0x10", "1234567890" /* 10 digits */}) {
+    EXPECT_FALSE(parse_env_unsigned(text).has_value()) << "'" << text << "'";
+  }
+}
+
+TEST(EnvMalformed, RendersTheUniformWarning) {
+  EXPECT_EQ(env_malformed("CS_THREADS", "lots", "a small unsigned integer"),
+            "ignoring CS_THREADS='lots' (want a small unsigned integer)");
+}
+
+}  // namespace
+}  // namespace cs::util
