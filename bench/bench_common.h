@@ -12,6 +12,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 #include "util/format.h"
 
 /// Shared scaffolding for the table/figure benches.
@@ -37,20 +38,20 @@
 /// The output is the reproduced table plus, where stated, an ablation.
 namespace cs::bench {
 
-/// Parses a positive integer environment override. Values with trailing
-/// garbage ("15x"), signs, or zero are rejected with a warning — a silent
-/// misparse would quietly bench the wrong universe.
+/// Parses a positive integer environment override through util::env's
+/// strict rules. Values with trailing garbage ("15x"), signs, or zero are
+/// rejected with the uniform malformed-knob warning — a silent misparse
+/// would quietly bench the wrong universe.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (!value || !*value) return fallback;
-  char* end = nullptr;
-  const auto parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || parsed == 0) {
-    obs::log_warn("bench", "ignoring {}='{}' (want a positive integer)",
-                  name, value);
+  const auto value = util::env_text(name);
+  if (!value) return fallback;
+  const auto parsed = util::parse_env_unsigned(*value);
+  if (!parsed || *parsed == 0) {
+    obs::log_warn("bench", "{}",
+                  util::env_malformed(name, *value, "a positive integer"));
     return fallback;
   }
-  return static_cast<std::size_t>(parsed);
+  return *parsed;
 }
 
 inline core::StudyConfig default_config(std::size_t default_domains = 1500) {
@@ -83,7 +84,7 @@ inline void json_escape_into(std::string& out, const std::string& text) {
 
 /// Pulls "wall_ms": <number> out of a previous sidecar. A full JSON
 /// parser would be overkill for reading back our own output.
-inline double read_baseline_wall_ms(const char* path) {
+inline double read_baseline_wall_ms(const std::string& path) {
   std::ifstream file{path, std::ios::binary};
   if (!file) {
     obs::log_warn("bench", "cannot read CS_BENCH_BASELINE path '{}'", path);
@@ -101,8 +102,8 @@ inline double read_baseline_wall_ms(const char* path) {
 /// plus a dump of every counter. Registered via atexit from print_header
 /// so each bench main stays a straight-line reproduction.
 inline void write_bench_sidecar() {
-  const char* path = std::getenv("CS_BENCH_JSON");
-  if (!path || !*path) return;
+  const auto path = util::env_text("CS_BENCH_JSON");
+  if (!path) return;
 
   const double wall_ms = obs::Tracer::instance().epoch_now_us() / 1000.0;
   std::string out;
@@ -111,9 +112,8 @@ inline void write_bench_sidecar() {
   out += "\",\n  \"wall_ms\": ";
   out += util::fmt("{:.3f}", wall_ms);
   out += util::fmt(",\n  \"threads\": {}", exec::thread_count());
-  if (const char* baseline = std::getenv("CS_BENCH_BASELINE");
-      baseline && *baseline) {
-    if (const double base_ms = read_baseline_wall_ms(baseline);
+  if (const auto baseline = util::env_text("CS_BENCH_BASELINE")) {
+    if (const double base_ms = read_baseline_wall_ms(*baseline);
         base_ms > 0.0 && wall_ms > 0.0) {
       out += util::fmt(",\n  \"baseline_wall_ms\": {:.3f}", base_ms);
       out += util::fmt(",\n  \"speedup\": {:.3f}", base_ms / wall_ms);
@@ -152,9 +152,9 @@ inline void write_bench_sidecar() {
   }
   out += "\n  }\n}\n";
 
-  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  std::ofstream file{*path, std::ios::binary | std::ios::trunc};
   if (!file) {
-    obs::log_error("bench", "cannot open CS_BENCH_JSON path '{}'", path);
+    obs::log_error("bench", "cannot open CS_BENCH_JSON path '{}'", *path);
     return;
   }
   file << out;
@@ -163,8 +163,8 @@ inline void write_bench_sidecar() {
 }  // namespace detail
 
 inline void print_header(const std::string& name) {
-  if (const char* sidecar = std::getenv("CS_BENCH_JSON");
-      sidecar && *sidecar && detail::sidecar_bench_name().empty()) {
+  if (const auto sidecar = util::env_text("CS_BENCH_JSON");
+      sidecar && detail::sidecar_bench_name().empty()) {
     detail::sidecar_bench_name() = name;
     // Stage wall times come from the span collector even without CS_TRACE.
     obs::Tracer::instance().enable_collection();

@@ -108,11 +108,14 @@ ZoneStudy run_zone_study(const AlexaDataset& dataset,
       if (c.kind != IpClassification::Kind::kEc2) continue;
       if (primary_region.empty()) primary_region = c.region;
       ++ec2_instances_seen;
-      std::optional<int> label = proximity_label.count(addr.value())
-                                     ? proximity_label[addr.value()]
-                                     : std::nullopt;
-      if (!label && latency_label.count(addr.value()))
-        label = latency_label[addr.value()];
+      std::optional<int> label;
+      if (const auto prox = proximity_label.find(addr.value());
+          prox != proximity_label.end())
+        label = prox->second;
+      if (!label)
+        if (const auto lat = latency_label.find(addr.value());
+            lat != latency_label.end())
+          label = lat->second;
       if (!label) continue;
       ++ec2_instances_identified;
       zones.insert(proximity.label_to_physical(c.region, *label));

@@ -1,6 +1,5 @@
 #include "exec/thread_pool.h"
 
-#include <chrono>
 #include <utility>
 
 #include "exec/config.h"
@@ -11,14 +10,8 @@
 namespace cs::exec {
 namespace {
 
-thread_local bool tls_on_worker = false;
-
-std::uint64_t steady_now_us() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+// Per-thread worker flag: never shared across threads.
+thread_local bool tls_on_worker = false;  // cslint:allow(C1): thread_local worker marker, not shared state
 
 obs::Histogram& task_latency_histogram() {
   static auto& histogram = obs::histogram(
@@ -116,10 +109,10 @@ bool ThreadPool::try_run_one(unsigned self) {
   if (!task) return false;
   pending_.fetch_sub(1, std::memory_order_acquire);
   if (stolen) steals_metric.inc();
-  const auto started_us = steady_now_us();
+  const auto started_us = obs::steady_now_us();
   task();
   task_latency_histogram().observe(
-      static_cast<double>(steady_now_us() - started_us));
+      static_cast<double>(obs::steady_now_us() - started_us));
   return true;
 }
 

@@ -80,6 +80,9 @@ void set_log_level(LogLevel level) noexcept {
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   std::lock_guard lock{g_emit_mutex};
+  // The logger's terminal sink: the one place in library code where
+  // bytes are allowed to reach stderr.
+  // cslint:allow(L1): obs::log IS the sanctioned sink itself
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

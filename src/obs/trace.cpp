@@ -12,8 +12,10 @@ namespace cs::obs {
 namespace {
 
 /// Index into Tracer::events_ of the innermost open span on this thread.
-thread_local std::int32_t tls_current_span = -1;
-thread_local std::int32_t tls_depth = 0;
+/// Per-thread span cursors: never shared across threads, so the C1
+/// shared-state hazard does not apply.
+thread_local std::int32_t tls_current_span = -1;  // cslint:allow(C1): per-thread span cursor, see above
+thread_local std::int32_t tls_depth = 0;          // cslint:allow(C1): per-thread nesting depth, see above
 
 std::int64_t steady_now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -41,6 +43,10 @@ void json_escape(std::string& out, std::string_view text) {
 }
 
 }  // namespace
+
+std::uint64_t steady_now_us() noexcept {
+  return static_cast<std::uint64_t>(steady_now_ns() / 1000);
+}
 
 Tracer::Tracer() : epoch_ns_(steady_now_ns()) {
   // The thread constructing the tracer is, in practice, the program's main

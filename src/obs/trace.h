@@ -24,6 +24,12 @@
 /// and the summary's self-time are computed.
 namespace cs::obs {
 
+/// Microseconds on the monotonic clock. The sanctioned wall-clock read
+/// for library code: cs-lint's D1 check bans direct clock access outside
+/// obs/ (and snap/'s backoff), so timing can never silently leak into
+/// seeded, reproducible artifacts.
+std::uint64_t steady_now_us() noexcept;
+
 struct SpanEvent {
   std::string name;
   std::uint64_t start_us = 0;  ///< relative to tracer epoch

@@ -127,7 +127,7 @@ std::optional<HttpResponse> parse_response(std::span<const std::uint8_t> data,
     return std::nullopt;
   for (std::size_t i = 2; i < parts.size(); ++i) {
     if (!resp.reason.empty()) resp.reason += ' ';
-    resp.reason += std::string{parts[i]};
+    resp.reason += parts[i];
   }
   resp.headers = parse_headers(lines);
   offset = head_end + 4;

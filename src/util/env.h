@@ -17,7 +17,7 @@
 namespace cs::util {
 
 /// The variable's value, or nullopt when unset or empty (the two are
-/// deliberately equivalent: `CS_X= cmd` disables like unsetting does).
+/// deliberately equivalent: `CS_TRACE= cmd` disables like unsetting does).
 std::optional<std::string> env_text(const char* name);
 
 /// The uniform warning for a malformed value:

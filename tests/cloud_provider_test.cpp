@@ -100,7 +100,9 @@ TEST(Provider, InternalSlash16IsZonePure) {
         {.account = "acct", .region = "ec2.us-east-1"});
     const int block = inst.internal_ip.octet(1);
     const auto [it, fresh] = block_zone.emplace(block, inst.zone);
-    if (!fresh) EXPECT_EQ(it->second, inst.zone) << "block " << block;
+    if (!fresh) {
+      EXPECT_EQ(it->second, inst.zone) << "block " << block;
+    }
     EXPECT_EQ(ec2.zone_of_internal_block(inst.internal_ip).value_or(-1),
               inst.zone);
   }

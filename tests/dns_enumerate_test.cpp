@@ -72,13 +72,22 @@ class EnumerateFixture : public ::testing::Test {
     return Resolver{network, o};
   }
 
+  // Spelled out (not designated-initialized) so -Wextra's
+  // missing-field-initializers stays quiet about resolver_factory,
+  // which these sequential tests deliberately leave unset.
+  Enumerator::Options options(bool attempt_axfr = true) {
+    Enumerator::Options o;
+    o.wordlist = small_wordlist();
+    o.attempt_axfr = attempt_axfr;
+    return o;
+  }
+
   SimulatedDnsNetwork network;
 };
 
 TEST_F(EnumerateFixture, AxfrFindsEverySubdomain) {
   auto resolver = make_resolver();
-  Enumerator enumerator{resolver,
-                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  Enumerator enumerator{resolver, options()};
   const auto result = enumerator.enumerate(Name::must_parse("open.com"));
   EXPECT_TRUE(result.axfr_succeeded);
   const auto names = result.subdomains;
@@ -93,8 +102,7 @@ TEST_F(EnumerateFixture, AxfrFindsEverySubdomain) {
 
 TEST_F(EnumerateFixture, BruteForceLowerBound) {
   auto resolver = make_resolver();
-  Enumerator enumerator{resolver,
-                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  Enumerator enumerator{resolver, options()};
   const auto result = enumerator.enumerate(Name::must_parse("closed.com"));
   EXPECT_FALSE(result.axfr_succeeded);
   const auto names = result.subdomains;
@@ -110,8 +118,7 @@ TEST_F(EnumerateFixture, BruteForceLowerBound) {
 
 TEST_F(EnumerateFixture, AxfrDisabledFallsStraightToBruteForce) {
   auto resolver = make_resolver();
-  Enumerator enumerator{resolver,
-                        {.wordlist = small_wordlist(), .attempt_axfr = false}};
+  Enumerator enumerator{resolver, options(/*attempt_axfr=*/false)};
   const auto result = enumerator.enumerate(Name::must_parse("open.com"));
   EXPECT_FALSE(result.axfr_succeeded);
   EXPECT_FALSE(result.subdomains.empty());
@@ -119,16 +126,14 @@ TEST_F(EnumerateFixture, AxfrDisabledFallsStraightToBruteForce) {
 
 TEST_F(EnumerateFixture, QueriesSpentAccounted) {
   auto resolver = make_resolver();
-  Enumerator enumerator{resolver,
-                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  Enumerator enumerator{resolver, options()};
   const auto result = enumerator.enumerate(Name::must_parse("closed.com"));
   EXPECT_GT(result.queries_spent, small_wordlist().size());
 }
 
 TEST_F(EnumerateFixture, NonexistentDomainYieldsNothing) {
   auto resolver = make_resolver();
-  Enumerator enumerator{resolver,
-                        {.wordlist = small_wordlist(), .attempt_axfr = true}};
+  Enumerator enumerator{resolver, options()};
   const auto result = enumerator.enumerate(Name::must_parse("ghost.com"));
   EXPECT_FALSE(result.axfr_succeeded);
   EXPECT_TRUE(result.subdomains.empty());

@@ -89,7 +89,9 @@ TEST(Zone, DelegationCutIgnoresApexNs) {
   const auto cut = zone.delegation_cut(Name::must_parse("www.example.com"));
   // delegation_cut may return the apex; the server filters that case — but
   // the Zone contract here reports only non-apex cuts for names below apex.
-  if (cut) EXPECT_EQ(*cut, zone.origin());
+  if (cut) {
+    EXPECT_EQ(*cut, zone.origin());
+  }
 }
 
 TEST(Zone, AxfrFramedBySoa) {

@@ -1,0 +1,750 @@
+#include "cslint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace cs::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanner: blank out comments, string literals, char literals, and raw
+// strings so the token checks only ever see code, while collecting the
+// comment text per line (suppressions live there). The blanked copy keeps
+// every newline, so offsets map 1:1 onto line numbers.
+// ---------------------------------------------------------------------------
+
+struct Stripped {
+  std::string code;                    // raw with non-code blanked to spaces
+  std::map<int, std::string> comments; // 1-based line -> comment text
+};
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// The identifier run immediately before a '"' decides raw-string-ness:
+// exactly R, u8R, uR, UR, or LR.
+bool is_raw_prefix(std::string_view text, std::size_t quote) {
+  std::size_t begin = quote;
+  while (begin > 0 && is_word(text[begin - 1])) --begin;
+  const std::string_view run = text.substr(begin, quote - begin);
+  return run == "R" || run == "u8R" || run == "uR" || run == "UR" ||
+         run == "LR";
+}
+
+Stripped strip(std::string_view raw) {
+  Stripped out;
+  out.code.assign(raw.size(), ' ');
+  int line = 1;
+  std::size_t i = 0;
+  auto note_comment = [&](char c) {
+    if (c != '\n' && c != '\r') out.comments[line].push_back(c);
+  };
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+      while (i < raw.size() && raw[i] != '\n') note_comment(raw[i++]);
+    } else if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < raw.size() && !(raw[i] == '*' && raw[i + 1] == '/')) {
+        if (raw[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        } else {
+          note_comment(raw[i]);
+        }
+        ++i;
+      }
+      i = std::min(i + 2, raw.size());
+    } else if (c == '"' && is_raw_prefix(raw, i)) {
+      std::size_t d = i + 1;
+      while (d < raw.size() && raw[d] != '(') ++d;
+      const std::string closer =
+          ")" + std::string(raw.substr(i + 1, d - i - 1)) + "\"";
+      std::size_t end = raw.find(closer, d);
+      end = (end == std::string_view::npos) ? raw.size()
+                                            : end + closer.size();
+      for (; i < end; ++i)
+        if (raw[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        }
+    } else if (c == '"' || (c == '\'' && (i == 0 || !is_word(raw[i - 1])))) {
+      const char close = c;
+      ++i;
+      while (i < raw.size() && raw[i] != close && raw[i] != '\n') {
+        if (raw[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < raw.size() && raw[i] == close) ++i;
+    } else {
+      out.code[i] = c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer over the blanked code. Identifiers/numbers become word tokens;
+// "::" and "->" stay fused (the checks care about member access and
+// qualification); everything else is single-char punctuation. Tokens on
+// preprocessor lines (including backslash continuations) are marked.
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  int line = 0;
+  bool preproc = false;
+};
+
+std::vector<Tok> tokenize(std::string_view code) {
+  std::vector<Tok> toks;
+  int line = 1;
+  bool preproc = false;
+  bool line_has_content = false;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      const bool continued = preproc && !toks.empty() &&
+                             toks.back().text == "\\" &&
+                             toks.back().line == line;
+      if (!continued) preproc = false;
+      line_has_content = false;
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && !line_has_content) preproc = true;
+    line_has_content = true;
+    if (is_word(c)) {
+      std::size_t j = i;
+      while (j < code.size() && is_word(code[j])) ++j;
+      toks.push_back({std::string(code.substr(i, j - i)), line, preproc});
+      i = j;
+    } else if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      toks.push_back({"::", line, preproc});
+      i += 2;
+    } else if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      toks.push_back({"->", line, preproc});
+      i += 2;
+    } else {
+      toks.push_back({std::string(1, c), line, preproc});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_cpp_source(std::string_view path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp") ||
+         ends_with(path, ".cc") || ends_with(path, ".cpp");
+}
+
+bool is_header(std::string_view path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp");
+}
+
+bool in_src(std::string_view path) { return starts_with(path, "src/"); }
+
+// D1 allowlist: obs/ measures wall time by design, snap/ owns retry
+// backoff and stage deadlines, util/rng is where seeds are minted.
+bool d1_exempt(std::string_view path) {
+  return starts_with(path, "src/obs/") || starts_with(path, "src/snap/") ||
+         starts_with(path, "src/util/rng");
+}
+
+// V1 corpus: everything that can legitimately reference a CS_* knob.
+// tests/ are excluded so fixture corpora can mention fake knobs.
+bool v1_scope(std::string_view path) {
+  return !starts_with(path, "tests/") && !ends_with(path, "README.md");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: a comment containing the marker (written here split so
+// this very file cannot suppress anything by accident)
+//     "cslint:" + "allow(D1,C1): reason"
+// suppresses the named checks on its own line and the line below. The
+// reason is mandatory; unknown check ids and allows that suppress nothing
+// are A1 findings themselves.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kKnownChecks = {
+    "D1", "E1", "L1", "C1", "V1", "S1"};
+
+struct Allow {
+  int line = 0;
+  std::vector<std::string> checks;
+  std::string reason;
+  bool used = false;
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<Allow> parse_allows(const std::map<int, std::string>& comments) {
+  const std::string marker = std::string("cslint:") + "allow(";
+  std::vector<Allow> allows;
+  for (const auto& [line, text] : comments) {
+    std::size_t pos = 0;
+    while ((pos = text.find(marker, pos)) != std::string::npos) {
+      const std::size_t open = pos + marker.size();
+      const std::size_t close = text.find(')', open);
+      if (close == std::string::npos) break;
+      Allow allow;
+      allow.line = line;
+      std::stringstream list{text.substr(open, close - open)};
+      std::string id;
+      while (std::getline(list, id, ',')) {
+        id = trim(id);
+        if (!id.empty()) allow.checks.push_back(id);
+      }
+      std::size_t after = close + 1;
+      if (after < text.size() && text[after] == ':')
+        allow.reason = trim(text.substr(after + 1));
+      allows.push_back(std::move(allow));
+      pos = close;
+    }
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file token checks
+// ---------------------------------------------------------------------------
+
+struct FileReport {
+  std::vector<Finding> findings;  // pre-suppression
+  std::vector<Allow> allows;
+};
+
+void add(FileReport& report, const std::string& file, int line,
+         const char* check, std::string message) {
+  Finding finding;
+  finding.file = file;
+  finding.line = line;
+  finding.check = check;
+  finding.message = std::move(message);
+  report.findings.push_back(std::move(finding));
+}
+
+const std::set<std::string, std::less<>> kD1Plain = {
+    "srand",        "random_device",         "gettimeofday", "random_shuffle",
+    "system_clock", "high_resolution_clock", "steady_clock"};
+const std::set<std::string, std::less<>> kD1Call = {"rand", "time", "clock"};
+
+const std::set<std::string, std::less<>> kE1 = {
+    "getenv", "secure_getenv", "setenv", "putenv", "unsetenv"};
+
+const std::set<std::string, std::less<>> kL1Stream = {"cout", "cerr", "clog"};
+const std::set<std::string, std::less<>> kL1Call = {"printf", "puts",
+                                                    "putchar", "vprintf"};
+const std::set<std::string, std::less<>> kL1FileCall = {"fprintf", "fputs",
+                                                        "fwrite", "fputc"};
+
+bool is_member_access(const std::vector<Tok>& toks, std::size_t i) {
+  return i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+}
+
+// `long time(int);` declares a member/function named time; `x = time(0)`
+// calls the libc one. A preceding identifier (other than a keyword that
+// can start an expression) means declaration, not call.
+bool is_declaration_name(const std::vector<Tok>& toks, std::size_t i) {
+  if (i == 0) return false;
+  const std::string& prev = toks[i - 1].text;
+  if (!is_word(prev[0])) return false;
+  return prev != "return" && prev != "co_return" && prev != "co_yield" &&
+         prev != "co_await" && prev != "throw";
+}
+
+bool next_is(const std::vector<Tok>& toks, std::size_t i,
+             std::string_view text) {
+  return i + 1 < toks.size() && toks[i + 1].text == text;
+}
+
+// Does the argument list opening at toks[open]=='(' mention stdout/stderr?
+bool args_mention_tty(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == "(") ++depth;
+    if (toks[j].text == ")" && --depth == 0) break;
+    if (toks[j].text == "stderr" || toks[j].text == "stdout") return true;
+  }
+  return false;
+}
+
+void check_tokens(const std::string& path, const std::vector<Tok>& toks,
+                  FileReport& report) {
+  const bool d1 = in_src(path) && !d1_exempt(path);
+  const bool e1 = in_src(path) && path != "src/util/env.cpp";
+  const bool l1 = in_src(path);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    const int line = toks[i].line;
+    if (d1 && !is_member_access(toks, i)) {
+      if (kD1Plain.count(t)) {
+        add(report, path, line, "D1",
+            "nondeterminism source '" + t +
+                "' banned in src/ (seed through util::Rng / "
+                "exec::ShardedRng; wall-clock timing belongs in obs/)");
+      } else if (kD1Call.count(t) && next_is(toks, i, "(") &&
+                 !is_declaration_name(toks, i)) {
+        add(report, path, line, "D1",
+            "call to '" + t +
+                "()' banned in src/: output must be a pure function of "
+                "the seed, not of the clock or the C PRNG");
+      }
+    }
+    if (e1 && kE1.count(t) && !is_member_access(toks, i)) {
+      add(report, path, line, "E1",
+          "'" + t +
+              "' outside src/util/env.cpp: all CS_* environment access "
+              "goes through util::env so parsing stays strict and uniform");
+    }
+    if (l1) {
+      if (kL1Stream.count(t) && !is_member_access(toks, i)) {
+        add(report, path, line, "L1",
+            "'std::" + t +
+                "' in library code: route output through obs::log "
+                "(examples/, bench/, tests/ may print directly)");
+      } else if (kL1Call.count(t) && next_is(toks, i, "(") &&
+                 !is_member_access(toks, i)) {
+        add(report, path, line, "L1",
+            "'" + t + "' in library code: route output through obs::log");
+      } else if (kL1FileCall.count(t) && next_is(toks, i, "(") &&
+                 !is_member_access(toks, i) && args_mention_tty(toks, i + 1)) {
+        add(report, path, line, "L1",
+            "'" + t +
+                "' aimed at stdout/stderr in library code: route output "
+                "through obs::log");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// C1: mutable namespace-scope (and class-static) state. A brace-kind
+// stack tells namespace scope apart from type bodies and function
+// bodies; declaration segments at namespace scope that survive the
+// skip-list (functions, types, using/typedef/extern/template, anything
+// const/constexpr/atomic) are shared mutable state.
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { kNamespace, kType, kBlock, kInit };
+
+bool segment_has(const std::vector<Tok>& seg, std::string_view word) {
+  for (const auto& t : seg)
+    if (t.text == word) return true;
+  return false;
+}
+
+ScopeKind classify_brace(const std::vector<Tok>& seg) {
+  bool saw_parens = false;
+  for (const auto& t : seg) {
+    if (t.text == "namespace") return ScopeKind::kNamespace;
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum")
+      return ScopeKind::kType;
+    if (t.text == "=") return ScopeKind::kInit;
+    if (t.text == "(") saw_parens = true;
+  }
+  // `int x{1};` — a brace right after a declarator, no parens, no '='.
+  if (!saw_parens && !seg.empty() && is_word(seg.back().text[0]))
+    return ScopeKind::kInit;
+  return ScopeKind::kBlock;
+}
+
+const std::set<std::string, std::less<>> kC1SkipWords = {
+    "using",    "typedef",  "extern",        "template", "friend",
+    "operator", "concept",  "static_assert", "requires", "namespace",
+    "class",    "struct",   "union",         "enum",     "const",
+    "constexpr","constinit", "consteval",    "asm"};
+
+// Types that are internally synchronized (or synchronization primitives
+// themselves): fine to hold at namespace scope.
+bool is_sync_type(std::string_view word) {
+  return starts_with(word, "atomic") || word == "mutex" ||
+         word == "shared_mutex" || word == "recursive_mutex" ||
+         word == "timed_mutex" || word == "once_flag" ||
+         word == "condition_variable";
+}
+
+bool segment_is_exempt(const std::vector<Tok>& seg) {
+  for (const auto& t : seg) {
+    if (kC1SkipWords.count(t.text)) return true;
+    if (is_sync_type(t.text)) return true;
+    if (t.text == "(") return true;  // '(' before '=': function decl/def
+    if (t.text == "=") break;
+  }
+  return false;
+}
+
+std::string declared_name(const std::vector<Tok>& seg) {
+  std::string name;
+  for (const auto& t : seg) {
+    if (t.text == "=" || t.text == "[") break;
+    if (is_word(t.text[0]) && !std::isdigit(static_cast<unsigned char>(t.text[0])))
+      name = t.text;
+  }
+  return name;
+}
+
+void analyze_segment(const std::string& path, const std::vector<Tok>& seg,
+                     bool type_scope, FileReport& report) {
+  if (seg.empty() || segment_is_exempt(seg)) return;
+  if (type_scope && !segment_has(seg, "static")) return;
+  const std::string name = declared_name(seg);
+  if (name.empty()) return;
+  const char* where = type_scope ? "class-static" : "namespace-scope";
+  add(report, path, seg.front().line, "C1",
+      std::string("mutable ") + where + " state '" + name +
+          "': shared mutable globals break cross-thread determinism "
+          "(make it const/atomic, or annotate why it is safe)");
+}
+
+void check_shared_state(const std::string& path, const std::vector<Tok>& toks,
+                        FileReport& report) {
+  if (!in_src(path)) return;
+  std::vector<ScopeKind> stack;
+  std::vector<Tok> segment;
+  auto at_namespace = [&] {
+    return std::all_of(stack.begin(), stack.end(), [](ScopeKind k) {
+      return k == ScopeKind::kNamespace;
+    });
+  };
+  auto at_type = [&] {
+    if (stack.empty() || stack.back() != ScopeKind::kType) return false;
+    return std::all_of(stack.begin(), stack.end() - 1, [](ScopeKind k) {
+      return k == ScopeKind::kNamespace || k == ScopeKind::kType;
+    });
+  };
+  for (const auto& tok : toks) {
+    if (tok.preproc) continue;
+    const bool analysis_scope = at_namespace() || at_type();
+    if (tok.text == "{") {
+      const ScopeKind kind =
+          analysis_scope ? classify_brace(segment) : ScopeKind::kBlock;
+      stack.push_back(kind);
+      if (kind != ScopeKind::kInit) segment.clear();
+    } else if (tok.text == "}") {
+      if (!stack.empty()) {
+        const ScopeKind kind = stack.back();
+        stack.pop_back();
+        if (kind != ScopeKind::kInit) segment.clear();
+      }
+    } else if (tok.text == ";") {
+      if (analysis_scope) analyze_segment(path, segment, at_type(), report);
+      segment.clear();
+    } else if (analysis_scope) {
+      segment.push_back(tok);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S1: header hygiene
+// ---------------------------------------------------------------------------
+
+void check_header(const std::string& path, const std::vector<Tok>& toks,
+                  FileReport& report) {
+  if (!is_header(path)) return;
+  bool pragma_once = false;
+  for (std::size_t i = 0; i + 2 < toks.size() && !pragma_once; ++i)
+    pragma_once = toks[i].text == "#" && toks[i + 1].text == "pragma" &&
+                  toks[i + 2].text == "once";
+  if (!pragma_once)
+    add(report, path, 1, "S1", "header is missing '#pragma once'");
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i)
+    if (toks[i].text == "using" && toks[i + 1].text == "namespace")
+      add(report, path, toks[i].line, "S1",
+          "'using namespace' in a header leaks into every includer");
+}
+
+// ---------------------------------------------------------------------------
+// V1: CS_* knobs referenced by the tree vs documented in README.md
+// ---------------------------------------------------------------------------
+
+struct KnobSite {
+  std::string file;
+  int line = 0;
+};
+
+// Whole-word CS_[A-Z0-9_]+ occurrences in raw text (strings and comments
+// included: knob names mostly live inside string literals).
+void collect_knobs(const Source& source, std::map<std::string, KnobSite>* out) {
+  const std::string& text = source.text;
+  int line = 1;
+  for (std::size_t i = 0; i + 3 < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (text.compare(i, 3, "CS_") != 0) continue;
+    if (i > 0 && is_word(text[i - 1])) continue;
+    std::size_t j = i + 3;
+    while (j < text.size() && is_word(text[j])) ++j;
+    const std::string word = text.substr(i, j - i);
+    const bool shouty = std::all_of(word.begin() + 3, word.end(), [](char c) {
+      return (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+    });
+    if (word.size() > 3 && shouty && !out->count(word))
+      (*out)[word] = {source.path, line};
+    i = j - 1;
+  }
+}
+
+void check_doc_drift(const std::vector<Source>& sources,
+                     std::map<std::string, FileReport>& reports) {
+  std::map<std::string, KnobSite> referenced;
+  std::map<std::string, KnobSite> documented;
+  const Source* readme = nullptr;
+  for (const auto& source : sources) {
+    if (ends_with(source.path, "README.md")) {
+      readme = &source;
+      collect_knobs(source, &documented);
+    } else if (v1_scope(source.path)) {
+      collect_knobs(source, &referenced);
+    }
+  }
+  if (readme == nullptr) return;  // partial corpus (tests): nothing to check
+  for (const auto& [knob, site] : referenced)
+    if (!documented.count(knob))
+      add(reports[site.file], site.file, site.line, "V1",
+          "'" + knob + "' is referenced here but not documented in README.md");
+  for (const auto& [knob, site] : documented)
+    if (!referenced.count(knob))
+      add(reports[site.file], site.file, site.line, "V1",
+          "'" + knob +
+              "' is documented in README.md but no longer referenced "
+              "anywhere in the tree");
+}
+
+// ---------------------------------------------------------------------------
+// Suppression application + A1
+// ---------------------------------------------------------------------------
+
+void apply_suppressions(const std::string& path, FileReport& report) {
+  for (auto& finding : report.findings) {
+    for (auto& allow : report.allows) {
+      if (allow.line != finding.line && allow.line != finding.line - 1)
+        continue;
+      if (std::find(allow.checks.begin(), allow.checks.end(),
+                    finding.check) == allow.checks.end())
+        continue;
+      if (allow.reason.empty()) continue;  // reasonless: A1, no effect
+      finding.suppressed = true;
+      finding.reason = allow.reason;
+      allow.used = true;
+    }
+  }
+  for (const auto& allow : report.allows) {
+    const std::string& file = path;
+    bool all_known = true;
+    for (const auto& check : allow.checks)
+      if (!kKnownChecks.count(check)) {
+        all_known = false;
+        add(report, file, allow.line, "A1",
+            "suppression names unknown check '" + check + "'");
+      }
+    if (allow.reason.empty())
+      add(report, file, allow.line, "A1",
+          "suppression must carry a reason: cslint:" +
+              std::string("allow(...): <why this is safe>"));
+    else if (!allow.used && all_known)
+      add(report, file, allow.line, "A1",
+          "unused suppression: no matching finding on this or the next line");
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> lint(const std::vector<Source>& sources) {
+  std::map<std::string, FileReport> reports;
+  for (const auto& source : sources) {
+    if (!is_cpp_source(source.path)) continue;
+    const Stripped stripped = strip(source.text);
+    const std::vector<Tok> toks = tokenize(stripped.code);
+    FileReport& report = reports[source.path];
+    check_tokens(source.path, toks, report);
+    check_shared_state(source.path, toks, report);
+    check_header(source.path, toks, report);
+    report.allows = parse_allows(stripped.comments);
+  }
+  check_doc_drift(sources, reports);
+  std::vector<Finding> all;
+  for (auto& [path, report] : reports) {
+    for (auto& finding : report.findings)
+      if (finding.file.empty()) finding.file = path;
+    apply_suppressions(path, report);
+    all.insert(all.end(), report.findings.begin(), report.findings.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.check, a.message) <
+           std::tie(b.file, b.line, b.check, b.message);
+  });
+  return all;
+}
+
+bool collect_sources(const std::filesystem::path& root,
+                     const std::vector<std::string>& paths,
+                     std::vector<Source>* out, std::string* error) {
+  namespace fs = std::filesystem;
+  auto load = [&](const fs::path& file, const std::string& rel) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (error) *error = "cannot read " + file.string();
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    out->push_back({rel, text.str()});
+    return true;
+  };
+  auto relative_slash = [&](const fs::path& p) {
+    std::string rel = fs::relative(p, root).generic_string();
+    return rel;
+  };
+  for (const auto& entry : paths) {
+    const fs::path p = root / entry;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> files;
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        const std::string name = it->path().filename().string();
+        if (it->is_directory(ec) &&
+            (starts_with(name, ".") || starts_with(name, "build"))) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file(ec) && is_cpp_source(name))
+          files.push_back(it->path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files)
+        if (!load(file, relative_slash(file))) return false;
+    } else if (fs::is_regular_file(p, ec)) {
+      if (!load(p, relative_slash(p))) return false;
+    } else {
+      if (error) *error = "no such file or directory: " + p.string();
+      return false;
+    }
+  }
+  // V1 corpus: the knob documentation plus the build/CI metadata that
+  // legitimately references knobs (CS_SANITIZE lives in CMake and CI).
+  for (const char* extra : {"README.md", "CMakeLists.txt"}) {
+    std::error_code ec;
+    if (fs::is_regular_file(root / extra, ec))
+      if (!load(root / extra, extra)) return false;
+  }
+  std::error_code ec;
+  const fs::path workflows = root / ".github" / "workflows";
+  if (fs::is_directory(workflows, ec)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(workflows, ec))
+      if (entry.is_regular_file(ec)) files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files)
+      if (!load(file, relative_slash(file))) return false;
+  }
+  return true;
+}
+
+std::size_t count_unsuppressed(const std::vector<Finding>& findings) {
+  std::size_t n = 0;
+  for (const auto& finding : findings)
+    if (!finding.suppressed) ++n;
+  return n;
+}
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const auto& finding : findings) {
+    if (finding.suppressed) continue;
+    out << finding.file << ':' << finding.line << ": [" << finding.check
+        << "] " << finding.message << '\n';
+  }
+  const std::size_t unsuppressed = count_unsuppressed(findings);
+  out << "cslint: " << findings.size() << " finding"
+      << (findings.size() == 1 ? "" : "s") << " ("
+      << (findings.size() - unsuppressed) << " suppressed, " << unsuppressed
+      << " unsuppressed)\n";
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  bool first = true;
+  for (const auto& finding : findings) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"file\":\"" << json_escape(finding.file)
+        << "\",\"line\":" << finding.line << ",\"check\":\""
+        << json_escape(finding.check) << "\",\"message\":\""
+        << json_escape(finding.message) << "\",\"suppressed\":"
+        << (finding.suppressed ? "true" : "false") << ",\"reason\":\""
+        << json_escape(finding.reason) << "\"}";
+  }
+  const std::size_t unsuppressed = count_unsuppressed(findings);
+  out << "],\"total\":" << findings.size()
+      << ",\"suppressed\":" << (findings.size() - unsuppressed)
+      << ",\"unsuppressed\":" << unsuppressed << "}\n";
+  return out.str();
+}
+
+}  // namespace cs::lint

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+/// cs-lint: CloudScope's in-repo invariant linter.
+///
+/// The library's correctness contracts — byte-identical output at any
+/// CS_THREADS, fault decisions that are pure functions of (seed, kind,
+/// key), one home for CS_* env parsing, all library output through
+/// obs::log — are conventions the compiler cannot check. cs-lint checks
+/// them mechanically with a comment/string/raw-string-aware token
+/// scanner and a registry of project-invariant checks:
+///
+///   D1  determinism: rand/srand, std::random_device, time()/clock(),
+///       gettimeofday, and the std::chrono wall/steady clocks are banned
+///       in src/ outside the allowlist (src/obs/ timing, src/snap/
+///       backoff & deadlines, src/util/rng seeding).
+///   E1  env hygiene: getenv/setenv/putenv/unsetenv only in
+///       src/util/env.cpp; everything else goes through util::env.
+///   L1  logging: std::cout/cerr/clog, printf/puts, and
+///       fprintf/fputs/fwrite aimed at stdout/stderr are banned in
+///       library code under src/ (obs::log is the one sink); fine in
+///       examples/, bench/, tests/.
+///   C1  shared state: mutable namespace-scope (or class-static)
+///       non-const, non-atomic variables in src/ are flagged unless
+///       annotated — they are cross-thread determinism hazards.
+///   V1  doc drift: every CS_* knob referenced by the tree must appear
+///       in README.md, and every CS_* knob README documents must still
+///       be referenced somewhere.
+///   S1  header hygiene: #pragma once present, no `using namespace`
+///       in headers.
+///   A1  suppression hygiene: inline allows must name known checks,
+///       carry a non-empty reason, and actually suppress something.
+///
+/// Inline suppression: a comment of the form
+///     NOLINT-style marker: "cslint:" "allow(D1): reason text"
+/// on the finding's line or the line above suppresses matching checks
+/// on that line. Suppressed findings are still counted and reported.
+namespace cs::lint {
+
+struct Source {
+  std::string path;  // repo-relative, '/'-separated
+  std::string text;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;    // "D1", "E1", "L1", "C1", "V1", "S1", "A1"
+  std::string message;
+  bool suppressed = false;
+  std::string reason;   // suppression reason when suppressed
+};
+
+/// Run every check over the given sources. Sources whose path ends in
+/// .h/.hpp/.cc/.cpp get the token checks; README.md and build/CI metadata
+/// (CMakeLists.txt, *.yml, *.cmake) participate only in the V1 CS_*
+/// cross-reference. Findings come back sorted by (file, line, check).
+std::vector<Finding> lint(const std::vector<Source>& sources);
+
+/// Load lintable sources from disk: each entry of `paths` (relative to
+/// `root`) is a file or a directory walked recursively for C++ sources;
+/// README.md, the root CMakeLists.txt, and .github/workflows/*.yml are
+/// added automatically for V1. Hidden directories and build*/ trees are
+/// skipped. Returns false and sets `error` on I/O failure.
+bool collect_sources(const std::filesystem::path& root,
+                     const std::vector<std::string>& paths,
+                     std::vector<Source>* out, std::string* error);
+
+std::size_t count_unsuppressed(const std::vector<Finding>& findings);
+
+/// `file:line: [check] message` lines for unsuppressed findings plus a
+/// one-line summary (suppressed findings are counted in the summary).
+std::string render_text(const std::vector<Finding>& findings);
+
+/// Machine-readable shape:
+/// {"findings":[{file,line,check,message,suppressed,reason},...],
+///  "total":N,"suppressed":M,"unsuppressed":K}
+std::string render_json(const std::vector<Finding>& findings);
+
+}  // namespace cs::lint
