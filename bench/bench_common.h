@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -11,9 +10,11 @@
 #include "exec/config.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/format.h"
+#include "util/json.h"
 
 /// Shared scaffolding for the table/figure benches.
 ///
@@ -69,21 +70,9 @@ inline std::string& sidecar_bench_name() {
   return name;
 }
 
-inline void json_escape_into(std::string& out, const std::string& text) {
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out += ' ';
-    } else {
-      out += c;
-    }
-  }
-}
-
-/// Pulls "wall_ms": <number> out of a previous sidecar. A full JSON
-/// parser would be overkill for reading back our own output.
+/// Pulls "wall_ms" out of a previous sidecar through the shared JSON
+/// reader (a substring scan used to silently return 0.0 whenever the
+/// writer's key formatting drifted).
 inline double read_baseline_wall_ms(const std::string& path) {
   std::ifstream file{path, std::ios::binary};
   if (!file) {
@@ -92,72 +81,32 @@ inline double read_baseline_wall_ms(const std::string& path) {
   }
   std::string text{std::istreambuf_iterator<char>{file},
                    std::istreambuf_iterator<char>{}};
-  const auto pos = text.find("\"wall_ms\": ");
-  if (pos == std::string::npos) return 0.0;
-  return std::strtod(text.c_str() + pos + 11, nullptr);
+  const auto parsed = util::parse_json(text);
+  if (!parsed) {
+    obs::log_warn("bench", "CS_BENCH_BASELINE '{}' is not valid JSON", path);
+    return 0.0;
+  }
+  const auto* wall = parsed->find("wall_ms");
+  if (!wall || !wall->is_number()) {
+    obs::log_warn("bench", "CS_BENCH_BASELINE '{}' has no wall_ms", path);
+    return 0.0;
+  }
+  return wall->number;
 }
 
-/// Writes the CS_BENCH_JSON sidecar: per-stage wall time from the span
-/// collector, the exec-pool shape (threads, tasks, steals, queue depth)
-/// plus a dump of every counter. Registered via atexit from print_header
-/// so each bench main stays a straight-line reproduction.
+/// Writes the CS_BENCH_JSON sidecar via obs::RunReport — one consistent
+/// metrics snapshot covering wall time, per-stage spans, resource usage,
+/// pool shape, snap/fault activity, histogram percentiles, and every
+/// counter. Registered via atexit from print_header so each bench main
+/// stays a straight-line reproduction.
 inline void write_bench_sidecar() {
   const auto path = util::env_text("CS_BENCH_JSON");
   if (!path) return;
-
-  const double wall_ms = obs::Tracer::instance().epoch_now_us() / 1000.0;
-  std::string out;
-  out += "{\n  \"bench\": \"";
-  json_escape_into(out, sidecar_bench_name());
-  out += "\",\n  \"wall_ms\": ";
-  out += util::fmt("{:.3f}", wall_ms);
-  out += util::fmt(",\n  \"threads\": {}", exec::thread_count());
-  if (const auto baseline = util::env_text("CS_BENCH_BASELINE")) {
-    if (const double base_ms = read_baseline_wall_ms(*baseline);
-        base_ms > 0.0 && wall_ms > 0.0) {
-      out += util::fmt(",\n  \"baseline_wall_ms\": {:.3f}", base_ms);
-      out += util::fmt(",\n  \"speedup\": {:.3f}", base_ms / wall_ms);
-    }
-  }
-  {
-    const auto snapshot = obs::MetricsRegistry::instance().snapshot();
-    std::int64_t max_depth = 0;
-    for (const auto& g : snapshot.gauges)
-      if (g.name == "exec.pool.max_queue_depth") max_depth = g.value;
-    out += util::fmt(
-        ",\n  \"pool\": {{\"tasks\": {}, \"steals\": {}, "
-        "\"max_queue_depth\": {}}}",
-        snapshot.counter("exec.pool.tasks"),
-        snapshot.counter("exec.pool.steals"), max_depth);
-  }
-  out += ",\n  \"stages\": [";
-  bool first = true;
-  for (const auto& stage : obs::Tracer::instance().stats()) {
-    if (!first) out += ',';
-    first = false;
-    out += "\n    {\"name\": \"";
-    json_escape_into(out, stage.name);
-    out += util::fmt(
-        "\", \"count\": {}, \"total_ms\": {:.3f}, \"self_ms\": {:.3f}}}",
-        stage.count, stage.total_us / 1000.0, stage.self_us / 1000.0);
-  }
-  out += "\n  ],\n  \"counters\": {";
-  first = true;
-  for (const auto& c : obs::MetricsRegistry::instance().snapshot().counters) {
-    if (!first) out += ',';
-    first = false;
-    out += "\n    \"";
-    json_escape_into(out, c.name);
-    out += util::fmt("\": {}", c.value);
-  }
-  out += "\n  }\n}\n";
-
-  std::ofstream file{*path, std::ios::binary | std::ios::trunc};
-  if (!file) {
-    obs::log_error("bench", "cannot open CS_BENCH_JSON path '{}'", *path);
-    return;
-  }
-  file << out;
+  auto report = obs::RunReport::capture(sidecar_bench_name());
+  report.threads = exec::thread_count();
+  if (const auto baseline = util::env_text("CS_BENCH_BASELINE"))
+    report.baseline_wall_ms = read_baseline_wall_ms(*baseline);
+  report.write(*path);
 }
 
 }  // namespace detail

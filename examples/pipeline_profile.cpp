@@ -1,18 +1,25 @@
 // Pipeline profiler: runs every stage of the study pipeline on the
 // default universe and prints where the time and the work went — the
-// span tree, the per-stage summary table, and the DNS/pcap work counters.
+// span tree, the per-stage summary table, the process resource bill
+// (CPU, peak RSS), and the DNS/pcap work counters.
 //
 //   ./examples/pipeline_profile [domain_count]
 //
 // Set CS_TRACE=out.json to additionally write the Chrome trace-event file
-// (open it in chrome://tracing or https://ui.perfetto.dev).
+// (open it in chrome://tracing or https://ui.perfetto.dev — the RSS and
+// queue-depth counter lanes sampled at stage boundaries render there
+// too), and CS_BENCH_JSON=out.json to write the full obs::RunReport
+// sidecar, the same shape the bench binaries feed into csbench.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/study.h"
+#include "exec/config.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
+#include "util/env.h"
 #include "util/format.h"
 #include "util/table.h"
 
@@ -66,8 +73,32 @@ int main(int argc, char** argv) {
 
   std::cout << "\n" << obs::Tracer::instance().render_summary() << "\n";
 
+  // ---- the unified run report -------------------------------------------
+  // One capture covers everything below: resource bill, percentiles, and
+  // the counter table all read the same consistent snapshot.
+  auto report = obs::RunReport::capture("pipeline_profile");
+  report.threads = exec::thread_count();
+
+  const auto& usage = report.resources;
+  std::cout << util::fmt(
+      "Resources: {:.0f} ms user + {:.0f} ms system CPU, peak RSS {:.1f} "
+      "MiB ({} threads)\n",
+      usage.user_cpu_us / 1000.0, usage.system_cpu_us / 1000.0,
+      usage.peak_rss_kb / 1024.0, report.threads);
+  for (const auto& h : report.metrics.histograms)
+    if (h.count > 0)
+      std::cout << util::fmt("{}: p50 {:.1f} / p90 {:.1f} / p99 {:.1f} "
+                             "({} samples)\n",
+                             h.name, h.quantile(0.50), h.quantile(0.90),
+                             h.quantile(0.99), h.count);
+  std::cout << "\n";
+
+  if (const auto sidecar = util::env_text("CS_BENCH_JSON"))
+    if (report.write(*sidecar))
+      std::cout << util::fmt("Wrote run report to {}\n\n", *sidecar);
+
   // ---- work counters ----------------------------------------------------
-  const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+  const auto& snapshot = report.metrics;
   util::Table counters{{"counter", "value"}};
   counters.caption("Pipeline work counters");
   for (const auto& c : snapshot.counters) counters.add(c.name, c.value);

@@ -2,6 +2,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "pcap/flow.h"
 #include "util/env.h"
@@ -19,6 +20,10 @@ class StageScope {
   }
   ~StageScope() {
     obs::counter("study.stages_built").inc();
+    // One RSS/queue-depth counter sample per stage boundary: enough to
+    // draw memory and pool-pressure lanes under the span lanes in
+    // Perfetto without taxing inner loops. No-op when collection is off.
+    obs::RunReport::sample_counter_lane();
     obs::log_debug("core.study", "built {} in {:.1f} ms", stage_,
                    (obs::Tracer::instance().epoch_now_us() - start_us_) /
                        1000.0);

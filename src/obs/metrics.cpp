@@ -58,6 +58,30 @@ void Histogram::reset() noexcept {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0 || bounds.empty() || buckets.size() != bounds.size() + 1)
+    return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached >= target) {
+      if (i == bounds.size()) return bounds.back();  // open overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * into;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
   for (const auto& c : counters)
     if (c.name == name) return c.value;

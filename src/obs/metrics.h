@@ -98,6 +98,15 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Quantile estimate interpolated linearly inside the bucket holding
+  /// rank q*count: bucket i spans (bounds[i-1], bounds[i]], the first
+  /// bucket starts at 0 (histograms here hold non-negative samples), and
+  /// the open-ended overflow bucket reports bounds.back() since it has no
+  /// upper edge to interpolate toward. q is clamped to [0,1]; an empty
+  /// histogram reports 0. Feeds the p50/p90/p99 summaries in RunReport
+  /// sidecars.
+  double quantile(double q) const noexcept;
 };
 
 struct MetricsSnapshot {

@@ -95,6 +95,23 @@ void Tracer::disable() noexcept {
 void Tracer::clear() {
   std::lock_guard lock{mutex_};
   events_.clear();
+  counter_events_.clear();
+}
+
+void Tracer::record_counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::uint64_t ts = epoch_now_us();
+  std::lock_guard lock{mutex_};
+  CounterEvent event;
+  event.name.assign(name);
+  event.ts_us = ts;
+  event.value = value;
+  counter_events_.push_back(std::move(event));
+}
+
+std::vector<CounterEvent> Tracer::counter_events() const {
+  std::lock_guard lock{mutex_};
+  return counter_events_;
 }
 
 std::uint64_t Tracer::epoch_now_us() const noexcept {
@@ -205,6 +222,21 @@ std::string Tracer::chrome_json() const {
     out += std::to_string(e.dur_us);
     out += ",\"args\":{\"depth\":";
     out += std::to_string(e.depth);
+    out += "}}";
+  }
+  // Counter lanes last: "C" events render as per-name area tracks in
+  // Perfetto (queue depth, RSS) under the same pid as the span lanes.
+  for (const auto& c : counter_events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json_escape(out, c.name);
+    out += "\",\"cat\":\"cs\",\"ph\":\"C\",\"pid\":1,\"ts\":";
+    out += std::to_string(c.ts_us);
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.3f", c.value);
+    out += ",\"args\":{\"value\":";
+    out += value;
     out += "}}";
   }
   out += "]}";

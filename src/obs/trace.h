@@ -39,6 +39,15 @@ struct SpanEvent {
   std::int32_t depth = 0;
 };
 
+/// One sample of a numeric lane ("counter" in the trace-event format):
+/// queue depth, resident set size, ... Perfetto renders each distinct
+/// name as its own filled-area track alongside the span lanes.
+struct CounterEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;  ///< relative to tracer epoch
+  double value = 0.0;
+};
+
 struct SpanStats {
   std::string name;
   std::uint64_t count = 0;
@@ -71,6 +80,12 @@ class Tracer {
   std::vector<SpanEvent> events() const;
   /// Aggregates events by span name, ordered by first occurrence.
   std::vector<SpanStats> stats() const;
+
+  /// Appends a counter sample at the current epoch time. A no-op while
+  /// collection is disabled, so instrumented code can sample
+  /// unconditionally (RunReport::sample_counter_lane is the usual caller).
+  void record_counter(std::string_view name, double value);
+  std::vector<CounterEvent> counter_events() const;
 
   /// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
   std::string chrome_json() const;
@@ -112,6 +127,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<SpanEvent> events_;
+  std::vector<CounterEvent> counter_events_;
   std::map<std::uint32_t, std::string> thread_names_;
   std::string export_path_;
   std::int64_t epoch_ns_ = 0;

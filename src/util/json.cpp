@@ -1,0 +1,207 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cs::util {
+namespace {
+
+/// Nesting cap: our artifacts nest three or four levels; 64 is comfortably
+/// above that while keeping hostile input from overflowing the stack.
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < in.size() &&
+           std::isspace(static_cast<unsigned char>(in[pos])))
+      ++pos;
+  }
+
+  bool eat(char c) {
+    if (pos < in.size() && in[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (in.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return false;
+    while (pos < in.size()) {
+      const char c = in[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= in.size()) return false;
+        const char esc = in[pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // Decode the BMP code point to UTF-8; no surrogate pairing
+            // (our writers only ever emit \u00XX control escapes).
+            if (pos + 4 > in.size()) return false;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = in[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9')
+                cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            if (cp < 0x80) {
+              out->push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters must be escaped
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos >= in.size()) return false;
+    const char c = in[pos];
+    if (c == '{') {
+      ++pos;
+      out->kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        JsonValue value;
+        if (!parse_value(&value, depth + 1)) return false;
+        out->fields.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!parse_value(&value, depth + 1)) return false;
+        out->items.push_back(std::move(value));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parse_string(&out->text);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      // Validate the JSON number grammar by hand, then hand the span to
+      // strtod (which alone would also accept "inf", hex, "1.", "+1"...).
+      const std::size_t start = pos;
+      if (in[pos] == '-') ++pos;
+      if (pos >= in.size() || !std::isdigit(static_cast<unsigned char>(in[pos])))
+        return false;
+      if (in[pos] == '0') {
+        ++pos;
+      } else {
+        while (pos < in.size() &&
+               std::isdigit(static_cast<unsigned char>(in[pos])))
+          ++pos;
+      }
+      if (pos < in.size() && in[pos] == '.') {
+        ++pos;
+        if (pos >= in.size() ||
+            !std::isdigit(static_cast<unsigned char>(in[pos])))
+          return false;
+        while (pos < in.size() &&
+               std::isdigit(static_cast<unsigned char>(in[pos])))
+          ++pos;
+      }
+      if (pos < in.size() && (in[pos] == 'e' || in[pos] == 'E')) {
+        ++pos;
+        if (pos < in.size() && (in[pos] == '+' || in[pos] == '-')) ++pos;
+        if (pos >= in.size() ||
+            !std::isdigit(static_cast<unsigned char>(in[pos])))
+          return false;
+        while (pos < in.size() &&
+               std::isdigit(static_cast<unsigned char>(in[pos])))
+          ++pos;
+      }
+      out->kind = JsonValue::Kind::kNumber;
+      const std::string span{in.substr(start, pos - start)};
+      out->number = std::strtod(span.c_str(), nullptr);
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : fields)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(std::string_view input) {
+  Parser parser{input};
+  JsonValue root;
+  if (!parser.parse_value(&root, 0)) return std::nullopt;
+  parser.skip_ws();
+  if (parser.pos != input.size()) return std::nullopt;  // trailing garbage
+  return root;
+}
+
+}  // namespace cs::util

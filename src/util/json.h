@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Minimal read-only JSON parser for the repo's own machine-readable
+/// artifacts: bench sidecars (CS_BENCH_JSON), BENCH_* perf-trajectory
+/// manifests, and cslint --json reports. It exists so readers stop
+/// substring-scanning for `"key": ` patterns — `bench_common.h` used to
+/// pull `wall_ms` out of a previous sidecar with `text.find`, which
+/// silently returned 0.0 whenever the writer's spacing drifted.
+///
+/// Scope is deliberately small: UTF-8 pass-through (no \uXXXX surrogate
+/// pairing — our writers never emit it), numbers via strtod, a recursion
+/// depth cap instead of a streaming API. Parsing never throws; malformed
+/// input yields nullopt.
+namespace cs::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject, in order
+
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+
+  /// Member of an object by key; nullptr when absent or not an object.
+  /// Duplicate keys resolve to the first occurrence.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// `find` chained through nested objects: `get("machine", "threads")`.
+  template <typename... Rest>
+  const JsonValue* get(std::string_view key, Rest... rest) const noexcept {
+    const JsonValue* v = find(key);
+    if constexpr (sizeof...(rest) == 0) {
+      return v;
+    } else {
+      return v ? v->get(rest...) : nullptr;
+    }
+  }
+
+  /// The numeric value, or `fallback` when this is not a number.
+  double number_or(double fallback) const noexcept {
+    return is_number() ? number : fallback;
+  }
+
+  /// The string value, or `fallback` when this is not a string.
+  std::string_view text_or(std::string_view fallback) const noexcept {
+    return is_string() ? std::string_view{text} : fallback;
+  }
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Returns nullopt on any syntax error.
+std::optional<JsonValue> parse_json(std::string_view input);
+
+}  // namespace cs::util

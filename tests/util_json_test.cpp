@@ -1,0 +1,81 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cs::util {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(parse_json("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(parse_json("true")->boolean);
+  EXPECT_FALSE(parse_json("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5e2")->number, -350.0);
+  EXPECT_EQ(parse_json("\"hi\"")->text, "hi");
+}
+
+TEST(JsonTest, ParsesNestedObjectAndChainedGet) {
+  const auto v = parse_json(
+      R"({"bench": "t9", "wall_ms": 12.625,
+          "pool": {"tasks": 100, "steals": 3},
+          "stages": [{"name": "study.world", "total_ms": 7.5}]})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("bench")->text, "t9");
+  EXPECT_DOUBLE_EQ(v->find("wall_ms")->number, 12.625);
+  ASSERT_NE(v->get("pool", "steals"), nullptr);
+  EXPECT_DOUBLE_EQ(v->get("pool", "steals")->number, 3.0);
+  ASSERT_TRUE(v->find("stages")->is_array());
+  const auto& stage = v->find("stages")->items.at(0);
+  EXPECT_EQ(stage.find("name")->text, "study.world");
+  EXPECT_DOUBLE_EQ(stage.find("total_ms")->number_or(0.0), 7.5);
+}
+
+TEST(JsonTest, FindOnMissingKeyAndWrongKind) {
+  const auto v = parse_json(R"({"a": 1})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("b"), nullptr);
+  EXPECT_EQ(v->get("a", "nested"), nullptr);  // "a" is a number, not object
+  EXPECT_DOUBLE_EQ(v->find("a")->number_or(-1.0), 1.0);
+  EXPECT_EQ(v->find("a")->text_or("fallback"), "fallback");
+}
+
+TEST(JsonTest, StringEscapes) {
+  const auto v = parse_json(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->text, "a\"b\\c\ndA\xC3\xA9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json("01").has_value());
+  EXPECT_FALSE(parse_json("1.").has_value());
+  EXPECT_FALSE(parse_json("+1").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(parse_json("{} x").has_value());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parse_json(deep).has_value());
+}
+
+TEST(JsonTest, DuplicateKeysResolveToFirst) {
+  const auto v = parse_json(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->find("k")->number, 1.0);
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  const auto v = parse_json("  {\n  \"a\" :\t[ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("a")->items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cs::util

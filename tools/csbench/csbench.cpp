@@ -1,0 +1,322 @@
+#include "csbench/csbench.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace cs::csbench {
+namespace {
+
+namespace fs = std::filesystem;
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void json_escape_into(std::string& out, std::string_view text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string fmt_ms(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+void append_stats(std::string& out, const Stats& stats) {
+  out += "{\"reps\": " + std::to_string(stats.reps);
+  out += ", \"min\": " + fmt_ms(stats.min);
+  out += ", \"median\": " + fmt_ms(stats.median);
+  out += ", \"iqr\": " + fmt_ms(stats.iqr);
+  out += "}";
+}
+
+bool parse_stats(const util::JsonValue* v, Stats* out) {
+  if (v == nullptr || !v->is_object()) return false;
+  const auto* reps = v->find("reps");
+  const auto* min = v->find("min");
+  const auto* median = v->find("median");
+  const auto* iqr = v->find("iqr");
+  if (!median || !median->is_number()) return false;
+  out->reps = reps ? static_cast<std::size_t>(reps->number_or(0.0)) : 0;
+  out->min = min ? min->number_or(0.0) : 0.0;
+  out->median = median->number;
+  out->iqr = iqr ? iqr->number_or(0.0) : 0.0;
+  return true;
+}
+
+/// Single-quote shell escaping: ' -> '\'' inside a '...' span. Paths with
+/// quotes are pathological, but a bench dir under /tmp can be anything.
+std::string shell_quote(std::string_view text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+Stats aggregate(std::vector<double> samples) {
+  Stats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.reps = samples.size();
+  stats.min = samples.front();
+  stats.median = sorted_quantile(samples, 0.5);
+  stats.iqr = sorted_quantile(samples, 0.75) - sorted_quantile(samples, 0.25);
+  return stats;
+}
+
+std::optional<Sample> parse_sidecar(std::string_view json_text) {
+  const auto parsed = util::parse_json(json_text);
+  if (!parsed) return std::nullopt;
+  const auto* wall = parsed->find("wall_ms");
+  if (!wall || !wall->is_number()) return std::nullopt;
+  Sample sample;
+  sample.wall_ms = wall->number;
+  if (const auto* stages = parsed->find("stages"); stages && stages->is_array())
+    for (const auto& stage : stages->items) {
+      const auto* name = stage.find("name");
+      const auto* total = stage.find("total_ms");
+      if (name && name->is_string() && total && total->is_number())
+        sample.stage_total_ms.emplace_back(name->text, total->number);
+    }
+  return sample;
+}
+
+BenchStats aggregate_bench(std::string name,
+                           const std::vector<Sample>& samples) {
+  BenchStats bench;
+  bench.name = std::move(name);
+  std::vector<double> walls;
+  walls.reserve(samples.size());
+  std::vector<std::string> stage_order;
+  std::map<std::string, std::vector<double>> stage_samples;
+  for (const auto& sample : samples) {
+    walls.push_back(sample.wall_ms);
+    for (const auto& [stage, total_ms] : sample.stage_total_ms) {
+      auto [it, inserted] = stage_samples.try_emplace(stage);
+      if (inserted) stage_order.push_back(stage);
+      it->second.push_back(total_ms);
+    }
+  }
+  bench.wall = aggregate(std::move(walls));
+  for (const auto& stage : stage_order)
+    bench.stages.push_back({stage, aggregate(stage_samples[stage])});
+  return bench;
+}
+
+std::string render_manifest(const Manifest& manifest) {
+  std::string out;
+  out += "{\n  \"tag\": \"";
+  json_escape_into(out, manifest.tag);
+  out += "\",\n  \"machine\": {\"threads\": ";
+  out += std::to_string(manifest.machine.threads);
+  out += ", \"domains\": " + std::to_string(manifest.machine.domains);
+  out += ", \"seed\": " + std::to_string(manifest.machine.seed);
+  out += ", \"compiler\": \"";
+  json_escape_into(out, manifest.machine.compiler);
+  out += "\"},\n  \"reps\": " + std::to_string(manifest.reps);
+  out += ",\n  \"benches\": [";
+  bool first_bench = true;
+  for (const auto& bench : manifest.benches) {
+    if (!first_bench) out += ',';
+    first_bench = false;
+    out += "\n    {\"name\": \"";
+    json_escape_into(out, bench.name);
+    out += "\",\n     \"wall_ms\": ";
+    append_stats(out, bench.wall);
+    out += ",\n     \"stages\": [";
+    bool first_stage = true;
+    for (const auto& stage : bench.stages) {
+      if (!first_stage) out += ',';
+      first_stage = false;
+      out += "\n       {\"name\": \"";
+      json_escape_into(out, stage.name);
+      out += "\", \"total_ms\": ";
+      append_stats(out, stage.stats);
+      out += "}";
+    }
+    out += "\n     ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::optional<Manifest> parse_manifest(std::string_view json_text) {
+  const auto parsed = util::parse_json(json_text);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  Manifest manifest;
+  manifest.tag = parsed->find("tag") ? std::string{parsed->find("tag")
+                                                       ->text_or("")}
+                                     : std::string{};
+  if (const auto* machine = parsed->find("machine");
+      machine && machine->is_object()) {
+    manifest.machine.threads = static_cast<unsigned>(
+        machine->find("threads") ? machine->find("threads")->number_or(0.0)
+                                 : 0.0);
+    manifest.machine.domains = static_cast<std::uint64_t>(
+        machine->find("domains") ? machine->find("domains")->number_or(0.0)
+                                 : 0.0);
+    manifest.machine.seed = static_cast<std::uint64_t>(
+        machine->find("seed") ? machine->find("seed")->number_or(0.0) : 0.0);
+    if (const auto* compiler = machine->find("compiler"))
+      manifest.machine.compiler = compiler->text_or("");
+  }
+  if (const auto* reps = parsed->find("reps"))
+    manifest.reps = static_cast<std::size_t>(reps->number_or(0.0));
+  const auto* benches = parsed->find("benches");
+  if (!benches || !benches->is_array()) return std::nullopt;
+  for (const auto& entry : benches->items) {
+    BenchStats bench;
+    const auto* name = entry.find("name");
+    if (!name || !name->is_string()) return std::nullopt;
+    bench.name = name->text;
+    if (!parse_stats(entry.find("wall_ms"), &bench.wall)) return std::nullopt;
+    if (const auto* stages = entry.find("stages");
+        stages && stages->is_array())
+      for (const auto& stage : stages->items) {
+        StageStats ss;
+        const auto* stage_name = stage.find("name");
+        if (!stage_name || !stage_name->is_string()) continue;
+        ss.name = stage_name->text;
+        if (parse_stats(stage.find("total_ms"), &ss.stats))
+          bench.stages.push_back(std::move(ss));
+      }
+    manifest.benches.push_back(std::move(bench));
+  }
+  return manifest;
+}
+
+CheckOutcome check_bench(const BenchStats& baseline, double fresh_median_ms,
+                         const CheckOptions& options) {
+  CheckOutcome outcome;
+  outcome.bench = baseline.name;
+  outcome.baseline_ms = baseline.wall.median;
+  outcome.fresh_ms = fresh_median_ms;
+  if (baseline.wall.median <= 0.0) return outcome;  // nothing to compare
+  const double iqr_pct =
+      options.iqr_mult * baseline.wall.iqr / baseline.wall.median * 100.0;
+  const double threshold_pct = std::max(options.floor_pct, iqr_pct);
+  outcome.limit_ms = baseline.wall.median * (1.0 + threshold_pct / 100.0);
+  outcome.regressed = fresh_median_ms > outcome.limit_ms;
+  return outcome;
+}
+
+std::optional<std::vector<std::string>> discover_benches(
+    const std::string& bench_dir, std::string* error) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (fs::directory_iterator it(bench_dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string name = it->path().filename().string();
+    if (name.rfind("bench_", 0) != 0) continue;
+    if (name == "bench_micro") continue;  // google-benchmark, self-timing
+    if (name.find('.') != std::string::npos) continue;  // .o, .d, ...
+    const auto perms = it->status(ec).permissions();
+    if ((perms & fs::perms::owner_exec) == fs::perms::none) continue;
+    names.push_back(name);
+  }
+  if (ec) {
+    if (error) *error = "cannot read bench dir '" + bench_dir + "': " +
+                        ec.message();
+    return std::nullopt;
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> split_filters(std::string_view spec) {
+  std::vector<std::string> filters;
+  std::stringstream stream{std::string{spec}};
+  std::string piece;
+  while (std::getline(stream, piece, ','))
+    if (!piece.empty()) filters.push_back(piece);
+  return filters;
+}
+
+bool matches_filter(std::string_view name,
+                    const std::vector<std::string>& filters) {
+  if (filters.empty()) return true;
+  for (const auto& filter : filters)
+    if (name.find(filter) != std::string_view::npos) return true;
+  return false;
+}
+
+std::optional<BenchStats> run_bench(const std::string& binary_path,
+                                    const std::string& name,
+                                    const RunnerOptions& options,
+                                    std::string* error) {
+  std::error_code ec;
+  const fs::path sidecar =
+      fs::temp_directory_path(ec) / ("csbench-" + name + ".json");
+  if (ec) {
+    if (error) *error = "no temp directory: " + ec.message();
+    return std::nullopt;
+  }
+  std::string env;
+  if (options.domains > 0)
+    env += "CS_DOMAINS=" + std::to_string(options.domains) + " ";
+  if (options.seed > 0) env += "CS_SEED=" + std::to_string(options.seed) + " ";
+  if (options.threads > 0)
+    env += "CS_THREADS=" + std::to_string(options.threads) + " ";
+  const std::string command = env + "CS_BENCH_JSON=" +
+                              shell_quote(sidecar.string()) + " " +
+                              shell_quote(binary_path) + " >/dev/null 2>&1";
+  std::vector<Sample> samples;
+  const std::size_t total = options.warmup + options.reps;
+  for (std::size_t rep = 0; rep < total; ++rep) {
+    fs::remove(sidecar, ec);
+    const int status = std::system(command.c_str());  // NOLINT
+    if (status != 0) {
+      if (error)
+        *error = name + ": exited with status " + std::to_string(status);
+      return std::nullopt;
+    }
+    if (rep < options.warmup) continue;  // discard warm-up runs
+    std::ifstream file{sidecar, std::ios::binary};
+    if (!file) {
+      if (error) *error = name + ": wrote no sidecar (not a cs bench?)";
+      return std::nullopt;
+    }
+    const std::string text{std::istreambuf_iterator<char>{file},
+                           std::istreambuf_iterator<char>{}};
+    const auto sample = parse_sidecar(text);
+    if (!sample) {
+      if (error) *error = name + ": unparseable sidecar";
+      return std::nullopt;
+    }
+    samples.push_back(*sample);
+  }
+  fs::remove(sidecar, ec);
+  return aggregate_bench(name, samples);
+}
+
+}  // namespace cs::csbench

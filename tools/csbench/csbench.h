@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// csbench: the perf-trajectory orchestrator.
+///
+/// Every bench binary already writes a CS_BENCH_JSON sidecar
+/// (obs::RunReport) describing one run. csbench turns those one-shot
+/// sidecars into a *trajectory*: it discovers the bench binaries in a
+/// build tree, runs a selected subset N repetitions each (first warm-up
+/// run discarded), aggregates min/median/IQR per bench and per stage, and
+/// writes a repo-root `BENCH_<tag>.json` manifest. `csbench --check
+/// BENCH_<tag>.json` re-runs the manifest's benches under the recorded
+/// machine shape (domains, seed, threads) and exits non-zero when a
+/// median wall time regresses beyond a noise-aware threshold — the
+/// larger of an IQR-derived band and a floor percentage, so CI machines
+/// don't flap on scheduler noise. See DESIGN.md §11 for the workflow.
+///
+/// Split lib/CLI like cslint: everything here is process-spawn-free and
+/// unit-testable over fixture sidecars; `run_bench`/`discover_benches`
+/// do the actual process work.
+namespace cs::csbench {
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Order statistics over a set of repetition samples.
+struct Stats {
+  std::size_t reps = 0;
+  double min = 0.0;
+  double median = 0.0;
+  double iqr = 0.0;  ///< p75 - p25, the noise band the check threshold uses
+};
+
+/// min/median/IQR of `samples` (copies and sorts; empty input = zeros).
+Stats aggregate(std::vector<double> samples);
+
+/// One parsed RunReport sidecar: the whole-run wall time plus per-stage
+/// span totals in sidecar order.
+struct Sample {
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, double>> stage_total_ms;
+};
+
+/// Reads the fields above out of a sidecar document. nullopt when the
+/// text is not JSON or has no numeric wall_ms.
+std::optional<Sample> parse_sidecar(std::string_view json_text);
+
+struct StageStats {
+  std::string name;
+  Stats stats;
+};
+
+/// One bench's aggregated repetitions.
+struct BenchStats {
+  std::string name;  ///< binary name, e.g. "bench_table1_cloud_share"
+  Stats wall;
+  std::vector<StageStats> stages;  ///< first-seen order across samples
+};
+
+/// Aggregates repetition samples; stages missing from some repetitions
+/// are aggregated over the repetitions that saw them.
+BenchStats aggregate_bench(std::string name,
+                           const std::vector<Sample>& samples);
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// The machine/workload shape a manifest was recorded under. --check
+/// re-runs under the same shape so medians are comparable.
+struct Machine {
+  unsigned threads = 0;
+  std::uint64_t domains = 0;
+  std::uint64_t seed = 0;
+  std::string compiler;
+};
+
+struct Manifest {
+  std::string tag;
+  Machine machine;
+  std::size_t reps = 0;
+  std::vector<BenchStats> benches;  ///< sorted by name
+};
+
+std::string render_manifest(const Manifest& manifest);
+std::optional<Manifest> parse_manifest(std::string_view json_text);
+
+// ---------------------------------------------------------------------------
+// Regression check
+// ---------------------------------------------------------------------------
+
+struct CheckOptions {
+  /// Minimum tolerated regression in percent. The default is sized for
+  /// cross-machine CI comparisons of small smoke workloads.
+  double floor_pct = 50.0;
+  /// The IQR-derived band: iqr_mult * baseline IQR, as a fraction of the
+  /// baseline median. Wins over the floor on genuinely noisy benches.
+  double iqr_mult = 3.0;
+};
+
+struct CheckOutcome {
+  std::string bench;
+  double baseline_ms = 0.0;
+  double fresh_ms = 0.0;
+  double limit_ms = 0.0;  ///< baseline * (1 + threshold)
+  bool regressed = false;
+};
+
+/// Applies the noise-aware threshold to one bench: regressed when the
+/// fresh median exceeds baseline * (1 + max(floor_pct, IQR band) / 100).
+/// A baseline median of 0 never regresses (nothing to compare against).
+CheckOutcome check_bench(const BenchStats& baseline, double fresh_median_ms,
+                         const CheckOptions& options);
+
+// ---------------------------------------------------------------------------
+// Runner (process-spawning half; exercised by the perf-smoke CI job)
+// ---------------------------------------------------------------------------
+
+struct RunnerOptions {
+  std::string bench_dir;               ///< where the bench_* binaries live
+  std::size_t reps = 3;                ///< measured repetitions
+  std::size_t warmup = 1;              ///< leading runs discarded
+  std::uint64_t domains = 0;           ///< CS_DOMAINS for children, 0 = unset
+  std::uint64_t seed = 0;              ///< CS_SEED for children, 0 = unset
+  unsigned threads = 0;                ///< CS_THREADS for children, 0 = unset
+};
+
+/// Executable names matching bench_* under `bench_dir`, sorted.
+/// bench_micro (the google-benchmark suite, self-timing) is excluded.
+/// Returns nullopt and sets `error` when the directory is unreadable.
+std::optional<std::vector<std::string>> discover_benches(
+    const std::string& bench_dir, std::string* error);
+
+/// True when `name` matches any comma-separated substring filter (an
+/// empty filter list matches everything).
+bool matches_filter(std::string_view name,
+                    const std::vector<std::string>& filters);
+
+/// Splits "table1,fig5" into {"table1", "fig5"}; empty pieces dropped.
+std::vector<std::string> split_filters(std::string_view spec);
+
+/// Runs one bench binary warmup+reps times with CS_BENCH_JSON pointed at
+/// a scratch file, parses each sidecar, and aggregates the measured reps.
+/// Returns nullopt and sets `error` when the child fails or a sidecar
+/// cannot be parsed.
+std::optional<BenchStats> run_bench(const std::string& binary_path,
+                                    const std::string& name,
+                                    const RunnerOptions& options,
+                                    std::string* error);
+
+}  // namespace cs::csbench

@@ -1,0 +1,277 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "csbench/csbench.h"
+#include "util/env.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: csbench [options]              record a BENCH_<tag>.json manifest\n"
+    "       csbench --check MANIFEST ...   re-run it and gate on regressions\n"
+    "\n"
+    "Runs the bench binaries (each writes a CS_BENCH_JSON sidecar), N\n"
+    "repetitions each with the first warm-up run discarded, and\n"
+    "aggregates min/median/IQR per bench and per pipeline stage.\n"
+    "\n"
+    "  --bench-dir DIR  bench binaries (default: build/bench, else bench)\n"
+    "  --tag TAG        manifest tag; output BENCH_<TAG>.json (default:\n"
+    "                   local)\n"
+    "  --out FILE       output path override; in --check mode the fresh\n"
+    "                   manifest is written here (default: none)\n"
+    "  --reps N         measured repetitions (default: CS_BENCH_REPS or 3)\n"
+    "  --filter A,B     substring filters on bench names (default:\n"
+    "                   CS_BENCH_FILTER; empty = every bench)\n"
+    "  --domains N      CS_DOMAINS for the children (default: CS_DOMAINS\n"
+    "                   or 120 - small enough for CI)\n"
+    "  --seed N         CS_SEED for the children (default: CS_SEED or 2013)\n"
+    "  --threads N      CS_THREADS for the children (default: CS_THREADS\n"
+    "                   or hardware concurrency)\n"
+    "  --floor PCT      regression floor percent (default:\n"
+    "                   CS_BENCH_CHECK_PCT or 50)\n"
+    "  --list           list the discovered benches and exit\n"
+    "\n"
+    "--check re-runs under the manifest's recorded machine shape and\n"
+    "exits 1 when any median wall time exceeds\n"
+    "baseline * (1 + max(floor, 3*IQR/median)). Exits 2 on usage or I/O\n"
+    "errors.\n";
+
+std::optional<unsigned> parse_count(const std::string& text) {
+  const auto parsed = cs::util::parse_env_unsigned(text);
+  if (!parsed || *parsed == 0) return std::nullopt;
+  return parsed;
+}
+
+unsigned env_count(const char* name, unsigned fallback) {
+  const auto text = cs::util::env_text(name);
+  if (!text) return fallback;
+  const auto parsed = parse_count(*text);
+  if (!parsed) {
+    std::fprintf(stderr, "csbench: %s\n",
+                 cs::util::env_malformed(name, *text, "a positive integer")
+                     .c_str());
+    return fallback;
+  }
+  return *parsed;
+}
+
+std::string default_bench_dir() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory("build/bench", ec)) return "build/bench";
+  return "bench";
+}
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cs;
+
+  std::string tag = "local";
+  std::string out_path;
+  std::string check_path;
+  bool list_only = false;
+  csbench::RunnerOptions runner;
+  runner.bench_dir = default_bench_dir();
+  runner.reps = env_count("CS_BENCH_REPS", 3);
+  runner.domains = env_count("CS_DOMAINS", 120);
+  runner.seed = env_count("CS_SEED", 2013);
+  runner.threads =
+      env_count("CS_THREADS", std::thread::hardware_concurrency());
+  if (runner.threads == 0) runner.threads = 1;
+  csbench::CheckOptions check_options;
+  check_options.floor_pct = env_count("CS_BENCH_CHECK_PCT", 50);
+  std::vector<std::string> filters;
+  if (const auto spec = util::env_text("CS_BENCH_FILTER"))
+    filters = csbench::split_filters(*spec);
+
+  auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "csbench: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  auto next_count = [&](int& i, const char* flag) -> unsigned {
+    const std::string text = next_value(i, flag);
+    const auto parsed = parse_count(text);
+    if (!parsed) {
+      std::fprintf(stderr, "csbench: %s wants a positive integer, got '%s'\n",
+                   flag, text.c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-dir") {
+      runner.bench_dir = next_value(i, "--bench-dir");
+    } else if (arg == "--tag") {
+      tag = next_value(i, "--tag");
+    } else if (arg == "--out") {
+      out_path = next_value(i, "--out");
+    } else if (arg == "--check") {
+      check_path = next_value(i, "--check");
+    } else if (arg == "--reps") {
+      runner.reps = next_count(i, "--reps");
+    } else if (arg == "--filter") {
+      for (auto& f : csbench::split_filters(next_value(i, "--filter")))
+        filters.push_back(std::move(f));
+    } else if (arg == "--domains") {
+      runner.domains = next_count(i, "--domains");
+    } else if (arg == "--seed") {
+      runner.seed = next_count(i, "--seed");
+    } else if (arg == "--threads") {
+      runner.threads = next_count(i, "--threads");
+    } else if (arg == "--floor") {
+      check_options.floor_pct = next_count(i, "--floor");
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "csbench: unknown option '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+
+  std::string error;
+
+  // ---- check mode -------------------------------------------------------
+  if (!check_path.empty()) {
+    std::ifstream file{check_path, std::ios::binary};
+    if (!file) {
+      std::fprintf(stderr, "csbench: cannot read '%s'\n", check_path.c_str());
+      return 2;
+    }
+    const std::string text{std::istreambuf_iterator<char>{file},
+                           std::istreambuf_iterator<char>{}};
+    const auto baseline = csbench::parse_manifest(text);
+    if (!baseline) {
+      std::fprintf(stderr, "csbench: '%s' is not a BENCH_* manifest\n",
+                   check_path.c_str());
+      return 2;
+    }
+    // Re-run under the recorded shape so medians are comparable.
+    if (baseline->machine.domains > 0) runner.domains = baseline->machine.domains;
+    if (baseline->machine.seed > 0) runner.seed = baseline->machine.seed;
+    if (baseline->machine.threads > 0) runner.threads = baseline->machine.threads;
+    if (baseline->reps > 0) runner.reps = baseline->reps;
+    std::printf(
+        "csbench --check %s: %zu benches, %zu reps, domains=%llu "
+        "seed=%llu threads=%u floor=%.0f%%\n",
+        check_path.c_str(), baseline->benches.size(), runner.reps,
+        static_cast<unsigned long long>(runner.domains),
+        static_cast<unsigned long long>(runner.seed), runner.threads,
+        check_options.floor_pct);
+
+    csbench::Manifest fresh;
+    fresh.tag = baseline->tag;
+    fresh.machine = {runner.threads, runner.domains, runner.seed,
+                     compiler_id()};
+    fresh.reps = runner.reps;
+    int regressions = 0;
+    for (const auto& bench : baseline->benches) {
+      const std::string binary = runner.bench_dir + "/" + bench.name;
+      const auto stats =
+          csbench::run_bench(binary, bench.name, runner, &error);
+      if (!stats) {
+        std::fprintf(stderr, "csbench: %s\n", error.c_str());
+        return 2;
+      }
+      fresh.benches.push_back(*stats);
+      const auto outcome =
+          csbench::check_bench(bench, stats->wall.median, check_options);
+      std::printf("  %-34s base %9.3f ms  now %9.3f ms  limit %9.3f ms  %s\n",
+                  bench.name.c_str(), outcome.baseline_ms, outcome.fresh_ms,
+                  outcome.limit_ms, outcome.regressed ? "REGRESSED" : "ok");
+      if (outcome.regressed) ++regressions;
+    }
+    if (!out_path.empty()) {
+      std::ofstream out{out_path, std::ios::binary | std::ios::trunc};
+      out << csbench::render_manifest(fresh);
+      if (!out.good()) {
+        std::fprintf(stderr, "csbench: cannot write '%s'\n", out_path.c_str());
+        return 2;
+      }
+      std::printf("wrote fresh manifest to %s\n", out_path.c_str());
+    }
+    if (regressions > 0) {
+      std::printf("csbench: %d bench(es) regressed\n", regressions);
+      return 1;
+    }
+    std::printf("csbench: no regressions\n");
+    return 0;
+  }
+
+  // ---- record mode ------------------------------------------------------
+  const auto discovered = csbench::discover_benches(runner.bench_dir, &error);
+  if (!discovered) {
+    std::fprintf(stderr, "csbench: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<std::string> selected;
+  for (const auto& name : *discovered)
+    if (csbench::matches_filter(name, filters)) selected.push_back(name);
+  if (list_only) {
+    for (const auto& name : selected) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "csbench: no benches in '%s' match the filter\n",
+                 runner.bench_dir.c_str());
+    return 2;
+  }
+
+  csbench::Manifest manifest;
+  manifest.tag = tag;
+  manifest.machine = {runner.threads, runner.domains, runner.seed,
+                      compiler_id()};
+  manifest.reps = runner.reps;
+  std::printf(
+      "csbench: %zu benches, %zu reps (+%zu warmup), domains=%llu seed=%llu "
+      "threads=%u\n",
+      selected.size(), runner.reps, runner.warmup,
+      static_cast<unsigned long long>(runner.domains),
+      static_cast<unsigned long long>(runner.seed), runner.threads);
+  for (const auto& name : selected) {
+    const std::string binary = runner.bench_dir + "/" + name;
+    const auto stats = csbench::run_bench(binary, name, runner, &error);
+    if (!stats) {
+      std::fprintf(stderr, "csbench: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("  %-34s median %9.3f ms  min %9.3f ms  iqr %7.3f ms\n",
+                name.c_str(), stats->wall.median, stats->wall.min,
+                stats->wall.iqr);
+    manifest.benches.push_back(*stats);
+  }
+  const std::string path =
+      out_path.empty() ? "BENCH_" + tag + ".json" : out_path;
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << csbench::render_manifest(manifest);
+  if (!out.good()) {
+    std::fprintf(stderr, "csbench: cannot write '%s'\n", path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
