@@ -61,6 +61,23 @@ Study::Study(StudyConfig config)
     StageScope stage{"study.world"};
     world_ = std::make_unique<synth::World>(config_.world);
   }
+  const auto mode =
+      config_.transport.value_or(netio::transport_mode_from_env());
+  if (mode == netio::TransportMode::kSocket) {
+    loopback_ = std::make_unique<netio::LoopbackDns>(
+        world_->network(), netio::LoopbackDns::options_from_env());
+    if (loopback_->start()) {
+      world_->set_transport_override(&loopback_->transport());
+      obs::log_info("core.study",
+                    "resolver traffic over localhost UDP (port {})",
+                    loopback_->server().port());
+    } else {
+      obs::log_warn("core.study",
+                    "socket transport unavailable; falling back to the "
+                    "in-process network");
+      loopback_.reset();
+    }
+  }
   std::string dir = config_.checkpoint_dir;
   if (dir.empty())
     if (const auto env = util::env_text("CS_CHECKPOINT")) dir = *env;
@@ -71,9 +88,16 @@ Study::Study(StudyConfig config)
   }
 }
 
+Study::~Study() {
+  // Unhook resolvers before the socket backend goes away (new resolvers
+  // made during teardown fall back to the in-process network).
+  if (loopback_ && world_) world_->set_transport_override(nullptr);
+}
+
 std::uint64_t Study::config_hash() const {
-  // Only fields that shape stage artifacts participate; checkpoint_dir
-  // and supervision steer *how* stages run, not what they produce.
+  // Only fields that shape stage artifacts participate; checkpoint_dir,
+  // supervision, and transport steer *how* stages run (or which wire
+  // carries the bytes), never what a completed stage produced.
   snap::Writer w;
   w.u64(config_.world.seed);
   w.u64(config_.world.domain_count);

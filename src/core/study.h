@@ -18,6 +18,7 @@
 #include "analysis/widearea.h"
 #include "analysis/zones.h"
 #include "internet/traceroute.h"
+#include "netio/loopback.h"
 #include "snap/store.h"
 #include "snap/supervisor.h"
 #include "synth/traffic.h"
@@ -54,11 +55,19 @@ struct StudyConfig {
   /// Also excluded from the hash — supervision changes how a stage is
   /// driven, never what a completed stage produced.
   snap::SupervisorOptions supervision;
+
+  /// Which wire carries resolver traffic: the in-process simulated
+  /// network or the netio live-socket backend (real localhost UDP).
+  /// nullopt defers to CS_TRANSPORT. Excluded from the config hash — the
+  /// dataset is byte-identical over either backend at the same seed, so
+  /// switching transports must not invalidate snapshots.
+  std::optional<netio::TransportMode> transport;
 };
 
 class Study {
  public:
   explicit Study(StudyConfig config);
+  ~Study();
 
   const StudyConfig& config() const noexcept { return config_; }
   synth::World& world() noexcept { return *world_; }
@@ -125,6 +134,9 @@ class Study {
 
   StudyConfig config_;
   std::unique_ptr<synth::World> world_;
+  /// Live-socket backend (CS_TRANSPORT=socket); declared after world_ so
+  /// it stops before the network it serves is torn down.
+  std::unique_ptr<netio::LoopbackDns> loopback_;
   std::optional<snap::Store> store_;
   snap::Supervisor supervisor_;
   std::deque<snap::StageRun> stage_runs_;

@@ -6,48 +6,98 @@
 
 namespace cs::dns {
 
+/// RAII guard counting in-flight serve() calls (debug builds only), so
+/// the mutators can assert the build-phase / query-phase separation.
+class SimulatedDnsNetwork::ExchangeScope {
+ public:
+  explicit ExchangeScope(const SimulatedDnsNetwork& net) : net_(net) {
+#ifndef NDEBUG
+    net_.active_exchanges_.fetch_add(1, std::memory_order_acq_rel);
+#endif
+  }
+  ~ExchangeScope() {
+#ifndef NDEBUG
+    net_.active_exchanges_.fetch_sub(1, std::memory_order_acq_rel);
+#endif
+  }
+  ExchangeScope(const ExchangeScope&) = delete;
+  ExchangeScope& operator=(const ExchangeScope&) = delete;
+
+ private:
+  [[maybe_unused]] const SimulatedDnsNetwork& net_;
+};
+
+void SimulatedDnsNetwork::assert_quiescent() const {
+#ifndef NDEBUG
+  assert(active_exchanges_.load(std::memory_order_acquire) == 0 &&
+         "SimulatedDnsNetwork mutated while exchanges are in flight; "
+         "attach/set_down/set_observer are build-phase only");
+#endif
+}
+
 void SimulatedDnsNetwork::attach(net::Ipv4 address,
                                  std::shared_ptr<AuthoritativeServer> server) {
-  servers_[address.value()] = Entry{std::move(server), false};
+  assert_quiescent();
+  // try_emplace so Entry (which holds an atomic) never needs to move;
+  // unordered_map nodes are address-stable across rehashes.
+  const auto [it, inserted] = servers_.try_emplace(address.value());
+  it->second.server = std::move(server);
+  it->second.down.store(false, std::memory_order_relaxed);
 }
 
 void SimulatedDnsNetwork::set_down(net::Ipv4 address, bool down) {
   if (const auto it = servers_.find(address.value()); it != servers_.end())
-    it->second.down = down;
+    it->second.down.store(down, std::memory_order_release);
 }
 
-std::optional<std::vector<std::uint8_t>> SimulatedDnsNetwork::exchange(
-    net::Ipv4 client, net::Ipv4 server, std::span<const std::uint8_t> query) {
+void SimulatedDnsNetwork::set_observer(Observer observer) {
+  assert_quiescent();
+  observer_ = std::move(observer);
+}
+
+WireReply SimulatedDnsNetwork::serve(net::Ipv4 client, net::Ipv4 server,
+                                     std::span<const std::uint8_t> query)
+    const {
+  ExchangeScope scope{*this};
   query_count_.fetch_add(1, std::memory_order_relaxed);
   if (observer_) observer_(client, server);
   const auto it = servers_.find(server.value());
-  if (it == servers_.end() || it->second.down) return std::nullopt;
+  if (it == servers_.end() ||
+      it->second.down.load(std::memory_order_acquire))
+    return WireReply{WireVerdict::kUnreachable, {}};
 
   // Fault injection sits on the wire, not in the server: the resolver
   // sees exactly what a lossy network would show it. Decisions key off
   // the exchange itself (client, server, query bytes), so the same study
-  // seed injects the same faults at any CS_THREADS.
+  // seed injects the same faults at any CS_THREADS — and a socket-mode
+  // retransmit of the same query replays the same decision.
   const auto* plan = fault::active_plan();
   std::uint64_t key = 0;
   if (plan) [[unlikely]] {
-    key = fault::exchange_key(client.value(), server.value(), query);
+    // Key past the 2-byte DNS message ID: the socket backend's client
+    // rewrites that field for query-ID multiplexing, and fault decisions
+    // must not depend on which transport carried the bytes.
+    const auto keyed = query.size() >= 2 ? query.subspan(2) : query;
+    key = fault::exchange_key(client.value(), server.value(), keyed);
     if (plan->decide(fault::Kind::kLoss, key)) {
       static auto& losses = obs::counter("fault.dns.loss");
       losses.inc();
-      return std::nullopt;  // query never arrived
+      return WireReply{WireVerdict::kDrop, {}};  // query never arrived
     }
     if (plan->decide(fault::Kind::kTimeout, key)) {
       static auto& timeouts = obs::counter("fault.dns.timeout");
       timeouts.inc();
-      return std::nullopt;  // server reached, answer never came back
+      // Server reached, answer never came back.
+      return WireReply{WireVerdict::kDrop, {}};
     }
     if (plan->decide(fault::Kind::kServFail, key)) {
       static auto& servfails = obs::counter("fault.dns.servfail");
       servfails.inc();
       if (const auto parsed = Message::decode(query))
-        return Message::response_to(*parsed, Rcode::kServFail, false)
-            .encode();
-      return std::nullopt;
+        return WireReply{
+            WireVerdict::kAnswer,
+            Message::response_to(*parsed, Rcode::kServFail, false).encode()};
+      return WireReply{WireVerdict::kDrop, {}};
     }
   }
 
@@ -60,7 +110,14 @@ std::optional<std::vector<std::uint8_t>> SimulatedDnsNetwork::exchange(
     auto rng = plan->stream(fault::Kind::kTruncate, key);
     response.resize(rng.next_below(response.size()));
   }
-  return response;
+  return WireReply{WireVerdict::kAnswer, std::move(response)};
+}
+
+std::optional<std::vector<std::uint8_t>> SimulatedDnsNetwork::exchange(
+    net::Ipv4 client, net::Ipv4 server, std::span<const std::uint8_t> query) {
+  auto reply = serve(client, server, query);
+  if (reply.verdict != WireVerdict::kAnswer) return std::nullopt;
+  return std::move(reply.bytes);
 }
 
 std::shared_ptr<AuthoritativeServer> SimulatedDnsNetwork::server_at(

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,11 +16,12 @@
 /// Transport between resolvers and authoritative servers.
 ///
 /// The resolver only sees wire bytes, so the same resolver code would run
-/// over a real UDP socket; in this repository the transport routes the
-/// bytes to in-process AuthoritativeServer instances. Seeded faults
-/// (cs::fault, CS_FAULT) are injected here on the wire — dropped,
-/// timed-out, truncated, and SERVFAIL'd exchanges — so failure handling
-/// is testable deterministically.
+/// over a real UDP socket; in this repository the bytes either stay
+/// in-process (SimulatedDnsNetwork) or travel real localhost UDP
+/// (netio::SocketDnsTransport / netio::DnsSocketServer, selected with
+/// CS_TRANSPORT=socket). Seeded faults (cs::fault, CS_FAULT) are injected
+/// here on the wire — dropped, timed-out, truncated, and SERVFAIL'd
+/// exchanges — so failure handling is testable deterministically.
 namespace cs::dns {
 
 class DnsTransport {
@@ -33,46 +35,101 @@ class DnsTransport {
       std::span<const std::uint8_t> query) = 0;
 };
 
+/// What the authoritative side of the wire did with one query datagram.
+enum class WireVerdict : std::uint8_t {
+  kAnswer,       ///< `bytes` holds the response datagram
+  kDrop,         ///< injected loss/timeout: the wire stays silent
+  kUnreachable,  ///< no server at that address (or marked down)
+};
+
+struct WireReply {
+  WireVerdict verdict = WireVerdict::kDrop;
+  std::vector<std::uint8_t> bytes;
+};
+
 /// In-process transport mapping server IPs to AuthoritativeServer objects.
 ///
-/// exchange() is safe to call from many resolver threads at once *after*
-/// the topology is built: attach/set_down/set_observer mutate the routing
-/// table and must happen before (or between) parallel query phases, which
-/// is how World uses it — servers attach during world construction, the
-/// dataset builder fans out afterwards.
+/// ## Concurrency contract
+///
+/// The routing table is built single-threaded and then read from many
+/// threads at once: resolver threads during parallel dataset phases, and
+/// netio reactor threads when the socket backend fronts this table.
+/// `serve()`/`exchange()`/`server_count()`/`server_at()` are safe to call
+/// concurrently with each other. The mutators — `attach`, `set_down`,
+/// `set_observer` — are NOT safe concurrently with reads: they must run
+/// before (or between) query phases, which is how World uses them
+/// (servers attach during world construction, fault phases flip `set_down`
+/// between builder passes). Debug builds enforce the phasing with an
+/// active-exchange assertion; release builds rely on the contract.
+///
+/// The one sanctioned mid-phase mutation is the `down` flag itself, which
+/// is atomic so a supervisor thread may flip reachability while queries
+/// are in flight without a data race (each in-flight exchange then sees
+/// either verdict, exactly like a real outage edge).
 class SimulatedDnsNetwork final : public DnsTransport {
  public:
   /// Registers a server reachable at `address`. One server object may be
   /// registered at several addresses (anycast/fleet behaviour).
+  /// Build-phase only — see the concurrency contract above.
   void attach(net::Ipv4 address, std::shared_ptr<AuthoritativeServer> server);
 
   /// Marks an address unreachable (queries time out) / reachable again.
+  /// Build-phase only; the flag itself is atomic (see contract above).
   void set_down(net::Ipv4 address, bool down);
 
   /// Optional hook observing every exchanged query (for stats and tests).
+  /// Build-phase only to install; the hook itself runs on whichever
+  /// thread serves the query and must be thread-safe.
   using Observer = std::function<void(net::Ipv4 client, net::Ipv4 server)>;
-  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  void set_observer(Observer observer);
+
+  /// Serves one query datagram exactly as the authoritative side of the
+  /// wire would: routing, seeded fault injection, and zone answering in
+  /// one pure-given-the-seed step. Both backends answer through here —
+  /// exchange() below for the in-process wire, netio::DnsSocketServer for
+  /// the UDP one — which is what keeps a socket run byte-identical to a
+  /// sim run at the same seed (a retransmitted query re-enters with the
+  /// same bytes, so every fault decision replays identically).
+  /// Thread-safe after the build phase.
+  WireReply serve(net::Ipv4 client, net::Ipv4 server,
+                  std::span<const std::uint8_t> query) const;
 
   std::optional<std::vector<std::uint8_t>> exchange(
       net::Ipv4 client, net::Ipv4 server,
       std::span<const std::uint8_t> query) override;
 
+  /// Queries served (every attempt counts, including retransmits reaching
+  /// the socket backend). Thread-safe.
   std::uint64_t query_count() const noexcept {
     return query_count_.load(std::memory_order_relaxed);
   }
+
+  /// Size of the routing table. Safe concurrently with serve()/exchange()
+  /// (the table is read-only then); not with attach().
   std::size_t server_count() const noexcept { return servers_.size(); }
 
-  /// Finds the server object registered at an address, if any.
+  /// Finds the server object registered at an address, if any. Same
+  /// concurrency contract as server_count().
   std::shared_ptr<AuthoritativeServer> server_at(net::Ipv4 address) const;
 
  private:
+  /// Map values hold an atomic, so entries are built in place via
+  /// try_emplace (node stability makes that sufficient — no moves).
   struct Entry {
     std::shared_ptr<AuthoritativeServer> server;
-    bool down = false;
+    std::atomic<bool> down{false};
   };
+
+  /// Debug-mode phasing check: mutators assert no serve() is in flight.
+  class ExchangeScope;
+  void assert_quiescent() const;
+
   std::unordered_map<std::uint32_t, Entry> servers_;
   Observer observer_;
-  std::atomic<std::uint64_t> query_count_{0};
+  mutable std::atomic<std::uint64_t> query_count_{0};
+#ifndef NDEBUG
+  mutable std::atomic<int> active_exchanges_{0};
+#endif
 };
 
 }  // namespace cs::dns

@@ -1,0 +1,81 @@
+#include "netio/loopback.h"
+
+#include "obs/log.h"
+#include "util/env.h"
+
+namespace cs::netio {
+namespace {
+
+/// Strict unsigned knob with a floor of 1; malformed or zero values warn
+/// once through the uniform util::env message and keep `fallback`.
+unsigned env_unsigned_knob(const char* name, unsigned fallback,
+                           const char* expected) {
+  const auto text = util::env_text(name);
+  if (!text) return fallback;
+  const auto parsed = util::parse_env_unsigned(*text);
+  if (!parsed || *parsed == 0) {
+    obs::log_warn("netio", "{}", util::env_malformed(name, *text, expected));
+    return fallback;
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+TransportMode transport_mode_from_env() {
+  const auto text = util::env_text("CS_TRANSPORT");
+  if (!text || *text == "sim") return TransportMode::kSim;
+  if (*text == "socket") return TransportMode::kSocket;
+  obs::log_warn("netio", "{}",
+                util::env_malformed("CS_TRANSPORT", *text, "sim|socket"));
+  return TransportMode::kSim;
+}
+
+LoopbackDns::Options LoopbackDns::options_from_env() {
+  Options options;
+  options.server_threads =
+      env_unsigned_knob("CS_NETIO_THREADS", options.server_threads,
+                        "reactor thread count >= 1");
+  options.max_in_flight =
+      env_unsigned_knob("CS_NETIO_INFLIGHT", options.max_in_flight,
+                        "in-flight query cap >= 1");
+  return options;
+}
+
+LoopbackDns::LoopbackDns(const dns::SimulatedDnsNetwork& network,
+                         Options options)
+    : options_(options),
+      server_(network, DnsSocketServer::Options{
+                           options.server_threads ? options.server_threads
+                                                  : 1}) {}
+
+LoopbackDns::~LoopbackDns() { stop(); }
+
+bool LoopbackDns::start() {
+  if (running()) return true;
+  if (!server_.start()) return false;
+  SocketDnsTransport::Options client;
+  client.server_port = server_.port();
+  client.max_in_flight = options_.max_in_flight;
+  client.client_sockets = options_.client_sockets
+                              ? options_.client_sockets
+                              : server_.thread_count();
+  client.rto_us = options_.rto_us;
+  client.max_attempts = options_.max_attempts;
+  transport_ = std::make_unique<SocketDnsTransport>(client);
+  if (!transport_->start()) {
+    transport_.reset();
+    server_.stop();
+    return false;
+  }
+  return true;
+}
+
+void LoopbackDns::stop() {
+  // Client first so no exchange is waiting when the listeners go away.
+  if (transport_) transport_->stop();
+  transport_.reset();
+  server_.stop();
+}
+
+}  // namespace cs::netio

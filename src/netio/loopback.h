@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dns/transport.h"
+#include "netio/server.h"
+#include "netio/transport.h"
+
+/// One-call harness pairing a DnsSocketServer with its client transport,
+/// plus the CS_* knobs that select and size the live-socket backend:
+///
+///   CS_TRANSPORT      sim (default) | socket
+///   CS_NETIO_THREADS  server reactor threads (default 2)
+///   CS_NETIO_INFLIGHT client in-flight cap (default 256)
+///
+/// core::Study consults transport_mode_from_env() and, in socket mode,
+/// stands up a LoopbackDns over the world's SimulatedDnsNetwork and
+/// points every resolver at it — the enumerator, resolver, and dataset
+/// builder run unchanged over real localhost UDP.
+namespace cs::netio {
+
+enum class TransportMode { kSim, kSocket };
+
+/// CS_TRANSPORT, strictly parsed: unset/empty or "sim" -> kSim, "socket"
+/// -> kSocket, anything else warns (the uniform util::env message) and
+/// falls back to kSim.
+TransportMode transport_mode_from_env();
+
+class LoopbackDns {
+ public:
+  struct Options {
+    unsigned server_threads = 2;   ///< CS_NETIO_THREADS
+    unsigned max_in_flight = 256;  ///< CS_NETIO_INFLIGHT
+    unsigned client_sockets = 0;   ///< 0 = match server_threads
+    std::uint64_t rto_us = 100'000;
+    unsigned max_attempts = 3;
+  };
+
+  /// Options with CS_NETIO_THREADS / CS_NETIO_INFLIGHT applied (strict
+  /// parses; malformed values warn and keep the defaults).
+  static Options options_from_env();
+
+  /// `network` must outlive this harness; its routing table must be fully
+  /// built before start().
+  explicit LoopbackDns(const dns::SimulatedDnsNetwork& network,
+                       Options options);
+  ~LoopbackDns();
+
+  /// Brings up server then client; false (logged) leaves both stopped so
+  /// the caller can fall back to the in-process transport.
+  bool start();
+  void stop();
+
+  bool running() const noexcept { return transport_ && transport_->running(); }
+
+  /// The DnsTransport resolvers should use; valid while running().
+  SocketDnsTransport& transport() noexcept { return *transport_; }
+  DnsSocketServer& server() noexcept { return server_; }
+
+ private:
+  Options options_;
+  DnsSocketServer server_;
+  /// Built in start(), once the server's bound port is known.
+  std::unique_ptr<SocketDnsTransport> transport_;
+};
+
+}  // namespace cs::netio

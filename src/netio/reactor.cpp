@@ -1,0 +1,147 @@
+#include "netio/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace cs::netio {
+namespace {
+
+/// Idle sleep cap: with no timers pending the loop still wakes at this
+/// cadence to re-check the stop flag (stop() also wakes it eagerly).
+constexpr int kIdleSleepMs = 200;
+
+}  // namespace
+
+std::uint64_t Reactor::now_us() noexcept {
+  // src/netio/reactor is D1-sanctioned: the event loop's time base is the
+  // raw monotonic clock, read without the obs indirection because this is
+  // the innermost wait loop. Transport timing never shapes artifacts.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Reactor::Reactor(std::string thread_name)
+    : thread_name_(std::move(thread_name)) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = ~0u;  // sentinel: the wake fd
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+Reactor::~Reactor() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool Reactor::add_fd(int fd, std::function<void()> on_readable) {
+  if (epoll_fd_ < 0 || running()) return false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = static_cast<std::uint32_t>(fds_.size());
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  fds_.emplace_back(fd, std::move(on_readable));
+  return true;
+}
+
+TimerWheel::Token Reactor::run_after(std::uint64_t delay_us,
+                                     std::function<void()> fn) {
+  const std::uint64_t deadline = now_us() + delay_us;
+  TimerWheel::Token token;
+  {
+    std::lock_guard lock{wheel_mutex_};
+    token = wheel_.schedule(deadline, std::move(fn));
+  }
+  const std::uint64_t sleeping_until =
+      sleep_until_us_.load(std::memory_order_acquire);
+  if (sleeping_until == 0 || deadline < sleeping_until) wake();
+  return token;
+}
+
+bool Reactor::cancel_timer(TimerWheel::Token token) {
+  std::lock_guard lock{wheel_mutex_};
+  return wheel_.cancel(token);
+}
+
+void Reactor::start() {
+  if (running()) return;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Reactor::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Reactor::wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::loop() {
+  obs::Tracer::instance().set_thread_name(thread_name_);
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    // Sleep until the earliest timer (capped) or a readable fd/wakeup.
+    int timeout_ms = kIdleSleepMs;
+    {
+      std::lock_guard lock{wheel_mutex_};
+      if (const auto deadline = wheel_.next_deadline()) {
+        const std::uint64_t now = now_us();
+        timeout_ms = *deadline <= now
+                         ? 0
+                         : static_cast<int>(
+                               std::min<std::uint64_t>(
+                                   (*deadline - now + 999) / 1000,
+                                   kIdleSleepMs));
+        sleep_until_us_.store(*deadline, std::memory_order_release);
+      } else {
+        sleep_until_us_.store(0, std::memory_order_release);
+      }
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    sleep_until_us_.store(0, std::memory_order_release);
+    if (n < 0 && errno != EINTR) {
+      obs::log_error("netio.reactor", "epoll_wait failed on {}: errno {}",
+                     thread_name_, errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t idx = events[i].data.u32;
+      if (idx == ~0u) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (idx < fds_.size()) fds_[idx].second();
+    }
+    std::vector<std::function<void()>> fired;
+    {
+      std::lock_guard lock{wheel_mutex_};
+      fired = wheel_.advance(now_us());
+    }
+    for (auto& fn : fired) fn();
+  }
+}
+
+}  // namespace cs::netio

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dns/transport.h"
+#include "netio/reactor.h"
+#include "netio/socket.h"
+
+/// Authoritative DNS over real localhost UDP.
+///
+/// DnsSocketServer fronts a fully built SimulatedDnsNetwork routing table
+/// with live sockets: one UDP port, N SO_REUSEPORT listeners, each owned
+/// by its own epoll reactor thread. Every datagram is a netio frame
+/// (wire.h) whose header names the simulated client and server addresses;
+/// the worker answers from the shared read-only zone data via
+/// SimulatedDnsNetwork::serve(), so the answer bytes — and every seeded
+/// fault decision — are identical to what the in-process backend would
+/// have produced. Injected loss/timeout is served as genuine silence
+/// (the client really retransmits); a down or unknown server address is
+/// answered with a kUnreachable control frame so the client can fail the
+/// exchange fast instead of waiting out its retransmit schedule.
+namespace cs::netio {
+
+class DnsSocketServer {
+ public:
+  struct Options {
+    unsigned threads = 2;  ///< reactor workers (CS_NETIO_THREADS)
+  };
+
+  /// `network` must outlive the server and stay quiescent (no attach /
+  /// set_observer) while the server runs; see the concurrency contract in
+  /// dns/transport.h.
+  explicit DnsSocketServer(const dns::SimulatedDnsNetwork& network);
+  DnsSocketServer(const dns::SimulatedDnsNetwork& network, Options options);
+  ~DnsSocketServer();
+
+  DnsSocketServer(const DnsSocketServer&) = delete;
+  DnsSocketServer& operator=(const DnsSocketServer&) = delete;
+
+  /// Binds the listeners and starts the reactor threads; false (with the
+  /// reason logged) when the sockets cannot be set up.
+  bool start();
+
+  /// Stops and joins every worker. Safe to call repeatedly.
+  void stop();
+
+  /// The bound localhost UDP port (0 until start() succeeds).
+  std::uint16_t port() const noexcept { return port_; }
+
+  unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  struct Worker {
+    UdpSocket socket;
+    std::unique_ptr<Reactor> reactor;
+  };
+
+  void drain(Worker& worker);
+
+  const dns::SimulatedDnsNetwork& network_;
+  Options options_;
+  std::vector<Worker> workers_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace cs::netio

@@ -1,0 +1,63 @@
+#include "netio/timer_wheel.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cs::netio {
+
+TimerWheel::TimerWheel(std::uint64_t tick_us, std::size_t slots)
+    : tick_us_(tick_us ? tick_us : 1), slots_(slots ? slots : 1) {}
+
+TimerWheel::Token TimerWheel::schedule(std::uint64_t deadline_us,
+                                       std::function<void()> fn) {
+  const Token token = next_token_++;
+  // Park already-due timers in the current tick's slot so the next
+  // advance() sweep finds them; their true slot may be behind the cursor.
+  slots_[slot_of(std::max(deadline_us, last_advance_us_))].push_back(token);
+  timers_.emplace(token, Timer{deadline_us, token, std::move(fn)});
+  return token;
+}
+
+bool TimerWheel::cancel(Token token) { return timers_.erase(token) > 0; }
+
+std::optional<std::uint64_t> TimerWheel::next_deadline() const {
+  std::optional<std::uint64_t> earliest;
+  for (const auto& [token, timer] : timers_)
+    if (!earliest || timer.deadline_us < *earliest)
+      earliest = timer.deadline_us;
+  return earliest;
+}
+
+std::vector<std::function<void()>> TimerWheel::advance(std::uint64_t now_us) {
+  std::vector<Timer> due;
+  if (!timers_.empty()) {
+    // Sweep each slot between the last advance and now once; when the
+    // elapsed span laps the wheel, one full revolution covers everything.
+    const std::uint64_t first_tick = last_advance_us_ / tick_us_;
+    const std::uint64_t last_tick = now_us / tick_us_;
+    const std::uint64_t span =
+        std::min<std::uint64_t>(last_tick - first_tick, slots_.size() - 1);
+    for (std::uint64_t t = last_tick - span; t <= last_tick; ++t) {
+      auto& slot = slots_[static_cast<std::size_t>(t % slots_.size())];
+      std::erase_if(slot, [&](Token token) {
+        const auto it = timers_.find(token);
+        if (it == timers_.end()) return true;  // cancelled: drop the stub
+        if (it->second.deadline_us > now_us) return false;  // future lap
+        due.push_back(std::move(it->second));
+        timers_.erase(it);
+        return true;
+      });
+    }
+  }
+  last_advance_us_ = std::max(last_advance_us_, now_us);
+  std::sort(due.begin(), due.end(), [](const Timer& a, const Timer& b) {
+    return std::tie(a.deadline_us, a.sequence) <
+           std::tie(b.deadline_us, b.sequence);
+  });
+  std::vector<std::function<void()>> fired;
+  fired.reserve(due.size());
+  for (auto& timer : due) fired.push_back(std::move(timer.fn));
+  return fired;
+}
+
+}  // namespace cs::netio

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+/// Hashed timing wheel for the reactor's retransmit/expiry timers.
+///
+/// The client transport schedules one timer per in-flight query and
+/// cancels it when the response lands — the overwhelmingly common case —
+/// so the structure is optimized for cheap schedule/cancel: O(1) insert
+/// into a hashed slot, O(1) cancel by erasing the owning map entry (the
+/// slot keeps a stale token that the sweep skips). Time is an opaque
+/// microsecond counter supplied by the caller on every advance(), so the
+/// wheel itself never reads a clock and is unit-testable with a scripted
+/// timeline.
+namespace cs::netio {
+
+class TimerWheel {
+ public:
+  using Token = std::uint64_t;
+
+  /// `tick_us` is the wheel granularity (timers fire up to one tick
+  /// late); `slots` the wheel circumference. Deadlines further out than
+  /// slots*tick_us are parked in their hash slot and re-checked each
+  /// revolution — correct, just swept more than once.
+  explicit TimerWheel(std::uint64_t tick_us = 1000, std::size_t slots = 256);
+
+  /// Schedules `fn` for `deadline_us`; past deadlines fire on the next
+  /// advance. Tokens are never reused.
+  Token schedule(std::uint64_t deadline_us, std::function<void()> fn);
+
+  /// True if the timer was still pending (its callback will not run).
+  bool cancel(Token token);
+
+  /// Earliest pending deadline — the reactor's epoll sleep bound.
+  /// O(active); the active set is bounded by the in-flight cap.
+  std::optional<std::uint64_t> next_deadline() const;
+
+  /// Collects every timer due at `now_us`, in deadline order (ties by
+  /// schedule order). Callbacks are returned, not run: the reactor drops
+  /// its lock first, so a callback may schedule/cancel freely.
+  std::vector<std::function<void()>> advance(std::uint64_t now_us);
+
+  std::size_t active() const noexcept { return timers_.size(); }
+
+ private:
+  struct Timer {
+    std::uint64_t deadline_us = 0;
+    std::uint64_t sequence = 0;
+    std::function<void()> fn;
+  };
+
+  std::size_t slot_of(std::uint64_t deadline_us) const noexcept {
+    return static_cast<std::size_t>(deadline_us / tick_us_) % slots_.size();
+  }
+
+  std::uint64_t tick_us_;
+  std::vector<std::vector<Token>> slots_;
+  std::unordered_map<Token, Timer> timers_;
+  Token next_token_ = 1;
+  std::uint64_t last_advance_us_ = 0;
+};
+
+}  // namespace cs::netio

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/transport.h"
+#include "netio/reactor.h"
+#include "netio/socket.h"
+
+/// The client half of the live-socket DNS backend.
+///
+/// SocketDnsTransport is a dns::DnsTransport whose exchange() really puts
+/// the query on a localhost UDP socket and blocks the calling resolver
+/// thread until the response datagram comes back (or the retransmit
+/// schedule expires). Many resolver threads share one transport, so the
+/// wire is pipelined: each exchange claims a 16-bit mux ID from a FIFO
+/// free-list, rewrites the DNS header ID to it on the way out, and a
+/// single client reactor demultiplexes responses back to the blocked
+/// callers by that ID, restoring the resolver's original ID before
+/// returning the bytes. The FIFO free-list keeps a just-released ID cold
+/// for as long as possible, so a straggler response for a completed
+/// exchange almost always finds its slot empty (and is counted, not
+/// misdelivered — the slot also pins the expected server address).
+///
+/// Lost datagrams — injected faults served as silence, or genuine kernel
+/// buffer drops under load — are recovered by a per-exchange retransmit
+/// timer on the reactor's hashed timing wheel: same bytes, same mux ID,
+/// up to max_attempts sends rto_us apart, then the exchange expires as
+/// nullopt exactly like the in-process backend's timeout. A kUnreachable
+/// control frame from the server settles the exchange immediately.
+///
+/// Backpressure: at most max_in_flight exchanges may hold the wire; the
+/// next caller blocks until a slot frees, bounding socket-buffer pressure
+/// no matter how many resolver threads pile on.
+namespace cs::netio {
+
+class SocketDnsTransport final : public dns::DnsTransport {
+ public:
+  struct Options {
+    std::uint16_t server_port = 0;    ///< DnsSocketServer::port()
+    unsigned max_in_flight = 256;     ///< CS_NETIO_INFLIGHT
+    unsigned client_sockets = 2;      ///< spread over SO_REUSEPORT workers
+    std::uint64_t rto_us = 100'000;   ///< retransmit timeout per attempt
+    unsigned max_attempts = 3;        ///< sends before the exchange expires
+  };
+
+  explicit SocketDnsTransport(Options options);
+  ~SocketDnsTransport() override;
+
+  SocketDnsTransport(const SocketDnsTransport&) = delete;
+  SocketDnsTransport& operator=(const SocketDnsTransport&) = delete;
+
+  /// Opens the client sockets and starts the reactor; false (logged) when
+  /// socket setup fails.
+  bool start();
+
+  /// Fails every still-blocked exchange and joins the reactor.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+
+  /// Blocking send-and-wait; thread-safe, pipelined across callers.
+  std::optional<std::vector<std::uint8_t>> exchange(
+      net::Ipv4 client, net::Ipv4 server,
+      std::span<const std::uint8_t> query) override;
+
+ private:
+  struct Pending {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<std::vector<std::uint8_t>> result;
+
+    net::Ipv4 server;                  ///< expected responder
+    std::uint16_t original_id = 0;     ///< resolver's DNS header ID
+    std::vector<std::uint8_t> datagram;  ///< framed query, mux ID applied
+    std::size_t socket_index = 0;
+    unsigned attempts = 0;
+    TimerWheel::Token timer = 0;
+    std::uint64_t sent_us = 0;  ///< first send, for the latency histogram
+  };
+
+  void drain(std::size_t socket_index);
+  void on_frame(std::span<const std::uint8_t> datagram);
+  void on_retransmit_deadline(std::uint16_t mux_id);
+  /// Completes and unblocks one exchange; caller holds mutex_.
+  void settle_locked(std::uint16_t mux_id,
+                     std::optional<std::vector<std::uint8_t>> result);
+
+  Options options_;
+  Reactor reactor_{"netio-client"};
+  std::vector<UdpSocket> sockets_;
+  bool running_ = false;
+
+  std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::deque<std::uint16_t> free_ids_;
+  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> pending_;
+  unsigned in_flight_ = 0;
+};
+
+}  // namespace cs::netio

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+
+/// Datagram framing for the loopback DNS wire.
+///
+/// Real sockets carry loopback addresses, but the synthetic world speaks
+/// the paper's address plan — vantage-point clients querying authoritative
+/// servers at their simulated IPs. A 12-byte frame header carries that
+/// identity alongside every DNS payload:
+///
+///   0      2      3      4        8        12
+///   +------+------+------+--------+--------+----------------+
+///   | "CS" | ver  | kind | client | server | DNS payload... |
+///   +------+------+------+--------+--------+----------------+
+///                          u32 BE   u32 BE
+///
+/// kQuery travels client->server; kResponse carries the authoritative
+/// answer back; kUnreachable is the server's fast-fail for a simulated-
+/// down or unknown server address (the stand-in for an ICMP port
+/// unreachable), its payload echoing the query's 2-byte DNS ID so the
+/// client can settle the right in-flight exchange immediately instead of
+/// waiting out the retransmit schedule.
+namespace cs::netio {
+
+inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+enum class FrameKind : std::uint8_t {
+  kQuery = 0,
+  kResponse = 1,
+  kUnreachable = 2,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kQuery;
+  net::Ipv4 client;
+  net::Ipv4 server;
+  std::span<const std::uint8_t> payload;  ///< view into the datagram
+};
+
+/// Renders header + payload into one datagram buffer.
+std::vector<std::uint8_t> encode_frame(FrameKind kind, net::Ipv4 client,
+                                       net::Ipv4 server,
+                                       std::span<const std::uint8_t> payload);
+
+/// Parses a datagram; nullopt on short input, bad magic, unknown version,
+/// or unknown kind. The payload span aliases `datagram`.
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> datagram);
+
+/// The DNS message ID of a wire-format payload (first two bytes,
+/// big-endian); nullopt when the payload is too short to carry one.
+std::optional<std::uint16_t> dns_id(std::span<const std::uint8_t> payload);
+
+/// Overwrites the DNS message ID in place — the client transport's
+/// query-ID multiplexing rewrites outbound IDs to its own in-flight slot
+/// and restores the resolver's original ID on the way back.
+void rewrite_dns_id(std::span<std::uint8_t> payload, std::uint16_t id);
+
+}  // namespace cs::netio

@@ -1025,7 +1025,9 @@ dns::Resolver World::make_resolver(net::Ipv4 client_address) const {
   dns::Resolver::Options options;
   options.root_servers = root_servers_;
   options.client_address = client_address;
-  return dns::Resolver{network_, options};
+  dns::DnsTransport& transport =
+      transport_override_ ? *transport_override_ : network_;
+  return dns::Resolver{transport, options};
 }
 
 const SubdomainTruth* World::subdomain_truth(const dns::Name& name) const {

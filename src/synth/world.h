@@ -114,6 +114,18 @@ class World {
   /// A resolver wired to this world's DNS (fresh cache each call).
   dns::Resolver make_resolver(net::Ipv4 client_address) const;
 
+  /// Routes every future make_resolver() over `transport` instead of the
+  /// in-process network — the single hook the live-socket backend
+  /// (CS_TRANSPORT=socket) uses to carry resolver traffic over real UDP.
+  /// The pointee must outlive the resolvers; nullptr restores the
+  /// default. Build-phase only (same contract as the network mutators).
+  void set_transport_override(dns::DnsTransport* transport) noexcept {
+    transport_override_ = transport;
+  }
+  dns::DnsTransport* transport_override() const noexcept {
+    return transport_override_;
+  }
+
   /// Ground-truth lookup for scoring: the truth record of a subdomain.
   const SubdomainTruth* subdomain_truth(const dns::Name& name) const;
 
@@ -127,6 +139,7 @@ class World {
   std::unique_ptr<cloud::Provider> ec2_;
   std::unique_ptr<cloud::Provider> azure_;
   mutable dns::SimulatedDnsNetwork network_;
+  dns::DnsTransport* transport_override_ = nullptr;
   std::vector<net::Ipv4> root_servers_;
   std::vector<DomainTruth> domains_;
   std::map<dns::Name, std::pair<std::size_t, std::size_t>,
