@@ -5,6 +5,7 @@
 //
 //   ./examples/paper_reproduction [output_dir] [domain_count]
 //       [--checkpoint <dir>] [--resume] [--halt-after <stage>]
+//       [--max-rss-mb <mb>]
 //
 // --checkpoint <dir>  snapshot each completed stage into <dir>
 // --resume            reuse snapshots from --checkpoint / CS_CHECKPOINT
@@ -13,6 +14,9 @@
 // --halt-after <st>   build through stage <st>, then exit 0 — a
 //                     deterministic stand-in for "the run was killed
 //                     here", used by the crash-resume CI job
+// --max-rss-mb <mb>   exit 3 if peak RSS exceeded <mb> at the end of the
+//                     run — the paper-scale CI job's memory-budget gate
+//                     over the streaming pipeline
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +24,7 @@
 
 #include "core/report.h"
 #include "core/study.h"
+#include "obs/report.h"
 #include "util/env.h"
 #include "util/format.h"
 
@@ -30,9 +35,20 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string halt_after;
   bool resume = false;
+  long long max_rss_mb = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--checkpoint") {
+    if (arg == "--max-rss-mb") {
+      if (i + 1 >= argc) {
+        std::cerr << "--max-rss-mb needs a megabyte count\n";
+        return 2;
+      }
+      max_rss_mb = std::strtoll(argv[++i], nullptr, 10);
+      if (max_rss_mb <= 0) {
+        std::cerr << "--max-rss-mb needs a positive megabyte count\n";
+        return 2;
+      }
+    } else if (arg == "--checkpoint") {
       if (i + 1 >= argc) {
         std::cerr << "--checkpoint needs a directory\n";
         return 2;
@@ -157,5 +173,14 @@ int main(int argc, char** argv) {
   std::cout << util::fmt("\n{} artifacts written. Compare against the "
                          "paper with EXPERIMENTS.md.\n",
                          written);
+
+  const auto usage = obs::resource_usage();
+  std::cout << util::fmt("peak RSS: {} MB\n", usage.peak_rss_kb / 1024);
+  if (max_rss_mb > 0 && usage.peak_rss_kb > max_rss_mb * 1024) {
+    std::cerr << util::fmt(
+        "peak RSS {} MB exceeded the --max-rss-mb budget of {} MB\n",
+        usage.peak_rss_kb / 1024, max_rss_mb);
+    return 3;
+  }
   return 0;
 }

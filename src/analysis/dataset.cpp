@@ -6,13 +6,20 @@
 #include "dns/wordlist.h"
 #include "exec/parallel.h"
 #include "internet/vantage.h"
+#include "obs/log.h"
 #include "obs/trace.h"
+#include "util/env.h"
 
 namespace cs::analysis {
 namespace {
 
 /// The measurement host's resolver address (arbitrary non-cloud space).
 constexpr net::Ipv4 kProbeClient{199, 16, 0, 10};
+
+/// Default domains per chunk when neither the option nor CS_CHUNK_DOMAINS
+/// says otherwise: small enough to bound in-flight probe state at paper
+/// scale, large enough that chunk turnaround doesn't starve the pool.
+constexpr std::size_t kDefaultChunkDomains = 4096;
 
 }  // namespace
 
@@ -23,40 +30,77 @@ DatasetBuilder::DatasetBuilder(const synth::World& world, Options options)
   if (options_.wordlist.empty()) options_.wordlist = dns::default_wordlist();
 }
 
-AlexaDataset DatasetBuilder::build() {
+std::size_t DatasetBuilder::chunk_domains() const {
+  if (options_.chunk_domains != 0) return options_.chunk_domains;
+  if (const auto text = util::env_text("CS_CHUNK_DOMAINS")) {
+    const auto parsed = util::parse_env_unsigned(*text);
+    if (parsed && *parsed > 0) return *parsed;
+    obs::log_warn("analysis", "{}",
+                  util::env_malformed("CS_CHUNK_DOMAINS", *text,
+                                      "a positive integer"));
+  }
+  return kDefaultChunkDomains;
+}
+
+AlexaDataset DatasetBuilder::build() { return build(Resume{}); }
+
+AlexaDataset DatasetBuilder::build(Resume resume) {
   obs::Span span{"analysis.dataset.build"};
   const auto& domains = world_.domains();
+  const std::size_t chunk = std::max<std::size_t>(1, chunk_domains());
 
-  // One task per domain, each with its own resolver + enumerator (resolver
-  // caches are stateful, so tasks cannot share one). The enumerator's
-  // brute force additionally fans out inside the task via the factory; on
-  // a pool worker that nested region runs inline, which is exactly right —
-  // domains are the coarser, better-balanced unit.
   dns::Enumerator::Options enum_options{.wordlist = options_.wordlist,
                                         .attempt_axfr = options_.attempt_axfr,
                                         .resolver_factory = [this] {
                                           return world_.make_resolver(
                                               kProbeClient);
                                         }};
-  auto probes = exec::parallel_map(domains.size(), [&](std::size_t i) {
-    auto resolver = world_.make_resolver(kProbeClient);
-    dns::Enumerator enumerator{resolver, enum_options};
-    return probe_domain(domains[i], resolver, enumerator);
-  });
 
-  // Ordered reduction: domains stay in rank order and subdomain indices
-  // are rebased onto the merged vector, so the result matches what a
-  // sequential pass over `domains` would build.
-  AlexaDataset dataset;
-  dataset.domains.reserve(probes.size());
-  for (auto& probe : probes) {
-    const std::size_t base = dataset.cloud_subdomains.size();
-    for (std::size_t s = 0; s < probe.cloud_subdomains.size(); ++s)
-      probe.domain.cloud_subdomains.push_back(base + s);
-    std::move(probe.cloud_subdomains.begin(), probe.cloud_subdomains.end(),
-              std::back_inserter(dataset.cloud_subdomains));
-    dataset.domains.push_back(std::move(probe.domain));
-    dataset.dns_queries_spent += probe.queries_spent;
+  AlexaDataset dataset = std::move(resume.dataset);
+  std::size_t next = std::min(resume.next_domain, domains.size());
+  dataset.domains.reserve(domains.size());
+
+  // Each partial checkpoint re-encodes everything built so far, so cap
+  // the count (≤ ~8 per build) instead of snapshotting every chunk.
+  const std::size_t checkpoint_every =
+      std::max(chunk, (domains.size() + 7) / 8);
+  std::size_t last_checkpoint = next;
+
+  // One task per domain, each with its own resolver + enumerator (resolver
+  // caches are stateful, so tasks cannot share one). The enumerator's
+  // brute force additionally fans out inside the task via the factory; on
+  // a pool worker that nested region runs inline, which is exactly right —
+  // domains are the coarser, better-balanced unit. Chunking bounds the
+  // probes held in flight; because every domain's probe is independent and
+  // the reduction below merges in rank order, the dataset is identical for
+  // any chunk size, thread count, or resume point.
+  while (next < domains.size()) {
+    const std::size_t end = std::min(domains.size(), next + chunk);
+    auto probes = exec::parallel_map(end - next, [&](std::size_t i) {
+      auto resolver = world_.make_resolver(kProbeClient);
+      dns::Enumerator enumerator{resolver, enum_options};
+      return probe_domain(domains[next + i], resolver, enumerator);
+    });
+
+    // Ordered reduction: domains stay in rank order and subdomain indices
+    // are rebased onto the merged vector, so the result matches what a
+    // sequential pass over `domains` would build.
+    for (auto& probe : probes) {
+      const std::size_t base = dataset.cloud_subdomains.size();
+      for (std::size_t s = 0; s < probe.cloud_subdomains.size(); ++s)
+        probe.domain.cloud_subdomains.push_back(base + s);
+      std::move(probe.cloud_subdomains.begin(), probe.cloud_subdomains.end(),
+                std::back_inserter(dataset.cloud_subdomains));
+      dataset.domains.push_back(std::move(probe.domain));
+      dataset.dns_queries_spent += probe.queries_spent;
+    }
+    next = end;
+
+    if (options_.on_chunk && next < domains.size() &&
+        next - last_checkpoint >= checkpoint_every) {
+      options_.on_chunk(dataset, next);
+      last_checkpoint = next;
+    }
   }
   return dataset;
 }
@@ -95,11 +139,12 @@ DatasetBuilder::DomainProbe DatasetBuilder::probe_domain(
       resolver.set_client_address(vantages[v].address);
       const auto result = resolver.resolve(subdomain, dns::RrType::kA);
       if (!result.ok()) {
-        ++domain_obs.failed_lookups[dns::to_string(result.rcode)];
+        domain_obs.failed_lookups.record(result.rcode);
         continue;
       }
       ++lookups_ok;
-      for (const auto& rr : result.records) obs.records.push_back(rr);
+      if (options_.keep_records)
+        for (const auto& rr : result.records) obs.records.push_back(rr);
       for (const auto addr : result.addresses()) addresses.insert(addr);
       for (const auto& cname : result.cname_chain()) cnames.insert(cname);
       if (v == 0 && result.cname_chain().empty() &&

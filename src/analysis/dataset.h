@@ -1,7 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@ struct SubdomainObservation {
   dns::Name domain;
   std::size_t domain_rank = 0;
   /// Full record chains gathered across vantages (CNAMEs + A records).
+  /// Never consumed by any analysis; retained by default for forensics
+  /// and dropped at paper scale (DatasetBuilder::Options::keep_records).
   std::vector<dns::ResourceRecord> records;
   /// Deduplicated resolved addresses.
   std::vector<net::Ipv4> addresses;
@@ -37,6 +40,75 @@ struct SubdomainObservation {
   std::vector<std::pair<dns::Name, std::vector<net::Ipv4>>> name_servers;
 };
 
+/// Per-domain ledger of failed per-vantage lookups, indexed by rcode.
+///
+/// This replaces a std::map<std::string, std::size_t> keyed by rcode
+/// *name*, which allocated a fresh string (plus a map node) per failure
+/// on the enumeration hot path — at 34M subdomains x 8 vantages that
+/// allocation dominated faulty runs. The ledger is a fixed array with no
+/// allocation at all; iteration order for the report and the snapshot
+/// codec is rcode-name alphabetical, exactly the order the old std::map
+/// produced, so the data-quality report bytes and snapshot bytes are
+/// unchanged (pinned by analysis_dataset_test and snap_codec_test).
+class FailedLookups {
+ public:
+  /// The six RFC 1035 rcodes dns::Rcode models.
+  static constexpr std::size_t kRcodeCount = 6;
+
+  void record(dns::Rcode rcode) noexcept {
+    const auto i = static_cast<std::size_t>(rcode);
+    if (i < kRcodeCount) ++counts_[i];
+  }
+  void set(dns::Rcode rcode, std::uint64_t count) noexcept {
+    const auto i = static_cast<std::size_t>(rcode);
+    if (i < kRcodeCount) counts_[i] = count;
+  }
+  std::uint64_t count(dns::Rcode rcode) const noexcept {
+    const auto i = static_cast<std::size_t>(rcode);
+    return i < kRcodeCount ? counts_[i] : 0;
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto c : counts_) n += c;
+    return n;
+  }
+  bool empty() const noexcept { return total() == 0; }
+  void merge(const FailedLookups& other) noexcept {
+    for (std::size_t i = 0; i < kRcodeCount; ++i) counts_[i] += other.counts_[i];
+  }
+  /// Nonzero entries (the old map's size()).
+  std::size_t distinct() const noexcept {
+    std::size_t n = 0;
+    for (const auto c : counts_) n += c != 0 ? 1 : 0;
+    return n;
+  }
+
+  /// Visits nonzero (rcode, name, count) entries in rcode-name
+  /// alphabetical order — the std::map<string,...> iteration order the
+  /// report and codec byte-compatibility contracts depend on.
+  template <typename Fn>
+  void for_each_named(Fn&& fn) const {
+    for (const auto& [rcode, name] : kAlphabetical) {
+      const auto c = counts_[static_cast<std::size_t>(rcode)];
+      if (c != 0) fn(rcode, name, c);
+    }
+  }
+
+  bool operator==(const FailedLookups&) const = default;
+
+ private:
+  /// (rcode, dns::to_string(rcode)) sorted by the name strings.
+  static constexpr std::array<std::pair<dns::Rcode, const char*>, kRcodeCount>
+      kAlphabetical{{{dns::Rcode::kFormErr, "FORMERR"},
+                     {dns::Rcode::kNoError, "NOERROR"},
+                     {dns::Rcode::kNotImp, "NOTIMP"},
+                     {dns::Rcode::kNxDomain, "NXDOMAIN"},
+                     {dns::Rcode::kRefused, "REFUSED"},
+                     {dns::Rcode::kServFail, "SERVFAIL"}}};
+
+  std::array<std::uint64_t, kRcodeCount> counts_{};
+};
+
 struct DomainObservation {
   dns::Name name;
   std::size_t rank = 0;
@@ -46,10 +118,9 @@ struct DomainObservation {
   std::vector<std::size_t> cloud_subdomains;
   /// Count of discovered subdomains with only non-cloud addresses.
   std::size_t other_only_subdomains = 0;
-  /// Failed per-vantage subdomain lookups, keyed by rcode name
-  /// ("SERVFAIL", "NXDOMAIN", ...) — the data-quality ledger for this
-  /// domain under flaky servers / injected faults.
-  std::map<std::string, std::size_t> failed_lookups;
+  /// Failed per-vantage subdomain lookups by rcode — the data-quality
+  /// ledger for this domain under flaky servers / injected faults.
+  FailedLookups failed_lookups;
   /// Discovered subdomains where every vantage lookup failed. These are
   /// deliberately *not* folded into other_only_subdomains: an unresolved
   /// name is missing data, not evidence of non-cloud hosting.
@@ -69,8 +140,7 @@ struct AlexaDataset {
   }
   std::uint64_t failed_lookup_count() const {
     std::uint64_t n = 0;
-    for (const auto& d : domains)
-      for (const auto& [reason, count] : d.failed_lookups) n += count;
+    for (const auto& d : domains) n += d.failed_lookups.total();
     return n;
   }
   std::size_t unresolved_subdomain_count() const {
@@ -89,15 +159,46 @@ class DatasetBuilder {
     /// paper used 200) and for NS location probing (50).
     std::size_t lookup_vantages = 8;
     bool collect_name_servers = true;
+    /// Retain SubdomainObservation::records. No analysis reads them; at
+    /// paper scale (34M subdomains) they are the dataset's largest
+    /// allocation, so the scale path turns them off. Participates in the
+    /// study config hash (it changes the artifact bytes).
+    bool keep_records = true;
+    /// Domains probed per parallel chunk of the streaming build. 0 defers
+    /// to CS_CHUNK_DOMAINS (default 4096). Chunking never changes the
+    /// artifact — per-domain probes are independent and merge in rank
+    /// order — so this is deliberately absent from the config hash.
+    std::size_t chunk_domains = 0;
+    /// Invoked after chunk boundaries with the dataset built so far and
+    /// the index of the next unprobed domain; core::Study wires this to a
+    /// "dataset.partial" snapshot so a killed paper-scale build resumes
+    /// mid-stage instead of restarting. Null = no partial checkpoints.
+    std::function<void(const AlexaDataset& partial, std::size_t next_domain)>
+        on_chunk;
+  };
+
+  /// A mid-stage resume point: everything built for domains before
+  /// `next_domain`.
+  struct Resume {
+    AlexaDataset dataset;
+    std::size_t next_domain = 0;
   };
 
   DatasetBuilder(const synth::World& world, Options options);
 
-  /// Runs the full §2.1 pipeline over every domain in the world. Domains
-  /// fan out across the exec pool (each probe task owns its resolver);
-  /// results merge in rank order, so the dataset is byte-identical for
-  /// every CS_THREADS value.
+  /// Runs the full §2.1 pipeline over every domain in the world, in
+  /// bounded chunks. Domains fan out across the exec pool (each probe
+  /// task owns its resolver); results merge in rank order, so the dataset
+  /// is byte-identical for every CS_THREADS value, for every chunk size,
+  /// and across a mid-stage crash-resume.
   AlexaDataset build();
+
+  /// Continues a build from a partial checkpoint.
+  AlexaDataset build(Resume resume);
+
+  /// The chunk size build() will use (option, else CS_CHUNK_DOMAINS,
+  /// else the default).
+  std::size_t chunk_domains() const;
 
  private:
   /// Everything one domain's probe produces, merged by build() in order.

@@ -498,14 +498,17 @@ std::string render_data_quality(Study& study) {
   t.caption("Data quality: losses, retries, and unresolved names");
   t.add("DNS queries spent", dataset.dns_queries_spent);
   t.add("DNS lookups failed", dataset.failed_lookup_count());
-  // Aggregate the per-domain failure ledgers by reason.
+  // Aggregate the per-domain failure ledgers by reason. The ledger's
+  // alphabetical-by-name visit order matches the std::map this code used
+  // to build, keeping the report bytes unchanged.
   {
-    std::map<std::string, std::uint64_t> by_reason;
+    analysis::FailedLookups by_reason;
     for (const auto& domain : dataset.domains)
-      for (const auto& [reason, count] : domain.failed_lookups)
-        by_reason[reason] += count;
-    for (const auto& [reason, count] : by_reason)
-      t.add("  failed with " + reason, count);
+      by_reason.merge(domain.failed_lookups);
+    by_reason.for_each_named(
+        [&t](dns::Rcode, const char* reason, std::uint64_t count) {
+          t.add(std::string{"  failed with "} + reason, count);
+        });
   }
   t.add("Unresolved subdomains", dataset.unresolved_subdomain_count());
   t.add("Resolver retries", snapshot.counter("dns.resolver.retries"));

@@ -1,5 +1,6 @@
 #include "core/study.h"
 
+#include "analysis/columns.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -113,6 +114,10 @@ std::uint64_t Study::config_hash() const {
   w.boolean(config_.dataset.attempt_axfr);
   w.u64(config_.dataset.lookup_vantages);
   w.boolean(config_.dataset.collect_name_servers);
+  // keep_records changes the dataset artifact's contents; chunk_domains
+  // and on_chunk deliberately do NOT participate — chunking is
+  // artifact-invariant, so any chunk size may resume any checkpoint.
+  w.boolean(config_.dataset.keep_records);
   w.u64(config_.campaign_vantages);
   w.f64(config_.campaign_days);
   w.u64(config_.isp_vantages);
@@ -168,8 +173,34 @@ const analysis::AlexaDataset& Study::dataset() {
   return stage(
       "dataset", dataset_,
       [&] {
-        analysis::DatasetBuilder builder{*world_, config_.dataset};
-        return builder.build();
+        auto options = config_.dataset;
+        analysis::DatasetBuilder::Resume resume;
+        if (store_) {
+          // Mid-stage checkpoint: a chunked build leaves "dataset.partial"
+          // at chunk boundaries, so a crash inside the (paper-scale: hours
+          // long) dataset stage only loses the current chunk. Resuming
+          // from any chunk size is byte-identical — per-domain probes are
+          // independent and merge in rank order.
+          if (auto partial = store_->template load<analysis::PartialDataset>(
+                  "dataset.partial")) {
+            resume.next_domain =
+                static_cast<std::size_t>(partial->next_domain);
+            resume.dataset = partial->columns.to_dataset();
+          }
+          options.on_chunk = [this](const analysis::AlexaDataset& so_far,
+                                    std::size_t next_domain) {
+            analysis::PartialDataset partial;
+            partial.columns = analysis::DatasetColumns::from_dataset(so_far);
+            partial.next_domain = next_domain;
+            store_->save("dataset.partial", partial);
+          };
+        }
+        analysis::DatasetBuilder builder{*world_, options};
+        auto built = builder.build(std::move(resume));
+        // The full "dataset" snapshot saved by stage() supersedes any
+        // partial; retire it so a config change can't leave one around.
+        if (store_) store_->remove("dataset.partial");
+        return built;
       },
       [] {});
 }
@@ -208,9 +239,16 @@ const proto::TraceLogs& Study::capture_logs() {
   return stage(
       "capture_logs", capture_logs_,
       [&] {
+        // Streamed: each traffic unit feeds the flow assembler and is
+        // freed before the next one is generated, so the capture never
+        // materializes. Byte-identical to analyze_flows(assemble_flows(
+        // generator.generate())) — units are tuple-disjoint and the
+        // assembler imposes a batching-independent total order.
         synth::TrafficGenerator generator{*world_, config_.traffic};
-        const auto packets = generator.generate();
-        return proto::analyze_flows(pcap::assemble_flows(packets));
+        pcap::FlowAssembler assembler;
+        generator.generate_units(
+            [&](std::vector<pcap::Packet>&& unit) { assembler.feed(unit); });
+        return proto::analyze_flows(assembler.finish());
       },
       [&] {
         // The generator's constructor launches the heavy-hitter tenants;

@@ -101,16 +101,22 @@ EnumerationResult Enumerator::enumerate(const Name& domain) {
         brute_misses.inc(chunk.misses);
       }
     } else {
+      // Aggregated like the parallel path: one counter delta per domain,
+      // not one shared atomic bump per wordlist probe.
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
       for (const auto& word : words) {
         const auto candidate = domain.child(word);
         if (!candidate) continue;
         if (name_exists(resolver_.resolve(*candidate, RrType::kA))) {
           found.insert(*candidate);
-          brute_hits.inc();
+          ++hits;
         } else {
-          brute_misses.inc();
+          ++misses;
         }
       }
+      brute_hits.inc(hits);
+      brute_misses.inc(misses);
     }
   }
 

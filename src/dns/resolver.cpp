@@ -25,6 +25,66 @@ std::vector<Name> ResolveResult::cname_chain() const {
 Resolver::Resolver(DnsTransport& transport, Options options)
     : transport_(transport), options_(std::move(options)) {}
 
+Resolver::Resolver(const Resolver& other)
+    : transport_(other.transport_),
+      options_(other.options_),
+      cache_(other.cache_),
+      now_(other.now_),
+      next_id_(other.next_id_),
+      cache_hits_(other.cache_hits_),
+      upstream_queries_(other.upstream_queries_),
+      timeouts_(other.timeouts_),
+      retries_(other.retries_),
+      // The copy keeps the tallies for its accessors but must not flush
+      // history the source will already report.
+      reported_cache_hits_(other.cache_hits_),
+      reported_upstream_queries_(other.upstream_queries_),
+      reported_timeouts_(other.timeouts_),
+      reported_retries_(other.retries_) {}
+
+Resolver::Resolver(Resolver&& other) noexcept
+    : transport_(other.transport_),
+      options_(std::move(other.options_)),
+      cache_(std::move(other.cache_)),
+      now_(other.now_),
+      next_id_(other.next_id_),
+      cache_hits_(other.cache_hits_),
+      upstream_queries_(other.upstream_queries_),
+      timeouts_(other.timeouts_),
+      retries_(other.retries_),
+      reported_cache_hits_(other.reported_cache_hits_),
+      reported_upstream_queries_(other.reported_upstream_queries_),
+      reported_timeouts_(other.reported_timeouts_),
+      reported_retries_(other.reported_retries_) {
+  // The unflushed delta now belongs to the destination.
+  other.reported_cache_hits_ = other.cache_hits_;
+  other.reported_upstream_queries_ = other.upstream_queries_;
+  other.reported_timeouts_ = other.timeouts_;
+  other.reported_retries_ = other.retries_;
+}
+
+Resolver::~Resolver() { flush_metrics(); }
+
+void Resolver::flush_metrics() {
+  static auto& upstream_metric =
+      obs::counter("dns.resolver.upstream_queries");
+  static auto& cache_hit_metric = obs::counter("dns.resolver.cache_hits");
+  static auto& retry_metric = obs::counter("dns.resolver.retries");
+  static auto& timeout_metric = obs::counter("dns.resolver.timeouts");
+  if (upstream_queries_ > reported_upstream_queries_)
+    upstream_metric.inc(upstream_queries_ - reported_upstream_queries_);
+  if (cache_hits_ > reported_cache_hits_)
+    cache_hit_metric.inc(cache_hits_ - reported_cache_hits_);
+  if (retries_ > reported_retries_)
+    retry_metric.inc(retries_ - reported_retries_);
+  if (timeouts_ > reported_timeouts_)
+    timeout_metric.inc(timeouts_ - reported_timeouts_);
+  reported_upstream_queries_ = upstream_queries_;
+  reported_cache_hits_ = cache_hits_;
+  reported_retries_ = retries_;
+  reported_timeouts_ = timeouts_;
+}
+
 ResolveResult Resolver::resolve(const Name& name, RrType type) {
   ResolveResult result;
   result.rcode = resolve_step(name, type, result.records, 0);
@@ -36,8 +96,6 @@ std::optional<Message> Resolver::ask(net::Ipv4 server, const Name& name,
   const auto query = Message::query(next_id_++, name, type,
                                     options_.recursion_desired);
   ++upstream_queries_;
-  static auto& upstream_metric = obs::counter("dns.resolver.upstream_queries");
-  upstream_metric.inc();
   const auto wire =
       transport_.exchange(options_.client_address, server, query.encode());
   if (!wire) return std::nullopt;
@@ -72,8 +130,6 @@ const Resolver::CacheEntry* Resolver::cache_get(const Name& name,
     return nullptr;
   }
   ++cache_hits_;
-  static auto& cache_hit_metric = obs::counter("dns.resolver.cache_hits");
-  cache_hit_metric.inc();
   return &it->second;
 }
 
@@ -138,20 +194,14 @@ Rcode Resolver::resolve_step(const Name& name, RrType type,
     // Try servers in order (up to max_server_attempts of them) until one
     // responds — the paper's dig runs tolerated flaky authoritatives the
     // same way.
-    static auto& retry_metric = obs::counter("dns.resolver.retries");
-    static auto& timeout_metric = obs::counter("dns.resolver.timeouts");
     int attempts = 0;
     for (const auto server : servers) {
       if (attempts >= options_.max_server_attempts) break;
-      if (attempts > 0) {
-        ++retries_;
-        retry_metric.inc();
-      }
+      if (attempts > 0) ++retries_;
       ++attempts;
       response = ask(server, name, type);
       if (response) break;
       ++timeouts_;
-      timeout_metric.inc();
     }
     if (!response) return servfail(name, type);
 

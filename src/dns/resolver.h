@@ -58,6 +58,23 @@ class Resolver {
 
   Resolver(DnsTransport& transport, Options options);
 
+  /// Counter discipline: per-query tallies accumulate in plain members
+  /// and reach the shared obs counters as one delta when the resolver
+  /// dies (or on flush_metrics()). A paper-scale enumeration pushes tens
+  /// of millions of queries through short-lived chunk resolvers; one
+  /// shared atomic increment per query measurably dominated that hot
+  /// path. A copy only flushes tallies it accrues after the copy; a
+  /// moved-from resolver flushes nothing.
+  Resolver(const Resolver& other);
+  Resolver(Resolver&& other) noexcept;
+  Resolver& operator=(const Resolver&) = delete;
+  Resolver& operator=(Resolver&&) = delete;
+  ~Resolver();
+
+  /// Pushes not-yet-reported tallies to the obs counters now. Useful for
+  /// long-lived resolvers whose metrics should appear before teardown.
+  void flush_metrics();
+
   /// Resolves (name, type) iteratively from the roots.
   ResolveResult resolve(const Name& name, RrType type);
 
@@ -131,6 +148,11 @@ class Resolver {
   std::uint64_t upstream_queries_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t retries_ = 0;
+  /// Watermarks: the portion of each tally already flushed to obs.
+  std::uint64_t reported_cache_hits_ = 0;
+  std::uint64_t reported_upstream_queries_ = 0;
+  std::uint64_t reported_timeouts_ = 0;
+  std::uint64_t reported_retries_ = 0;
 };
 
 }  // namespace cs::dns

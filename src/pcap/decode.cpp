@@ -1,5 +1,7 @@
 #include "pcap/decode.h"
 
+#include <stdexcept>
+
 #include "net/checksum.h"
 
 namespace cs::pcap {
@@ -39,6 +41,10 @@ void write_u32(std::uint8_t* p, std::uint32_t v) noexcept {
 std::vector<std::uint8_t> build_frame(net::Ipv4 src, net::Ipv4 dst,
                                       std::uint8_t proto,
                                       std::span<const std::uint8_t> segment) {
+  // The IPv4 total-length field is u16; a larger segment used to wrap it
+  // silently and emit a frame decode_frame would reject as short.
+  if (kIpv4MinHeaderLen + segment.size() > 0xFFFF)
+    throw std::length_error{"pcap: transport segment exceeds IPv4 max length"};
   std::vector<std::uint8_t> frame(kEthHeaderLen + kIpv4MinHeaderLen +
                                   segment.size());
   std::uint8_t* eth = frame.data();

@@ -60,6 +60,12 @@ void PcapWriter::close() {
 
 void PcapWriter::write(const Packet& packet) {
   if (!impl_->file) throw std::runtime_error{"PcapWriter: already closed"};
+  // The record header's length fields are u32 and our own reader rejects
+  // anything past the advertised snaplen; writing such a frame would
+  // produce a file we (and tcpdump) refuse to read back, so fail loudly
+  // at the source instead.
+  if (packet.data.size() > kSnapLen)
+    throw std::length_error{"PcapWriter: frame exceeds snaplen"};
   const auto sec = static_cast<std::uint32_t>(packet.timestamp);
   const auto usec = static_cast<std::uint32_t>(
       std::llround((packet.timestamp - sec) * 1e6) % 1000000);

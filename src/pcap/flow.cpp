@@ -116,13 +116,16 @@ constexpr std::size_t kFlowShards = 16;
 
 }  // namespace
 
-std::vector<Flow> assemble_flows(std::span<const Packet> packets,
-                                 FlowTable::Options options,
-                                 std::uint64_t* undecodable) {
-  obs::Span span{"pcap.flow.assemble"};
+FlowAssembler::FlowAssembler(FlowTable::Options options) {
+  tables_.reserve(kFlowShards);
+  for (std::size_t s = 0; s < kFlowShards; ++s) tables_.emplace_back(options);
+}
 
-  // Stage 1: decode every frame in parallel. Decoded payload views point
-  // into the caller's packet buffers, which outlive this function.
+void FlowAssembler::feed(std::span<const Packet> packets) {
+  obs::Span span{"pcap.flow.feed"};
+
+  // Stage 1: decode every frame of the batch in parallel. Decoded payload
+  // views point into the caller's packet buffers, which outlive the call.
   auto decoded = exec::parallel_map(packets.size(), [&](std::size_t i) {
     return decode_frame(packets[i].bytes());
   });
@@ -138,12 +141,15 @@ std::vector<Flow> assemble_flows(std::span<const Packet> packets,
     obs::counter("pcap.decode.bytes").inc(wire_bytes);
     obs::counter("pcap.decode.truncated").inc(dropped);
   }
-  if (undecodable) *undecodable = dropped;
+  undecodable_ += dropped;
+  packets_fed_ += packets.size();
+  bytes_fed_ += wire_bytes;
 
   // Stage 2: partition packet indices by canonical-tuple hash. All of a
-  // flow's packets share a canonical tuple, so they land in one shard and
-  // feed that shard's table in capture order — idle-timeout splits and
-  // initiator orientation come out exactly as with a single table.
+  // flow's packets share a canonical tuple, so across every batch they
+  // land in the same shard and feed that shard's table in capture order —
+  // idle-timeout splits and initiator orientation come out exactly as
+  // with a single table over the whole capture.
   std::vector<std::vector<std::size_t>> shards(kFlowShards);
   const net::FiveTupleHash hasher;
   for (std::size_t i = 0; i < decoded.size(); ++i) {
@@ -151,20 +157,25 @@ std::vector<Flow> assemble_flows(std::span<const Packet> packets,
     shards[hasher(decoded[i]->tuple.canonical()) % kFlowShards].push_back(i);
   }
 
-  // Stage 3: one FlowTable per shard, in parallel.
-  auto shard_flows = exec::parallel_map(
+  // Stage 3: extend the persistent per-shard tables, in parallel.
+  exec::parallel_for(
       kFlowShards,
       [&](std::size_t s) {
-        FlowTable table{options};
         for (const std::size_t i : shards[s])
-          table.add_decoded(*decoded[i], packets[i].timestamp);
-        return table.finish();
+          tables_[s].add_decoded(*decoded[i], packets[i].timestamp);
       },
       /*grain=*/1);
+}
 
-  // Stage 4: merge and impose a total order. first_ts alone (the single
-  // table's sort key) leaves equal-timestamp flows in hash order; the
-  // extra keys make the result independent of the sharding entirely.
+std::vector<Flow> FlowAssembler::finish() {
+  obs::Span span{"pcap.flow.merge"};
+  auto shard_flows = exec::parallel_map(
+      tables_.size(), [&](std::size_t s) { return tables_[s].finish(); },
+      /*grain=*/1);
+
+  // Merge and impose a total order. first_ts alone (the single table's
+  // sort key) leaves equal-timestamp flows in hash order; the extra keys
+  // make the result independent of the sharding entirely.
   std::vector<Flow> flows;
   std::size_t total = 0;
   for (const auto& sf : shard_flows) total += sf.size();
@@ -177,6 +188,16 @@ std::vector<Flow> assemble_flows(std::span<const Packet> packets,
            std::tie(b.first_ts, b.tuple, b.packets, b.bytes);
   });
   return flows;
+}
+
+std::vector<Flow> assemble_flows(std::span<const Packet> packets,
+                                 FlowTable::Options options,
+                                 std::uint64_t* undecodable) {
+  obs::Span span{"pcap.flow.assemble"};
+  FlowAssembler assembler{options};
+  assembler.feed(packets);
+  if (undecodable) *undecodable = assembler.undecodable_packets();
+  return assembler.finish();
 }
 
 }  // namespace cs::pcap

@@ -73,6 +73,42 @@ class FlowTable {
   std::uint64_t undecodable_ = 0;
 };
 
+/// Incremental flow assembly for streaming captures: feed() batches of
+/// packets as the generator produces them, finish() once at the end.
+/// Each batch decodes in parallel over the exec pool and lands in fixed
+/// hash-sharded FlowTables that persist across batches (a canonical
+/// 5-tuple always owns one shard, so every flow still sees its packets
+/// in capture order). Feeding any batch split of a capture produces
+/// byte-identical flows to one assemble_flows() call over the whole
+/// thing — assemble_flows is in fact a single feed — which is what lets
+/// the paper-scale pipeline turn a multi-hundred-GB synthetic trace into
+/// flows without ever materializing it.
+class FlowAssembler {
+ public:
+  explicit FlowAssembler(FlowTable::Options options = {});
+
+  /// Decodes and shards one batch. The packet buffers only need to stay
+  /// alive through the call (payload bytes are copied into open flows).
+  void feed(std::span<const Packet> packets);
+
+  /// Flushes every shard and returns all flows under the same total
+  /// order assemble_flows uses: (first_ts, tuple, packets, bytes), so
+  /// the result is independent of batching, sharding, and CS_THREADS.
+  std::vector<Flow> finish();
+
+  std::uint64_t packets_fed() const noexcept { return packets_fed_; }
+  /// Wire bytes across every batch fed so far (u64: a paper-scale
+  /// capture passes 2^32 bytes within the first endpoint).
+  std::uint64_t bytes_fed() const noexcept { return bytes_fed_; }
+  std::uint64_t undecodable_packets() const noexcept { return undecodable_; }
+
+ private:
+  std::vector<FlowTable> tables_;  ///< one per fixed hash shard
+  std::uint64_t packets_fed_ = 0;
+  std::uint64_t bytes_fed_ = 0;
+  std::uint64_t undecodable_ = 0;
+};
+
 /// Assembles a whole capture into flows in one call, fanning out over the
 /// exec pool: packets decode in parallel, then flows build in hash-sharded
 /// FlowTables (a canonical 5-tuple always lands in one shard, so every
@@ -81,7 +117,8 @@ class FlowTable {
 /// CS_THREADS — and the merged result is sorted by a total order
 /// (first_ts, tuple, packets, bytes), so output is byte-identical at any
 /// thread count. `undecodable`, when non-null, receives the dropped-frame
-/// count a single FlowTable would have reported.
+/// count a single FlowTable would have reported. Implemented as one
+/// FlowAssembler feed, so the streaming and batch paths cannot diverge.
 std::vector<Flow> assemble_flows(std::span<const Packet> packets,
                                  FlowTable::Options options = {},
                                  std::uint64_t* undecodable = nullptr);

@@ -1,5 +1,6 @@
 #include "snap/artifacts.h"
 
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <variant>
@@ -24,15 +25,6 @@ void decode_vec(Reader& r, std::vector<T>& v, Fn&& element) {
   v.reserve(n);
   for (std::size_t i = 0; i < n; ++i) element(r, v.emplace_back());
 }
-
-void encode(Writer& w, double v) { w.f64(v); }
-void decode(Reader& r, double& v) { v = r.f64(); }
-void encode(Writer& w, std::uint64_t v) { w.u64(v); }
-void decode(Reader& r, std::uint64_t& v) { v = r.u64(); }
-void encode(Writer& w, std::uint32_t v) { w.u32(v); }
-void decode(Reader& r, std::uint32_t& v) { v = r.u32(); }
-void encode(Writer& w, const std::string& v) { w.str(v); }
-void decode(Reader& r, std::string& v) { v = r.str(); }
 
 // std::size_t is serialized as u64 (the count field) on every platform.
 void encode_size(Writer& w, std::size_t v) { w.u64(v); }
@@ -205,100 +197,234 @@ void decode(Reader& r, util::Cdf& v) {
   v = util::Cdf{samples};
 }
 
-// --- dataset --------------------------------------------------------------
+// --- dataset (columnar) ---------------------------------------------------
+//
+// The dataset snapshots in its columnar form (analysis::DatasetColumns):
+// every distinct name interned once, fixed-width columns, variable-length
+// attachments flattened into pools behind count+1 offset columns. At
+// paper scale the old row form repeated each domain name per subdomain;
+// the columnar bytes are a fraction of the size and decode validates the
+// whole shape (column lengths, offset monotonicity, name ids, enum
+// ranges) before any row is materialised.
 
-void encode(Writer& w, const analysis::SubdomainObservation& v) {
-  encode(w, v.name);
-  encode(w, v.domain);
-  encode_size(w, v.domain_rank);
-  encode_vec(w, v.records,
+void encode_ids(Writer& w, const std::vector<std::uint32_t>& v) {
+  w.count(v.size());
+  for (const auto id : v) w.u32(id);
+}
+void decode_ids(Reader& r, std::vector<std::uint32_t>& v,
+                const util::StringArena& names) {
+  const auto n = r.count(sizeof(std::uint32_t));
+  v.clear();
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = r.u32();
+    if (id >= names.size())
+      throw SnapshotError{
+          "snapshot dataset column references an unknown interned name"};
+    v.push_back(id);
+  }
+}
+
+void encode_u64s(Writer& w, const std::vector<std::uint64_t>& v) {
+  w.count(v.size());
+  for (const auto x : v) w.u64(x);
+}
+void decode_u64s(Reader& r, std::vector<std::uint64_t>& v) {
+  const auto n = r.count(sizeof(std::uint64_t));
+  v.clear();
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(r.u64());
+}
+
+void encode_u8s(Writer& w, const std::vector<std::uint8_t>& v) {
+  w.count(v.size());
+  for (const auto x : v) w.u8(x);
+}
+void decode_u8s(Reader& r, std::vector<std::uint8_t>& v) {
+  const auto n = r.count(sizeof(std::uint8_t));
+  v.clear();
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(r.u8());
+}
+
+void encode(Writer& w, const util::StringArena& names) {
+  w.count(names.size());
+  for (std::size_t id = 0; id < names.size(); ++id)
+    w.str(names.view(static_cast<std::uint32_t>(id)));
+}
+void decode(Reader& r, util::StringArena& names) {
+  const auto n = r.count();
+  if (n == 0) throw SnapshotError{"snapshot string arena is empty"};
+  names = util::StringArena{};
+  // Re-interning in id order reproduces the ids exactly; a duplicate
+  // string (or a nonempty string at id 0) breaks the id == index
+  // invariant and is rejected as corruption.
+  for (std::size_t id = 0; id < n; ++id)
+    if (names.intern(r.str()) != id)
+      throw SnapshotError{"snapshot string arena is not in first-intern order"};
+}
+
+/// Offset columns hold count+1 monotone offsets covering the whole pool.
+void require_offsets(const std::vector<std::uint64_t>& off, std::size_t rows,
+                     std::size_t pool, const char* what) {
+  bool ok = off.size() == rows + 1 && off.front() == 0 && off.back() == pool;
+  for (std::size_t i = 0; ok && i + 1 < off.size(); ++i)
+    ok = off[i] <= off[i + 1];
+  if (!ok)
+    throw SnapshotError{util::fmt(
+        "snapshot dataset columns have inconsistent {} offsets", what)};
+}
+
+void require_columns(bool ok, const char* what) {
+  if (!ok)
+    throw SnapshotError{
+        util::fmt("snapshot dataset columns are inconsistent: {}", what)};
+}
+
+constexpr std::uint8_t kAllSubdomainFlags =
+    analysis::DatasetColumns::kDirectA | analysis::DatasetColumns::kOtherAddress |
+    analysis::DatasetColumns::kEc2Address |
+    analysis::DatasetColumns::kAzureAddress |
+    analysis::DatasetColumns::kCloudFrontAddress;
+
+void encode(Writer& w, const analysis::DatasetColumns& v) {
+  encode(w, v.names);
+  const auto& sub = v.subdomains;
+  encode_ids(w, sub.name);
+  encode_ids(w, sub.domain);
+  encode_u64s(w, sub.domain_rank);
+  encode_u8s(w, sub.flags);
+  encode_u64s(w, sub.record_off);
+  encode_vec(w, sub.record_pool,
              [](Writer& wr, const dns::ResourceRecord& rr) { encode(wr, rr); });
-  encode_vec(w, v.addresses,
+  encode_u64s(w, sub.address_off);
+  encode_vec(w, sub.address_pool,
              [](Writer& wr, net::Ipv4 a) { encode(wr, a); });
-  encode_vec(w, v.cnames,
-             [](Writer& wr, const dns::Name& n) { encode(wr, n); });
-  w.boolean(v.direct_a_record);
-  w.boolean(v.has_other_address);
-  w.boolean(v.has_ec2_address);
-  w.boolean(v.has_azure_address);
-  w.boolean(v.has_cloudfront_address);
-  w.count(v.name_servers.size());
-  for (const auto& [ns, addrs] : v.name_servers) {
-    encode(w, ns);
-    encode_vec(w, addrs, [](Writer& wr, net::Ipv4 a) { encode(wr, a); });
-  }
+  encode_u64s(w, sub.cname_off);
+  encode_ids(w, sub.cname_pool);
+  encode_u64s(w, sub.ns_off);
+  encode_ids(w, sub.ns_name_pool);
+  encode_u64s(w, sub.ns_addr_off);
+  encode_vec(w, sub.ns_addr_pool,
+             [](Writer& wr, net::Ipv4 a) { encode(wr, a); });
+  const auto& dom = v.domains;
+  encode_ids(w, dom.name);
+  encode_u64s(w, dom.rank);
+  encode_u8s(w, dom.axfr);
+  encode_u64s(w, dom.subdomains_probed);
+  encode_u64s(w, dom.cloud_off);
+  encode_u64s(w, dom.cloud_pool);
+  encode_u64s(w, dom.other_only);
+  encode_u64s(w, dom.unresolved);
+  encode_u64s(w, dom.failed_off);
+  encode_u8s(w, dom.failed_rcode_pool);
+  encode_u64s(w, dom.failed_count_pool);
+  w.u64(v.dns_queries_spent);
 }
-void decode(Reader& r, analysis::SubdomainObservation& v) {
-  decode(r, v.name);
-  decode(r, v.domain);
-  decode_size(r, v.domain_rank);
-  decode_vec(r, v.records,
+void decode(Reader& r, analysis::DatasetColumns& v) {
+  v = analysis::DatasetColumns{};
+  decode(r, v.names);
+  auto& sub = v.subdomains;
+  decode_ids(r, sub.name, v.names);
+  decode_ids(r, sub.domain, v.names);
+  decode_u64s(r, sub.domain_rank);
+  decode_u8s(r, sub.flags);
+  decode_u64s(r, sub.record_off);
+  decode_vec(r, sub.record_pool,
              [](Reader& rd, dns::ResourceRecord& rr) { decode(rd, rr); });
-  decode_vec(r, v.addresses, [](Reader& rd, net::Ipv4& a) { decode(rd, a); });
-  decode_vec(r, v.cnames, [](Reader& rd, dns::Name& n) { decode(rd, n); });
-  v.direct_a_record = r.boolean();
-  v.has_other_address = r.boolean();
-  v.has_ec2_address = r.boolean();
-  v.has_azure_address = r.boolean();
-  v.has_cloudfront_address = r.boolean();
-  const auto ns_count = r.count();
-  v.name_servers.clear();
-  v.name_servers.reserve(ns_count);
-  for (std::size_t i = 0; i < ns_count; ++i) {
-    auto& [ns, addrs] = v.name_servers.emplace_back();
-    decode(r, ns);
-    decode_vec(r, addrs, [](Reader& rd, net::Ipv4& a) { decode(rd, a); });
-  }
-}
+  decode_u64s(r, sub.address_off);
+  decode_vec(r, sub.address_pool,
+             [](Reader& rd, net::Ipv4& a) { decode(rd, a); });
+  decode_u64s(r, sub.cname_off);
+  decode_ids(r, sub.cname_pool, v.names);
+  decode_u64s(r, sub.ns_off);
+  decode_ids(r, sub.ns_name_pool, v.names);
+  decode_u64s(r, sub.ns_addr_off);
+  decode_vec(r, sub.ns_addr_pool,
+             [](Reader& rd, net::Ipv4& a) { decode(rd, a); });
+  auto& dom = v.domains;
+  decode_ids(r, dom.name, v.names);
+  decode_u64s(r, dom.rank);
+  decode_u8s(r, dom.axfr);
+  decode_u64s(r, dom.subdomains_probed);
+  decode_u64s(r, dom.cloud_off);
+  decode_u64s(r, dom.cloud_pool);
+  decode_u64s(r, dom.other_only);
+  decode_u64s(r, dom.unresolved);
+  decode_u64s(r, dom.failed_off);
+  decode_u8s(r, dom.failed_rcode_pool);
+  decode_u64s(r, dom.failed_count_pool);
+  v.dns_queries_spent = r.u64();
 
-void encode(Writer& w, const analysis::DomainObservation& v) {
-  encode(w, v.name);
-  encode_size(w, v.rank);
-  w.boolean(v.axfr_succeeded);
-  encode_size(w, v.subdomains_probed);
-  encode_vec(w, v.cloud_subdomains,
-             [](Writer& wr, std::size_t i) { encode_size(wr, i); });
-  encode_size(w, v.other_only_subdomains);
-  encode_map(w, v.failed_lookups,
-             [](Writer& wr, const std::string& k) { wr.str(k); },
-             [](Writer& wr, std::size_t c) { encode_size(wr, c); });
-  encode_size(w, v.unresolved_subdomains);
-}
-void decode(Reader& r, analysis::DomainObservation& v) {
-  decode(r, v.name);
-  decode_size(r, v.rank);
-  v.axfr_succeeded = r.boolean();
-  decode_size(r, v.subdomains_probed);
-  decode_vec(r, v.cloud_subdomains,
-             [](Reader& rd, std::size_t& i) { decode_size(rd, i); });
-  decode_size(r, v.other_only_subdomains);
-  decode_map(r, v.failed_lookups,
-             [](Reader& rd, std::string& k) { k = rd.str(); },
-             [](Reader& rd, std::size_t& c) { decode_size(rd, c); });
-  decode_size(r, v.unresolved_subdomains);
+  const std::size_t subs = sub.name.size();
+  require_columns(sub.domain.size() == subs && sub.domain_rank.size() == subs &&
+                      sub.flags.size() == subs,
+                  "subdomain column lengths differ");
+  require_offsets(sub.record_off, subs, sub.record_pool.size(), "record");
+  require_offsets(sub.address_off, subs, sub.address_pool.size(), "address");
+  require_offsets(sub.cname_off, subs, sub.cname_pool.size(), "cname");
+  require_offsets(sub.ns_off, subs, sub.ns_name_pool.size(), "name-server");
+  require_offsets(sub.ns_addr_off, sub.ns_name_pool.size(),
+                  sub.ns_addr_pool.size(), "name-server address");
+  for (const auto flags : sub.flags)
+    require_columns((flags & ~kAllSubdomainFlags) == 0,
+                    "unknown subdomain flag bits");
+
+  const std::size_t doms = dom.name.size();
+  require_columns(dom.rank.size() == doms && dom.axfr.size() == doms &&
+                      dom.subdomains_probed.size() == doms &&
+                      dom.other_only.size() == doms &&
+                      dom.unresolved.size() == doms,
+                  "domain column lengths differ");
+  require_offsets(dom.cloud_off, doms, dom.cloud_pool.size(),
+                  "cloud-subdomain");
+  require_offsets(dom.failed_off, doms, dom.failed_count_pool.size(),
+                  "failed-lookup");
+  require_columns(dom.failed_rcode_pool.size() == dom.failed_count_pool.size(),
+                  "failed-lookup pools differ in length");
+  for (const auto flag : dom.axfr)
+    require_columns(flag <= 1, "axfr flag out of range");
+  for (const auto index : dom.cloud_pool)
+    require_columns(index < subs, "cloud subdomain index out of range");
+  for (const auto rcode : dom.failed_rcode_pool)
+    require_columns(rcode < analysis::FailedLookups::kRcodeCount,
+                    "failed-lookup rcode out of range");
 }
 
 }  // namespace
 
 void encode_artifact(Writer& w, const analysis::AlexaDataset& v) {
-  encode_vec(w, v.cloud_subdomains,
-             [](Writer& wr, const analysis::SubdomainObservation& s) {
-               encode(wr, s);
-             });
-  encode_vec(w, v.domains,
-             [](Writer& wr, const analysis::DomainObservation& d) {
-               encode(wr, d);
-             });
-  w.u64(v.dns_queries_spent);
+  encode(w, analysis::DatasetColumns::from_dataset(v));
 }
 void decode_artifact(Reader& r, analysis::AlexaDataset& v) {
-  decode_vec(r, v.cloud_subdomains,
-             [](Reader& rd, analysis::SubdomainObservation& s) {
-               decode(rd, s);
-             });
-  decode_vec(r, v.domains,
-             [](Reader& rd, analysis::DomainObservation& d) { decode(rd, d); });
-  v.dns_queries_spent = r.u64();
+  analysis::DatasetColumns columns;
+  decode(r, columns);
+  try {
+    v = columns.to_dataset();
+  } catch (const std::invalid_argument& e) {
+    throw SnapshotError{
+        util::fmt("snapshot dataset holds an invalid DNS name: {}", e.what())};
+  }
+}
+
+void encode_artifact(Writer& w, const analysis::DatasetColumns& v) {
+  encode(w, v);
+}
+void decode_artifact(Reader& r, analysis::DatasetColumns& v) { decode(r, v); }
+
+void encode_artifact(Writer& w, const analysis::PartialDataset& v) {
+  encode(w, v.columns);
+  w.u64(v.next_domain);
+}
+void decode_artifact(Reader& r, analysis::PartialDataset& v) {
+  decode(r, v.columns);
+  v.next_domain = r.u64();
+  // A partial checkpoint covers exactly the domains before next_domain.
+  if (v.next_domain != v.columns.domain_count())
+    throw SnapshotError{util::fmt(
+        "snapshot partial dataset resume point {} does not match its {} "
+        "probed domains",
+        v.next_domain, v.columns.domain_count())};
 }
 
 // --- cloud usage ----------------------------------------------------------

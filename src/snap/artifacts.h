@@ -2,6 +2,7 @@
 
 #include "analysis/capture.h"
 #include "analysis/cloud_usage.h"
+#include "analysis/columns.h"
 #include "analysis/dataset.h"
 #include "analysis/isp.h"
 #include "analysis/patterns.h"
@@ -23,6 +24,16 @@ namespace cs::snap {
 
 void encode_artifact(Writer& w, const analysis::AlexaDataset& v);
 void decode_artifact(Reader& r, analysis::AlexaDataset& v);
+
+/// The dataset's native snapshot form (see analysis/columns.h); the
+/// AlexaDataset overloads above convert through it, so the two encode to
+/// identical bytes for equal data.
+void encode_artifact(Writer& w, const analysis::DatasetColumns& v);
+void decode_artifact(Reader& r, analysis::DatasetColumns& v);
+
+/// Mid-stage checkpoint of a chunked dataset build ("dataset.partial").
+void encode_artifact(Writer& w, const analysis::PartialDataset& v);
+void decode_artifact(Reader& r, analysis::PartialDataset& v);
 
 void encode_artifact(Writer& w, const analysis::CloudUsageReport& v);
 void decode_artifact(Reader& r, analysis::CloudUsageReport& v);

@@ -25,8 +25,9 @@
 namespace cs::snap {
 
 /// Bump whenever any artifact codec changes shape; a mismatch rejects the
-/// snapshot and forces a rebuild.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// snapshot and forces a rebuild. v2: the dataset artifact moved to its
+/// columnar (interned-name) form.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Raised by the reader/unframer on any malformed snapshot.
 class SnapshotError : public std::runtime_error {

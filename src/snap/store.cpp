@@ -75,6 +75,15 @@ bool Store::save_payload(std::string_view stage,
   return true;
 }
 
+bool Store::remove(std::string_view stage) {
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(path_for(stage), ec);
+  if (ec)
+    obs::log_warn("snap", "cannot remove snapshot for stage '{}': {}", stage,
+                  ec.message());
+  return removed && !ec;
+}
+
 void Store::record(Event::Kind kind, std::string_view stage,
                    std::string detail) {
   if (kind == Event::Kind::kRejected)

@@ -64,6 +64,12 @@ class Store {
     return save_payload(stage, w.bytes());
   }
 
+  /// Deletes `<stage>.snap` if present (used to retire mid-stage partial
+  /// checkpoints once the full stage snapshot lands). Returns true if a
+  /// file was removed. Not an Event: removal is bookkeeping, not a resume
+  /// decision the data-quality report needs to audit.
+  bool remove(std::string_view stage);
+
   const std::filesystem::path& dir() const noexcept { return dir_; }
   std::uint64_t config_hash() const noexcept { return config_hash_; }
   const std::vector<Event>& events() const noexcept { return events_; }

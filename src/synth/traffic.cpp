@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "exec/config.h"
 #include "exec/parallel.h"
 #include "exec/sharded_rng.h"
 #include "obs/log.h"
@@ -200,7 +201,8 @@ void TrafficGenerator::setup_endpoints() {
   (void)named_total;
 }
 
-std::vector<pcap::Packet> TrafficGenerator::generate() {
+std::size_t TrafficGenerator::generate_units(
+    const std::function<void(std::vector<pcap::Packet>&&)>& sink) {
   obs::Span span{"synth.traffic.generate"};
   // Every parallel unit of work (one endpoint's flows, one cloud's
   // non-web flows) draws from its own deterministic RNG stream, so the
@@ -339,49 +341,71 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
     emitted += 54 * 2;
   };
 
+  const auto by_timestamp = [](const pcap::Packet& a, const pcap::Packet& b) {
+    return a.timestamp < b.timestamp;
+  };
+
   // --- Web traffic by byte budget -------------------------------------
   // One task per endpoint: endpoint i draws from RNG stream i and emits
-  // into its own packet vector; results merge in endpoint order below.
+  // into its own packet vector. Endpoints run in windows of a few pool
+  // widths so only a window's packets are ever in memory, but every byte
+  // depends solely on the endpoint's global stream index, and units reach
+  // the sink in endpoint order regardless of the window size.
   struct EndpointTraffic {
     std::vector<pcap::Packet> packets;
     std::size_t flows = 0;
   };
-  auto per_endpoint = exec::parallel_map(
-      endpoints_.size(),
-      [&](std::size_t i) {
-        obs::Span ep_span{"synth.traffic.endpoint"};
-        EndpointTraffic out;
-        util::Rng rng = shards.stream(i);
-        const auto& ep = endpoints_[i];
-        const auto budget = static_cast<std::uint64_t>(
-            byte_shares_[i] * static_cast<double>(config_.total_web_bytes));
-        const bool elephant = byte_shares_[i] > 0.05;
-        std::uint64_t emitted = 0;
-        while (emitted < budget) {
-          const double start =
-              config_.start_time + rng.uniform01() * config_.duration_sec;
-          if (https_[i])
-            emit_https_flow(rng, out.packets, ep, elephant, start, emitted,
-                            budget);
-          else
-            emit_http_flow(rng, out.packets, ep, start, emitted, budget);
-          ++out.flows;
-        }
-        return out;
-      },
-      /*grain=*/1);
-
   std::size_t ec2_web_flows = 0, azure_web_flows = 0;
-  std::vector<pcap::Packet> packets;
-  packets.reserve(1 << 18);
-  for (std::size_t i = 0; i < per_endpoint.size(); ++i) {
-    if (endpoints_[i].provider == ProviderKind::kEc2)
-      ec2_web_flows += per_endpoint[i].flows;
-    else
-      azure_web_flows += per_endpoint[i].flows;
-    packets.insert(packets.end(),
-                   std::make_move_iterator(per_endpoint[i].packets.begin()),
-                   std::make_move_iterator(per_endpoint[i].packets.end()));
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_wire_bytes = 0;
+  auto deliver = [&](std::vector<pcap::Packet>&& unit) {
+    total_packets += unit.size();
+    for (const auto& p : unit) total_wire_bytes += p.data.size();
+    sink(std::move(unit));
+  };
+
+  const std::size_t window =
+      std::max<std::size_t>(2 * exec::thread_count(), 1);
+  for (std::size_t base = 0; base < endpoints_.size(); base += window) {
+    const std::size_t count = std::min(window, endpoints_.size() - base);
+    auto per_endpoint = exec::parallel_map(
+        count,
+        [&](std::size_t offset) {
+          obs::Span ep_span{"synth.traffic.endpoint"};
+          const std::size_t i = base + offset;
+          EndpointTraffic out;
+          util::Rng rng = shards.stream(i);
+          const auto& ep = endpoints_[i];
+          const auto budget = static_cast<std::uint64_t>(
+              byte_shares_[i] * static_cast<double>(config_.total_web_bytes));
+          const bool elephant = byte_shares_[i] > 0.05;
+          std::uint64_t emitted = 0;
+          while (emitted < budget) {
+            const double start =
+                config_.start_time + rng.uniform01() * config_.duration_sec;
+            if (https_[i])
+              emit_https_flow(rng, out.packets, ep, elephant, start, emitted,
+                              budget);
+            else
+              emit_http_flow(rng, out.packets, ep, start, emitted, budget);
+            ++out.flows;
+          }
+          // Sorted inside the task so the per-unit ordering work runs in
+          // parallel. Stable: equal timestamps keep emission order, which
+          // is what lets generate()'s global stable_sort reproduce the
+          // pre-streaming capture byte for byte.
+          std::stable_sort(out.packets.begin(), out.packets.end(),
+                           by_timestamp);
+          return out;
+        },
+        /*grain=*/1);
+    for (std::size_t offset = 0; offset < per_endpoint.size(); ++offset) {
+      if (endpoints_[base + offset].provider == ProviderKind::kEc2)
+        ec2_web_flows += per_endpoint[offset].flows;
+      else
+        azure_web_flows += per_endpoint[offset].flows;
+      deliver(std::move(per_endpoint[offset].packets));
+    }
   }
 
   // --- Non-web flows by count (Table 2 flow mix) -----------------------
@@ -509,23 +533,44 @@ std::vector<pcap::Packet> TrafficGenerator::generate() {
         return out;
       },
       /*grain=*/1);
-  for (auto& chunk : non_web)
-    packets.insert(packets.end(), std::make_move_iterator(chunk.begin()),
-                   std::make_move_iterator(chunk.end()));
 
-  // stable_sort, not sort: equal timestamps keep the fixed merge order
-  // (endpoint order, then non-web), so the capture is independent of the
-  // thread count *and* of the sort implementation's tie-breaking.
+  // Both clouds' non-web flows form ONE unit: their only possible tuple
+  // overlap (the shared fallback DNS server of a world with no dns-vm
+  // instances) must stay inside a single unit so flow assembly sees those
+  // packets in global capture order.
+  std::vector<pcap::Packet> tail;
+  std::size_t tail_count = 0;
+  for (const auto& chunk : non_web) tail_count += chunk.size();
+  tail.reserve(tail_count);
+  for (auto& chunk : non_web)
+    tail.insert(tail.end(), std::make_move_iterator(chunk.begin()),
+                std::make_move_iterator(chunk.end()));
+  std::stable_sort(tail.begin(), tail.end(), by_timestamp);
+  deliver(std::move(tail));
+
+  obs::counter("synth.traffic.packets").inc(total_packets);
+  obs::counter("synth.traffic.bytes").inc(total_wire_bytes);
+  obs::log_debug("synth.traffic", "generated {} packets ({} wire bytes)",
+                 total_packets, total_wire_bytes);
+  return total_packets;
+}
+
+std::vector<pcap::Packet> TrafficGenerator::generate() {
+  std::vector<pcap::Packet> packets;
+  packets.reserve(1 << 18);
+  generate_units([&](std::vector<pcap::Packet>&& unit) {
+    packets.insert(packets.end(), std::make_move_iterator(unit.begin()),
+                   std::make_move_iterator(unit.end()));
+  });
+  // stable_sort, not sort: units arrive individually time-sorted with
+  // emission order preserved at equal timestamps, so the stable global
+  // sort rebuilds exactly the capture the pre-streaming generator
+  // produced — independent of the thread count *and* of the sort
+  // implementation's tie-breaking.
   std::stable_sort(packets.begin(), packets.end(),
                    [](const pcap::Packet& a, const pcap::Packet& b) {
                      return a.timestamp < b.timestamp;
                    });
-  std::uint64_t wire_bytes = 0;
-  for (const auto& p : packets) wire_bytes += p.data.size();
-  obs::counter("synth.traffic.packets").inc(packets.size());
-  obs::counter("synth.traffic.bytes").inc(wire_bytes);
-  obs::log_debug("synth.traffic", "generated {} packets ({} wire bytes)",
-                 packets.size(), wire_bytes);
   return packets;
 }
 

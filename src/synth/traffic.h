@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,19 @@ class TrafficGenerator {
 
   /// Generates the full capture, sorted by timestamp.
   std::vector<pcap::Packet> generate();
+
+  /// Streaming generation for the paper-scale pipeline: delivers the
+  /// capture as a sequence of independently timestamp-sorted units (each
+  /// web endpoint's flows, then both clouds' non-web flows as one final
+  /// unit). Every canonical five-tuple lives inside exactly one unit —
+  /// each endpoint owns a freshly launched server IP, and the non-web
+  /// unit's servers are disjoint from the web ports — so feeding units in
+  /// order to a pcap::FlowAssembler produces byte-identical flows to
+  /// assemble_flows(generate()) while only ever holding a bounded window
+  /// of packets (pinned by synth_traffic_test). Returns the total packet
+  /// count.
+  std::size_t generate_units(
+      const std::function<void(std::vector<pcap::Packet>&&)>& sink);
 
   /// Writes straight to a pcap file.
   void generate_to_file(const std::string& path);

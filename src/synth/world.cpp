@@ -956,11 +956,47 @@ class World::Builder {
   }
 
   void index_subdomains() {
+    auto& index = world_.subdomain_index_;
+    std::size_t total = 0;
+    for (const auto& domain : world_.domains_) total += domain.subdomains.size();
+    index.clear();
+    index.reserve(total);
     for (std::size_t d = 0; d < world_.domains_.size(); ++d) {
       const auto& domain = world_.domains_[d];
       for (std::size_t s = 0; s < domain.subdomains.size(); ++s)
-        world_.subdomain_index_[domain.subdomains[s].name] = {d, s};
+        index.emplace_back(static_cast<std::uint32_t>(d),
+                           static_cast<std::uint32_t>(s));
     }
+    const auto name_of =
+        [this](const std::pair<std::uint32_t, std::uint32_t>& e)
+        -> const dns::Name& {
+      return world_.domains_[e.first].subdomains[e.second].name;
+    };
+    // Stable sort + keep-last dedup reproduces the old map semantics
+    // exactly: if a name was ever inserted twice, the later (d, s) won.
+    std::stable_sort(index.begin(), index.end(),
+                     [&](const auto& a, const auto& b) {
+                       return dns::Name::canonical_less(name_of(a),
+                                                        name_of(b));
+                     });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      const bool last_of_run =
+          i + 1 == index.size() ||
+          dns::Name::canonical_less(name_of(index[i]), name_of(index[i + 1]));
+      if (last_of_run) index[kept++] = index[i];
+    }
+    index.resize(kept);
+
+    auto& by_name = world_.domain_index_;
+    by_name.resize(world_.domains_.size());
+    for (std::size_t d = 0; d < by_name.size(); ++d)
+      by_name[d] = static_cast<std::uint32_t>(d);
+    std::sort(by_name.begin(), by_name.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return dns::Name::canonical_less(world_.domains_[a].name,
+                                                 world_.domains_[b].name);
+              });
   }
 
   World& world_;
@@ -1016,9 +1052,14 @@ World::World(WorldConfig config) : config_(config) {
 const DomainTruth* World::domain(std::string_view name) const {
   const auto parsed = dns::Name::parse(name);
   if (!parsed) return nullptr;
-  for (const auto& d : domains_)
-    if (d.name == *parsed) return &d;
-  return nullptr;
+  const auto it = std::lower_bound(
+      domain_index_.begin(), domain_index_.end(), *parsed,
+      [&](std::uint32_t d, const dns::Name& n) {
+        return dns::Name::canonical_less(domains_[d].name, n);
+      });
+  if (it == domain_index_.end() || !(domains_[*it].name == *parsed))
+    return nullptr;
+  return &domains_[*it];
 }
 
 dns::Resolver World::make_resolver(net::Ipv4 client_address) const {
@@ -1031,9 +1072,16 @@ dns::Resolver World::make_resolver(net::Ipv4 client_address) const {
 }
 
 const SubdomainTruth* World::subdomain_truth(const dns::Name& name) const {
-  const auto it = subdomain_index_.find(name);
+  const auto it = std::lower_bound(
+      subdomain_index_.begin(), subdomain_index_.end(), name,
+      [&](const std::pair<std::uint32_t, std::uint32_t>& e,
+          const dns::Name& n) {
+        return dns::Name::canonical_less(
+            domains_[e.first].subdomains[e.second].name, n);
+      });
   if (it == subdomain_index_.end()) return nullptr;
-  return &domains_[it->second.first].subdomains[it->second.second];
+  const SubdomainTruth& truth = domains_[it->first].subdomains[it->second];
+  return truth.name == name ? &truth : nullptr;
 }
 
 std::vector<const SubdomainTruth*> World::cloud_subdomains() const {

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -142,9 +141,14 @@ class World {
   dns::DnsTransport* transport_override_ = nullptr;
   std::vector<net::Ipv4> root_servers_;
   std::vector<DomainTruth> domains_;
-  std::map<dns::Name, std::pair<std::size_t, std::size_t>,
-           bool (*)(const dns::Name&, const dns::Name&)>
-      subdomain_index_{&dns::Name::canonical_less};
+  /// Flat subdomain index, sorted by the subdomain's canonical name and
+  /// binary-searched by subdomain_truth(). Entries reference names in
+  /// domains_ rather than copying them; at the paper's 34M subdomains a
+  /// node-based map spent more memory on nodes than on the zone data.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> subdomain_index_;
+  /// Domain positions sorted by canonical name, for domain() lookups
+  /// (domains_ itself stays in rank order).
+  std::vector<std::uint32_t> domain_index_;
 };
 
 }  // namespace cs::synth

@@ -1,0 +1,49 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cs::util {
+
+StringArena::StringArena() { intern({}); }
+
+std::uint32_t StringArena::intern(std::string_view text) {
+  if (const auto it = index_.find(text); it != index_.end()) return it->second;
+  if (offsets_.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::length_error{"StringArena: interned string count exceeds u32"};
+  const std::string_view stored = store(text);
+  const auto id = static_cast<std::uint32_t>(offsets_.size());
+  offsets_.push_back(Span{static_cast<std::uint32_t>(blocks_.size() - 1),
+                          static_cast<std::uint32_t>(stored.data() -
+                                                     blocks_.back().data()),
+                          static_cast<std::uint32_t>(stored.size())});
+  index_.emplace(stored, id);
+  payload_bytes_ += stored.size();
+  return id;
+}
+
+std::string_view StringArena::view(std::uint32_t id) const {
+  if (id >= offsets_.size())
+    throw std::out_of_range{"StringArena: unknown string id"};
+  const Span& span = offsets_[id];
+  return {blocks_[span.block].data() + span.offset, span.length};
+}
+
+std::string_view StringArena::store(std::string_view text) {
+  // Oversized strings get a dedicated exact-fit block; everything else
+  // packs into the shared tail block.
+  const std::size_t need = std::max<std::size_t>(text.size(), 1);
+  if (blocks_.empty() || blocks_.back().capacity() - blocks_.back().size() <
+                             text.size()) {
+    std::vector<char> block;
+    block.reserve(std::max(kBlockBytes, need));
+    blocks_.push_back(std::move(block));
+  }
+  auto& block = blocks_.back();
+  const std::size_t at = block.size();
+  block.insert(block.end(), text.begin(), text.end());
+  return {block.data() + at, text.size()};
+}
+
+}  // namespace cs::util

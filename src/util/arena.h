@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// Interned string storage for the paper-scale world.
+///
+/// The measurement's working set is dominated by names: 1M domains and
+/// ~34M brute-forced subdomains, each appearing in the zone trees, the
+/// dataset, and every derived report. Storing each as an owning
+/// std::string repeats the bytes (plus a heap header) at every site;
+/// StringArena stores each distinct string once in large append-only
+/// blocks and hands out dense 32-bit ids, so hot artifacts can hold
+/// columns of u32 instead of vectors of strings.
+///
+/// Ids are assigned in first-intern order, which makes them deterministic
+/// wherever interning happens on an ordered path (a sequential build loop,
+/// or the ordered reduction after a parallel_map) — the contract the
+/// columnar snapshot codecs rely on and util_arena_test pins across
+/// CS_THREADS values. The arena is NOT internally synchronized: intern on
+/// one thread (readers of already-interned ids are safe once interning
+/// stops).
+namespace cs::util {
+
+class StringArena {
+ public:
+  /// Id of the empty string, interned at construction so "no name" is
+  /// always representable.
+  static constexpr std::uint32_t kEmpty = 0;
+
+  StringArena();
+
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+  StringArena(StringArena&&) = default;
+  StringArena& operator=(StringArena&&) = default;
+
+  /// Returns the id of `text`, storing it on first sight. Throws
+  /// std::length_error past 2^32-1 distinct strings (paper scale is ~35M;
+  /// the limit exists so the id type can stay u32).
+  std::uint32_t intern(std::string_view text);
+
+  /// The interned bytes for a previously returned id. The view stays
+  /// valid for the arena's lifetime (blocks are never reallocated).
+  /// Throws std::out_of_range for an id this arena never produced.
+  std::string_view view(std::uint32_t id) const;
+
+  /// Number of distinct interned strings (>= 1: the empty string).
+  std::size_t size() const noexcept { return offsets_.size(); }
+
+  /// Total payload bytes stored (excluding index overhead).
+  std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
+
+ private:
+  struct Span {
+    std::uint32_t block;
+    std::uint32_t offset;
+    std::uint32_t length;
+  };
+
+  /// Block size balances allocation count against worst-case waste when a
+  /// string does not fit the current block's tail.
+  static constexpr std::size_t kBlockBytes = 1u << 20;
+
+  std::string_view store(std::string_view text);
+
+  std::vector<std::vector<char>> blocks_;
+  std::vector<Span> offsets_;  ///< id -> location
+  /// Keys view into blocks_, which never move; values are ids.
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace cs::util

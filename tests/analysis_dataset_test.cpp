@@ -167,5 +167,111 @@ TEST_F(DatasetTest, WwwIsTheTopPrefix) {
   EXPECT_EQ(report.top_prefixes[0].first, "www");
 }
 
+/// Field-by-field dataset equality (the structs carry no operator==; the
+/// snapshot-byte comparison lives in snap_codec_test, which links snap).
+void expect_same_dataset(const AlexaDataset& a, const AlexaDataset& b,
+                         bool compare_records = true) {
+  EXPECT_EQ(a.dns_queries_spent, b.dns_queries_spent);
+  ASSERT_EQ(a.domains.size(), b.domains.size());
+  ASSERT_EQ(a.cloud_subdomains.size(), b.cloud_subdomains.size());
+  for (std::size_t i = 0; i < a.domains.size(); ++i) {
+    const auto& da = a.domains[i];
+    const auto& db = b.domains[i];
+    EXPECT_EQ(da.name, db.name) << i;
+    EXPECT_EQ(da.rank, db.rank) << i;
+    EXPECT_EQ(da.axfr_succeeded, db.axfr_succeeded) << i;
+    EXPECT_EQ(da.subdomains_probed, db.subdomains_probed) << i;
+    EXPECT_EQ(da.cloud_subdomains, db.cloud_subdomains) << i;
+    EXPECT_EQ(da.other_only_subdomains, db.other_only_subdomains) << i;
+    EXPECT_EQ(da.unresolved_subdomains, db.unresolved_subdomains) << i;
+    EXPECT_TRUE(da.failed_lookups == db.failed_lookups) << i;
+  }
+  for (std::size_t i = 0; i < a.cloud_subdomains.size(); ++i) {
+    const auto& sa = a.cloud_subdomains[i];
+    const auto& sb = b.cloud_subdomains[i];
+    EXPECT_EQ(sa.name, sb.name) << i;
+    EXPECT_EQ(sa.domain, sb.domain) << i;
+    EXPECT_EQ(sa.domain_rank, sb.domain_rank) << i;
+    if (compare_records) EXPECT_EQ(sa.records.size(), sb.records.size()) << i;
+    EXPECT_EQ(sa.addresses, sb.addresses) << i;
+    EXPECT_EQ(sa.cnames, sb.cnames) << i;
+    EXPECT_EQ(sa.direct_a_record, sb.direct_a_record) << i;
+    EXPECT_EQ(sa.has_other_address, sb.has_other_address) << i;
+    EXPECT_EQ(sa.has_ec2_address, sb.has_ec2_address) << i;
+    EXPECT_EQ(sa.has_azure_address, sb.has_azure_address) << i;
+    EXPECT_EQ(sa.has_cloudfront_address, sb.has_cloudfront_address) << i;
+    EXPECT_EQ(sa.name_servers, sb.name_servers) << i;
+  }
+}
+
+// Chunking is a memory knob, never a result knob: per-domain probes are
+// independent and merge in rank order, so any chunk size reproduces the
+// single-chunk dataset exactly.
+TEST_F(DatasetTest, ChunkSizeNeverChangesTheDataset) {
+  DatasetBuilder builder{*world_, {.lookup_vantages = 3, .chunk_domains = 17}};
+  EXPECT_EQ(builder.chunk_domains(), 17u);
+  expect_same_dataset(builder.build(), *dataset_);
+}
+
+TEST_F(DatasetTest, OnChunkReportsMonotoneCheckpoints) {
+  std::vector<std::size_t> boundaries;
+  DatasetBuilder::Options options;
+  options.lookup_vantages = 3;
+  options.chunk_domains = 100;
+  options.on_chunk = [&](const AlexaDataset& partial,
+                         std::size_t next_domain) {
+    // The partial holds exactly the domains probed so far.
+    EXPECT_EQ(partial.domains.size(), next_domain);
+    boundaries.push_back(next_domain);
+  };
+  DatasetBuilder builder{*world_, options};
+  const auto dataset = builder.build();
+  expect_same_dataset(dataset, *dataset_);
+  ASSERT_GE(boundaries.size(), 2u);
+  for (std::size_t i = 1; i < boundaries.size(); ++i)
+    EXPECT_LT(boundaries[i - 1], boundaries[i]);
+  // Completion itself is never a checkpoint — the stage snapshot covers it.
+  EXPECT_LT(boundaries.back(), dataset.domains.size());
+}
+
+// Crash-resume: continuing from a mid-build checkpoint must land on the
+// same dataset as an uninterrupted build.
+TEST_F(DatasetTest, ResumeFromPartialMatchesFullBuild) {
+  DatasetBuilder::Options options;
+  options.lookup_vantages = 3;
+  options.chunk_domains = 100;
+  DatasetBuilder::Resume checkpoint;
+  options.on_chunk = [&](const AlexaDataset& partial,
+                         std::size_t next_domain) {
+    if (checkpoint.next_domain == 0) {  // keep the first checkpoint only
+      checkpoint.dataset = partial;
+      checkpoint.next_domain = next_domain;
+    }
+  };
+  DatasetBuilder{*world_, options}.build();
+  ASSERT_GT(checkpoint.next_domain, 0u);
+  ASSERT_LT(checkpoint.next_domain, world_->domains().size());
+
+  DatasetBuilder resumed{*world_, {.lookup_vantages = 3}};
+  expect_same_dataset(resumed.build(std::move(checkpoint)), *dataset_);
+}
+
+// keep_records=false is the paper-scale memory switch: it may drop ONLY
+// the forensic record chains; every analysis-visible field stays put.
+TEST_F(DatasetTest, KeepRecordsFalseDropsOnlyRecords) {
+  DatasetBuilder builder{*world_,
+                         {.lookup_vantages = 3, .keep_records = false}};
+  const auto trimmed = builder.build();
+  std::size_t retained_records = 0;
+  for (const auto& obs : trimmed.cloud_subdomains)
+    retained_records += obs.records.size();
+  EXPECT_EQ(retained_records, 0u);
+  std::size_t baseline_records = 0;
+  for (const auto& obs : dataset_->cloud_subdomains)
+    baseline_records += obs.records.size();
+  EXPECT_GT(baseline_records, 0u);  // the default build does keep them
+  expect_same_dataset(trimmed, *dataset_, /*compare_records=*/false);
+}
+
 }  // namespace
 }  // namespace cs::analysis

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -205,6 +206,28 @@ TEST(Decode, TcpFlagsByteRoundTrip) {
     const auto flags = TcpFlags::from_byte(static_cast<std::uint8_t>(b));
     EXPECT_EQ(flags.to_byte(), b & 0x1F);
   }
+}
+
+// The IPv4 total-length field is u16; a payload that would overflow it
+// used to wrap silently and emit a frame decode_frame rejects as short.
+// The builders now refuse at the source.
+TEST(Decode, SegmentPastIpv4MaxLengthRejected) {
+  const std::vector<std::uint8_t> too_big(65536, 0x00);
+  EXPECT_THROW(
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{}, 0, too_big),
+      std::length_error);
+  EXPECT_THROW(make_udp_packet(1.0, kClient, kServer, too_big),
+               std::length_error);
+  // The largest payload that still fits a 20-byte header + 20-byte TCP
+  // header round-trips.
+  const std::vector<std::uint8_t> max_tcp(0xFFFF - 20 - 20, 0x42);
+  const auto packet =
+      make_tcp_packet(1.0, kClient, kServer, TcpFlags{.ack = true}, 0,
+                      max_tcp);
+  const auto decoded = decode_frame(packet.bytes());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ip_total_length, 0xFFFFu);
+  EXPECT_EQ(decoded->payload.size(), max_tcp.size());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
 namespace cs::pcap {
 namespace {
@@ -102,6 +103,22 @@ TEST_F(PcapFileTest, StreamingReaderCounts) {
   while (reader.next()) {
   }
   EXPECT_EQ(reader.packets_read(), 2u);
+}
+
+// A frame past the advertised snaplen would write a file our own reader
+// (and tcpdump) refuses; the writer must fail loudly at the source
+// instead of silently producing it.
+TEST_F(PcapFileTest, OversizedFrameRejectedAtWrite) {
+  PcapWriter writer{path()};
+  Packet oversized;
+  oversized.timestamp = 1.0;
+  oversized.data.assign(262144 + 1, 0x5A);
+  EXPECT_THROW(writer.write(oversized), std::length_error);
+  // The snaplen boundary itself is fine.
+  oversized.data.resize(262144);
+  writer.write(oversized);
+  writer.close();
+  EXPECT_EQ(read_all(path()).size(), 1u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <string>
 
 namespace cs::pcap {
@@ -145,6 +147,106 @@ TEST(FlowTable, IcmpTypeRecorded) {
   const auto flows = table.finish();
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].icmp_type, 8);
+}
+
+// Scale regression: a single flow's byte counters must keep counting past
+// 2^31 (a paper-scale web endpoint crosses it easily). Feeds pre-decoded
+// headers so the test doesn't have to materialize 2+ GB of frames.
+TEST(FlowTable, ByteCountersPassTwoGigabytes) {
+  FlowTable table;
+  Decoded d;
+  d.tuple = {kClient, kServer, net::IpProto::kTcp};
+  d.tcp_flags = TcpFlags{.ack = true};
+  d.ip_total_length = 60000;
+  constexpr std::uint64_t kPackets = 40000;  // 2.4e9 bytes total
+  for (std::uint64_t i = 0; i < kPackets; ++i)
+    table.add_decoded(d, 1.0 + 0.001 * static_cast<double>(i));
+  const auto flows = table.finish();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packets, kPackets);
+  EXPECT_EQ(flows[0].bytes, kPackets * 60000);
+  EXPECT_GT(flows[0].bytes, std::uint64_t{1} << 31);
+  EXPECT_EQ(flows[0].bytes_to_responder, kPackets * 60000);
+}
+
+std::vector<Packet> mixed_capture() {
+  std::vector<Packet> packets;
+  // ~50 interleaved tuples: TCP conversations with both directions, a UDP
+  // query stream, and ICMP — timestamps deliberately shuffled across
+  // tuples (the generator emits per-unit sorted batches, not globally
+  // sorted ones, so the assembler must not depend on global order).
+  for (std::uint16_t i = 0; i < 48; ++i) {
+    const net::Endpoint src{net::Ipv4(10, 0, 1, static_cast<std::uint8_t>(i)),
+                            static_cast<std::uint16_t>(40000 + i)};
+    const net::Endpoint dst{net::Ipv4(54, 2, 3, static_cast<std::uint8_t>(i % 7)),
+                            static_cast<std::uint16_t>(i % 2 ? 443 : 80)};
+    const double base = 1.0 + 0.37 * ((i * 13) % 48);
+    packets.push_back(
+        make_tcp_packet(base, src, dst, TcpFlags{.syn = true}, 0, {}));
+    packets.push_back(make_tcp_packet(base + 0.01, dst, src,
+                                      TcpFlags{.syn = true, .ack = true}, 0,
+                                      {}));
+    packets.push_back(make_tcp_packet(base + 0.02, src, dst,
+                                      TcpFlags{.ack = true, .psh = true}, 1,
+                                      bytes_of("GET / HTTP/1.1\r\n\r\n")));
+    packets.push_back(make_tcp_packet(
+        base + 0.03, dst, src, TcpFlags{.ack = true, .psh = true}, 1,
+        std::vector<std::uint8_t>(200 + i, 'x')));
+    packets.push_back(make_tcp_packet(base + 0.04, src, dst,
+                                      TcpFlags{.ack = true, .fin = true}, 20,
+                                      {}));
+  }
+  packets.push_back(make_udp_packet(2.5, kClient, {kServer.addr, 53},
+                                    bytes_of("query")));
+  packets.push_back(make_icmp_packet(3.5, kClient.addr, kServer.addr, 8));
+  return packets;
+}
+
+void expect_same_flows(const std::vector<Flow>& a, const std::vector<Flow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple, b[i].tuple) << "flow " << i;
+    EXPECT_EQ(a[i].first_ts, b[i].first_ts) << "flow " << i;
+    EXPECT_EQ(a[i].last_ts, b[i].last_ts) << "flow " << i;
+    EXPECT_EQ(a[i].packets, b[i].packets) << "flow " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << "flow " << i;
+    EXPECT_EQ(a[i].payload_to_responder, b[i].payload_to_responder)
+        << "flow " << i;
+    EXPECT_EQ(a[i].payload_to_initiator, b[i].payload_to_initiator)
+        << "flow " << i;
+  }
+}
+
+// The streaming contract the paper-scale pipeline rests on: feeding ANY
+// batch split of a capture through a FlowAssembler yields exactly the
+// flows one assemble_flows() call produces.
+TEST(FlowAssembler, AnyBatchSplitMatchesWholeCaptureAssembly) {
+  const auto packets = mixed_capture();
+  const auto whole = assemble_flows(packets);
+  ASSERT_FALSE(whole.empty());
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, packets.size()}) {
+    FlowAssembler assembler;
+    for (std::size_t off = 0; off < packets.size(); off += batch) {
+      const auto n = std::min(batch, packets.size() - off);
+      assembler.feed(std::span<const Packet>{packets}.subspan(off, n));
+    }
+    expect_same_flows(assembler.finish(), whole);
+    EXPECT_EQ(assembler.packets_fed(), packets.size());
+  }
+}
+
+// A tuple that idles past the timeout across a batch boundary must still
+// split into two logical flows — shard tables persist between feeds.
+TEST(FlowAssembler, IdleTimeoutSpansBatchBoundaries) {
+  std::vector<Packet> first{
+      make_udp_packet(1.0, kClient, {kServer.addr, 53}, bytes_of("q"))};
+  std::vector<Packet> second{
+      make_udp_packet(500.0, kClient, {kServer.addr, 53}, bytes_of("q2"))};
+  FlowAssembler assembler;  // default idle timeout 300 s
+  assembler.feed(first);
+  assembler.feed(second);
+  EXPECT_EQ(assembler.finish().size(), 2u);
 }
 
 }  // namespace

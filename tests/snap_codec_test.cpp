@@ -11,11 +11,15 @@
 #include <span>
 #include <vector>
 
+#include "analysis/columns.h"
+#include "analysis/dataset.h"
 #include "core/study.h"
+#include "exec/config.h"
 #include "fault/fault.h"
 #include "snap/artifacts.h"
 #include "snap/codec.h"
 #include "snap/store.h"
+#include "synth/world.h"
 
 namespace cs::snap {
 namespace {
@@ -284,6 +288,163 @@ TEST(Store, CorruptedFileIsRejectedNotCrashed) {
   ASSERT_FALSE(reopened.events().empty());
   EXPECT_EQ(reopened.events().back().kind, Event::Kind::kRejected);
   EXPECT_FALSE(reopened.events().back().detail.empty());
+}
+
+// ---------------------------------------------------------------------
+// Columnar dataset artifacts: the paper-scale snapshot form. The row
+// form must survive the columnar trip exactly, both codecs must emit the
+// same bytes, and a damaged columnar payload must die as a SnapshotError.
+
+/// A deliberately small dataset: the truncation sweep below decodes every
+/// prefix of its payload, which is quadratic in payload size.
+analysis::AlexaDataset tiny_dataset() {
+  synth::WorldConfig config;
+  config.seed = 2013;
+  config.domain_count = 12;
+  synth::World world{config};
+  analysis::DatasetBuilder builder{world, {.lookup_vantages = 1}};
+  return builder.build();
+}
+
+TEST(ColumnarDataset, RowFormSurvivesTheColumnarTripExactly) {
+  const auto& dataset = shared_study().dataset();
+  const auto columns = analysis::DatasetColumns::from_dataset(dataset);
+  EXPECT_EQ(columns.domain_count(), dataset.domains.size());
+  EXPECT_EQ(columns.subdomain_count(), dataset.cloud_subdomains.size());
+  EXPECT_EQ(encoded(columns.to_dataset()), encoded(dataset));
+}
+
+TEST(ColumnarDataset, RowAndColumnarCodecsEmitIdenticalBytes) {
+  // The dataset artifact *is* the columnar artifact on the wire — a
+  // partial checkpoint and a stage snapshot interoperate byte-for-byte.
+  const auto& dataset = shared_study().dataset();
+  EXPECT_EQ(encoded(dataset),
+            encoded(analysis::DatasetColumns::from_dataset(dataset)));
+}
+
+TEST(ColumnarDataset, ColumnsArtifactRoundTrips) {
+  expect_roundtrip(
+      analysis::DatasetColumns::from_dataset(shared_study().dataset()));
+}
+
+TEST(ColumnarDataset, EveryPayloadTruncationIsRejected) {
+  const auto payload =
+      encoded(analysis::DatasetColumns::from_dataset(tiny_dataset()));
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    Reader r{std::span{payload}.first(len)};
+    analysis::DatasetColumns columns;
+    EXPECT_THROW(decode_artifact(r, columns), SnapshotError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ColumnarDataset, PayloadBitFlipsNeverEscapeAsCrashes) {
+  // Below the framing checksum the decoder's own validation (offset
+  // monotonicity, arena intern order, flag masks, name re-parse) must
+  // contain arbitrary corruption: every flip either still decodes to a
+  // structurally valid dataset or throws SnapshotError — nothing else.
+  const auto payload = encoded(tiny_dataset());
+  fault::Spec spec;
+  spec.corrupt = 1.0;
+  spec.seed = 11;
+  const fault::Plan plan{spec};
+  for (std::uint64_t trial = 0; trial < 128; ++trial) {
+    auto rng = plan.stream(fault::Kind::kCorrupt, trial);
+    auto copy = payload;
+    const auto offset = rng.next_below(copy.size());
+    copy[offset] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    Reader r{copy};
+    analysis::AlexaDataset dataset;
+    try {
+      decode_artifact(r, dataset);
+      r.require_done();
+    } catch (const SnapshotError&) {
+      // The acceptable failure mode.
+    }
+  }
+}
+
+TEST(ColumnarDataset, UnparsableStoredNameIsASnapshotError) {
+  // Hand-build columns whose arena holds a string no dns::Name accepts;
+  // the row-form decode must reject it instead of materialising nonsense.
+  analysis::DatasetColumns columns;
+  columns.domains.name.push_back(columns.names.intern("bad..name"));
+  columns.domains.rank.push_back(1);
+  columns.domains.axfr.push_back(0);
+  columns.domains.subdomains_probed.push_back(0);
+  columns.domains.cloud_off = {0, 0};
+  columns.domains.other_only.push_back(0);
+  columns.domains.unresolved.push_back(0);
+  columns.domains.failed_off = {0, 0};
+  columns.subdomains.record_off = {0};
+  columns.subdomains.address_off = {0};
+  columns.subdomains.cname_off = {0};
+  columns.subdomains.ns_off = {0};
+  columns.subdomains.ns_addr_off = {0};
+  const auto payload = encoded(columns);
+  Reader r{payload};
+  analysis::AlexaDataset dataset;
+  EXPECT_THROW(decode_artifact(r, dataset), SnapshotError);
+}
+
+// S4 determinism pin: the dataset builder fans out per-domain probes, so
+// the interned-name ids inside the columnar artifact depend on reduction
+// order — which must be the rank order at every thread count.
+TEST(ColumnarDataset, ArtifactBytesIdenticalAcrossThreadCounts) {
+  synth::WorldConfig config;
+  config.seed = 2013;
+  config.domain_count = 40;
+  synth::World world{config};
+  std::vector<std::uint8_t> single;
+  {
+    exec::ScopedThreads guard{1};
+    analysis::DatasetBuilder builder{world, {.lookup_vantages = 2}};
+    single = encoded(builder.build());
+  }
+  std::vector<std::uint8_t> pooled;
+  {
+    exec::ScopedThreads guard{8};
+    analysis::DatasetBuilder builder{world, {.lookup_vantages = 2}};
+    pooled = encoded(builder.build());
+  }
+  EXPECT_EQ(single, pooled);
+}
+
+// ---------------------------------------------------------------------
+// Partial (mid-stage) dataset checkpoints.
+
+TEST(PartialDataset, RoundTripsWithItsResumePoint) {
+  analysis::PartialDataset partial;
+  partial.columns = analysis::DatasetColumns::from_dataset(tiny_dataset());
+  partial.next_domain = partial.columns.domain_count();
+  expect_roundtrip(partial);
+}
+
+TEST(PartialDataset, ResumePointMustMatchTheColumns) {
+  // A checkpoint always holds exactly the domains probed before
+  // next_domain; any disagreement means the file does not describe a
+  // resumable state and must be rejected.
+  analysis::PartialDataset partial;
+  partial.columns = analysis::DatasetColumns::from_dataset(tiny_dataset());
+  partial.next_domain = partial.columns.domain_count() + 1;
+  const auto payload = encoded(partial);
+  Reader r{payload};
+  analysis::PartialDataset decoded;
+  EXPECT_THROW(decode_artifact(r, decoded), SnapshotError);
+}
+
+TEST(Store, RemoveRetiresASnapshot) {
+  const auto dir = fresh_dir("snap_store_remove");
+  Store store{dir, kHash};
+  analysis::PartialDataset partial;
+  partial.columns = analysis::DatasetColumns::from_dataset(tiny_dataset());
+  partial.next_domain = partial.columns.domain_count();
+  ASSERT_TRUE(store.save("dataset.partial", partial));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for("dataset.partial")));
+  EXPECT_TRUE(store.remove("dataset.partial"));
+  EXPECT_FALSE(std::filesystem::exists(store.path_for("dataset.partial")));
+  // Removing an absent stage is a no-op, not an error path.
+  EXPECT_FALSE(store.remove("dataset.partial"));
 }
 
 TEST(Store, DifferentConfigHashRejectsTheSnapshot) {

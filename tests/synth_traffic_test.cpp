@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <map>
 
+#include "pcap/decode.h"
 #include "pcap/file.h"
 #include "pcap/flow.h"
 #include "proto/logs.h"
@@ -206,6 +209,85 @@ TEST_F(TrafficTest, PcapFileRoundTrip) {
   const auto read = pcap::read_all(path);
   EXPECT_EQ(read.size(), packets_->size());
   std::remove(path.c_str());
+}
+
+// The tentpole streaming contract: generate_units() delivers per-unit
+// time-sorted batches whose stable-sorted concatenation is byte-identical
+// to the materialized generate() capture.
+TEST_F(TrafficTest, StreamedUnitsRebuildTheExactCapture) {
+  std::vector<pcap::Packet> collected;
+  std::size_t units = 0;
+  std::size_t unsorted_units = 0;
+  const auto total =
+      generator_->generate_units([&](std::vector<pcap::Packet>&& unit) {
+        ++units;
+        for (std::size_t i = 1; i < unit.size(); ++i)
+          if (unit[i - 1].timestamp > unit[i].timestamp) {
+            ++unsorted_units;
+            break;
+          }
+        collected.insert(collected.end(),
+                         std::make_move_iterator(unit.begin()),
+                         std::make_move_iterator(unit.end()));
+      });
+  EXPECT_EQ(unsorted_units, 0u);
+  EXPECT_GT(units, 1u);  // one per web endpoint plus the non-web tail
+  EXPECT_EQ(total, packets_->size());
+  std::stable_sort(collected.begin(), collected.end(),
+                   [](const pcap::Packet& a, const pcap::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  ASSERT_EQ(collected.size(), packets_->size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < collected.size(); ++i)
+    if (collected[i].timestamp != (*packets_)[i].timestamp ||
+        collected[i].data != (*packets_)[i].data)
+      ++mismatches;
+  EXPECT_EQ(mismatches, 0u);
+}
+
+// Every canonical five-tuple must live inside exactly one unit — the
+// property that lets FlowAssembler consume units without a global sort.
+TEST_F(TrafficTest, UnitsAreTupleDisjoint) {
+  std::map<net::FiveTuple, std::size_t> owner;
+  std::size_t unit_index = 0;
+  std::size_t cross_unit_tuples = 0;
+  generator_->generate_units([&](std::vector<pcap::Packet>&& unit) {
+    for (const auto& packet : unit) {
+      const auto decoded = pcap::decode_frame(packet.bytes());
+      ASSERT_TRUE(decoded);
+      const auto key = decoded->tuple.canonical();
+      const auto [it, inserted] = owner.emplace(key, unit_index);
+      if (!inserted && it->second != unit_index) ++cross_unit_tuples;
+    }
+    ++unit_index;
+  });
+  EXPECT_EQ(cross_unit_tuples, 0u);
+}
+
+// Feeding the streamed units straight into a FlowAssembler must produce
+// the exact flows of whole-capture assembly — the paper-scale pipeline
+// never holds the full packet vector.
+TEST_F(TrafficTest, StreamedFlowAssemblyMatchesBatch) {
+  pcap::FlowAssembler assembler;
+  generator_->generate_units(
+      [&](std::vector<pcap::Packet>&& unit) { assembler.feed(unit); });
+  const auto streamed = assembler.finish();
+  const auto batch = pcap::assemble_flows(*packets_);
+  ASSERT_EQ(streamed.size(), batch.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    if (streamed[i].tuple != batch[i].tuple ||
+        streamed[i].first_ts != batch[i].first_ts ||
+        streamed[i].last_ts != batch[i].last_ts ||
+        streamed[i].packets != batch[i].packets ||
+        streamed[i].bytes != batch[i].bytes ||
+        streamed[i].payload_to_responder != batch[i].payload_to_responder ||
+        streamed[i].payload_to_initiator != batch[i].payload_to_initiator)
+      ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(assembler.packets_fed(), packets_->size());
 }
 
 }  // namespace
