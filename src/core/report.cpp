@@ -488,6 +488,19 @@ std::string render_data_quality(Study& study) {
     head += "none (CS_FAULT unset)";
   }
   head += "\n";
+  head += "Chaos profile: ";
+  if (const auto* loopback = study.loopback();
+      loopback && loopback->options().chaos.any()) {
+    const auto& c = loopback->options().chaos;
+    head += util::fmt(
+        "drop={} dup={} reorder={} corrupt={} delay_us={} jitter_us={} "
+        "seed={} ({})",
+        c.drop, c.dup, c.reorder, c.corrupt, c.delay_us, c.jitter_us, c.seed,
+        c.survivable() ? "survivable" : "UNSURVIVABLE");
+  } else {
+    head += "none (CS_CHAOS unset or sim transport)";
+  }
+  head += "\n";
   if (const auto& store = study.checkpoint_store())
     head += util::fmt("Checkpoints: {} (config hash 0x{:x})\n",
                       store->dir().string(), store->config_hash());
@@ -513,6 +526,23 @@ std::string render_data_quality(Study& study) {
   t.add("Unresolved subdomains", dataset.unresolved_subdomain_count());
   t.add("Resolver retries", snapshot.counter("dns.resolver.retries"));
   t.add("Resolver timeouts", snapshot.counter("dns.resolver.timeouts"));
+  // The socket client's degradation ledger: every fast-fail path is a
+  // named row, so an unsurvivable chaos profile (or a genuinely sick
+  // wire) shows up as accounted failure, never silent data loss.
+  t.add("Socket retransmits", snapshot.counter("netio.client.retransmits"));
+  t.add("Socket exchange expirations",
+        snapshot.counter("netio.client.expirations"));
+  t.add("Retry budget rejections",
+        snapshot.counter("netio.client.retry_budget_rejections"));
+  t.add("Circuit breaker trips",
+        snapshot.counter("netio.client.breaker_trips"));
+  t.add("Circuit breaker fast-fails",
+        snapshot.counter("netio.client.breaker_fastfails"));
+  t.add("Chaos frames dropped", snapshot.counter("netio.chaos.drops"));
+  t.add("Chaos frames duplicated", snapshot.counter("netio.chaos.dups"));
+  t.add("Chaos frames corrupted", snapshot.counter("netio.chaos.corrupts"));
+  t.add("Chaos forced deliveries",
+        snapshot.counter("netio.chaos.forced_deliveries"));
   t.add("Injected DNS loss", snapshot.counter("fault.dns.loss"));
   t.add("Injected DNS timeouts", snapshot.counter("fault.dns.timeout"));
   t.add("Injected DNS truncations", snapshot.counter("fault.dns.truncate"));

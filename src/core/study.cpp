@@ -66,7 +66,8 @@ Study::Study(StudyConfig config)
       config_.transport.value_or(netio::transport_mode_from_env());
   if (mode == netio::TransportMode::kSocket) {
     loopback_ = std::make_unique<netio::LoopbackDns>(
-        world_->network(), netio::LoopbackDns::options_from_env());
+        world_->network(),
+        config_.netio.value_or(netio::LoopbackDns::options_from_env()));
     if (loopback_->start()) {
       world_->set_transport_override(&loopback_->transport());
       obs::log_info("core.study",

@@ -62,6 +62,13 @@ struct StudyConfig {
   /// dataset is byte-identical over either backend at the same seed, so
   /// switching transports must not invalidate snapshots.
   std::optional<netio::TransportMode> transport;
+  /// Socket-backend sizing, resilience thresholds, and chaos profile.
+  /// nullopt defers to the CS_NETIO_* / CS_CHAOS knobs; a set value (even
+  /// the defaults) overrides the environment entirely, which is how the
+  /// chaos determinism tests stay immune to an ambient CS_CHAOS. Excluded
+  /// from the config hash for the same reason as `transport`: the wire's
+  /// behaviour never shapes what a completed stage produced.
+  std::optional<netio::LoopbackDns::Options> netio;
 };
 
 class Study {
@@ -120,6 +127,12 @@ class Study {
   /// The active checkpoint store, or nullopt when checkpointing is off.
   const std::optional<snap::Store>& checkpoint_store() const noexcept {
     return store_;
+  }
+
+  /// The live-socket backend, or nullptr when resolver traffic rides the
+  /// in-process network (its options carry the active chaos profile).
+  const netio::LoopbackDns* loopback() const noexcept {
+    return loopback_.get();
   }
 
  private:

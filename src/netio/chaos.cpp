@@ -1,0 +1,221 @@
+#include "netio/chaos.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace cs::netio {
+namespace {
+
+/// Per-impairment salts (the fault::Plan construction): one profile seed
+/// yields five unrelated ShardedRng roots.
+constexpr std::uint64_t kDropSalt = 0xD209D209D209D209ULL;
+constexpr std::uint64_t kDupSalt = 0xD0B1ED0B1ED0B1EDULL;
+constexpr std::uint64_t kReorderSalt = 0x2E02DE22E02DE20AULL;
+constexpr std::uint64_t kCorruptSalt = 0xC0221271C0221271ULL;
+constexpr std::uint64_t kDelaySalt = 0xDE1A7DE1A7DE1A70ULL;
+
+/// Folded into the stream shard for server->client decisions so the two
+/// directions of one exchange draw from unrelated streams.
+constexpr std::uint64_t kServerDirSalt = 0x5E22E25E22E25E22ULL;
+
+/// Fixed-point golden-ratio step; attempt n shifts the shard far from
+/// attempt n-1 so retransmit decisions are independent draws.
+constexpr std::uint64_t kAttemptStep = 0x9E3779B97F4A7C15ULL;
+
+/// Floor under the reorder/dup holdback so a zero-delay profile still
+/// moves the held datagram behind its successors on the timer wheel.
+constexpr std::uint64_t kHoldbackFloorUs = 200;
+
+std::uint64_t shard_of(ChaosDirection direction, std::uint64_t key,
+                       std::uint32_t attempt) noexcept {
+  std::uint64_t shard = key ^ ((attempt + 1) * kAttemptStep);
+  if (direction == ChaosDirection::kServerToClient) shard ^= kServerDirSalt;
+  return shard;
+}
+
+bool bernoulli(const exec::ShardedRng& root, std::uint64_t shard,
+               double rate) noexcept {
+  util::Rng rng{root.stream_seed(shard)};
+  return rng.uniform01() < rate;
+}
+
+/// Value stream for one decision, independent of the decision draw
+/// (the fault::Plan::stream idiom).
+util::Rng value_stream(const exec::ShardedRng& root,
+                       std::uint64_t shard) noexcept {
+  util::Rng rng{root.stream_seed(shard)};
+  rng();
+  return rng;
+}
+
+std::optional<double> parse_rate(std::string_view text) noexcept {
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  if (!std::isfinite(value) || value < 0.0 || value > 1.0)
+    return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  std::uint64_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+bool ChaosProfile::any() const noexcept {
+  return drop > 0.0 || dup > 0.0 || reorder > 0.0 || corrupt > 0.0 ||
+         delay_us > 0 || jitter_us > 0;
+}
+
+std::optional<ChaosProfile> ChaosProfile::parse(
+    std::string_view text) noexcept {
+  ChaosProfile profile;
+  if (text.empty()) return std::nullopt;
+  enum Field { kDrop, kDup, kReorder, kCorrupt, kDelay, kJitter, kSeed };
+  bool seen[kSeed + 1] = {};
+  while (!text.empty()) {
+    const auto comma = text.find(',');
+    const auto entry = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    // A comma must be followed by another entry; "drop=0.1," is malformed.
+    if (comma != std::string_view::npos && text.empty()) return std::nullopt;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const auto key = entry.substr(0, eq);
+    const auto value = entry.substr(eq + 1);
+
+    double* rate_slot = nullptr;
+    std::uint64_t* u64_slot = nullptr;
+    Field field = kDrop;
+    if (key == "drop") rate_slot = &profile.drop, field = kDrop;
+    else if (key == "dup") rate_slot = &profile.dup, field = kDup;
+    else if (key == "reorder") rate_slot = &profile.reorder, field = kReorder;
+    else if (key == "corrupt") rate_slot = &profile.corrupt, field = kCorrupt;
+    else if (key == "delay_us") u64_slot = &profile.delay_us, field = kDelay;
+    else if (key == "jitter_us")
+      u64_slot = &profile.jitter_us, field = kJitter;
+    else if (key == "seed") u64_slot = &profile.seed, field = kSeed;
+    else
+      return std::nullopt;
+    if (seen[field]) return std::nullopt;
+    seen[field] = true;
+    if (rate_slot) {
+      const auto parsed = parse_rate(value);
+      if (!parsed) return std::nullopt;
+      *rate_slot = *parsed;
+    } else {
+      const auto parsed = parse_u64(value);
+      if (!parsed) return std::nullopt;
+      *u64_slot = *parsed;
+    }
+  }
+  return profile;
+}
+
+ChaosProfile chaos_profile_from_env() {
+  const auto text = util::env_text("CS_CHAOS");
+  if (!text) return ChaosProfile{};
+  const auto parsed = ChaosProfile::parse(*text);
+  if (!parsed) {
+    obs::log_warn(
+        "netio.chaos", "{}",
+        util::env_malformed(
+            "CS_CHAOS", *text,
+            "drop=P,dup=P,reorder=P,delay_us=N,jitter_us=N,corrupt=P,seed=N "
+            "with P in [0,1]"));
+    return ChaosProfile{};
+  }
+  return *parsed;
+}
+
+ChaosLink::ChaosLink(const ChaosProfile& profile, unsigned max_attempts)
+    : profile_(profile),
+      drop_budget_(max_attempts > 1 ? max_attempts - 1 : 0),
+      drop_root_(profile.seed ^ kDropSalt),
+      dup_root_(profile.seed ^ kDupSalt),
+      reorder_root_(profile.seed ^ kReorderSalt),
+      corrupt_root_(profile.seed ^ kCorruptSalt),
+      delay_root_(profile.seed ^ kDelaySalt) {}
+
+std::uint64_t ChaosLink::holdback_us() const noexcept {
+  return 2 * (profile_.delay_us + profile_.jitter_us) + kHoldbackFloorUs;
+}
+
+std::uint64_t ChaosLink::max_latency_us() const noexcept {
+  std::uint64_t latency = profile_.delay_us + profile_.jitter_us;
+  if (profile_.reorder > 0.0) latency += holdback_us();
+  return latency;
+}
+
+ChaosLink::Verdict ChaosLink::decide(ChaosDirection direction,
+                                     std::uint64_t exchange_key,
+                                     std::size_t frame_size) {
+  static auto& drops = obs::counter("netio.chaos.drops");
+  static auto& forced = obs::counter("netio.chaos.forced_deliveries");
+  static auto& dups = obs::counter("netio.chaos.dups");
+  static auto& reorders = obs::counter("netio.chaos.reorders");
+  static auto& delays = obs::counter("netio.chaos.delays");
+  static auto& corrupts = obs::counter("netio.chaos.corrupts");
+
+  Verdict verdict;
+  std::lock_guard lock{mutex_};
+  auto& state = keys_[exchange_key];
+  const std::uint32_t attempt =
+      state.attempts[static_cast<std::size_t>(direction)]++;
+  const std::uint64_t shard = shard_of(direction, exchange_key, attempt);
+
+  if (profile_.drop > 0.0 && bernoulli(drop_root_, shard, profile_.drop)) {
+    if (state.drops < drop_budget_) {
+      ++state.drops;
+      drops.inc();
+      verdict.deliver = false;
+      return verdict;
+    }
+    // Budget spent: the clamp force-delivers so the exchange's final
+    // round always completes — the survivability contract.
+    forced.inc();
+  }
+  if (profile_.delay_us > 0 || profile_.jitter_us > 0) {
+    verdict.delay_us = profile_.delay_us;
+    if (profile_.jitter_us > 0)
+      verdict.delay_us +=
+          value_stream(delay_root_, shard).next_below(profile_.jitter_us + 1);
+    if (verdict.delay_us > 0) delays.inc();
+  }
+  if (profile_.reorder > 0.0 &&
+      bernoulli(reorder_root_, shard, profile_.reorder)) {
+    // Bounded holdback: the datagram falls behind anything sent within
+    // the next holdback window, then goes out — reordering, not loss.
+    verdict.delay_us += holdback_us();
+    reorders.inc();
+  }
+  if (profile_.dup > 0.0 && bernoulli(dup_root_, shard, profile_.dup)) {
+    verdict.duplicate = true;
+    verdict.duplicate_delay_us = verdict.delay_us + holdback_us();
+    dups.inc();
+  }
+  if (profile_.corrupt > 0.0 && frame_size > 0 &&
+      bernoulli(corrupt_root_, shard, profile_.corrupt)) {
+    auto stream = value_stream(corrupt_root_, shard);
+    verdict.corrupt_offset =
+        static_cast<std::size_t>(stream.next_below(frame_size));
+    verdict.corrupt_mask =
+        static_cast<std::uint8_t>(1u << stream.next_below(8));
+    corrupts.inc();
+  }
+  return verdict;
+}
+
+}  // namespace cs::netio

@@ -39,15 +39,53 @@ LoopbackDns::Options LoopbackDns::options_from_env() {
   options.max_in_flight =
       env_unsigned_knob("CS_NETIO_INFLIGHT", options.max_in_flight,
                         "in-flight query cap >= 1");
+  options.rto_us = env_unsigned_knob(
+      "CS_NETIO_RTO_US", static_cast<unsigned>(options.rto_us),
+      "initial retransmit timeout in us >= 1");
+  options.max_attempts =
+      env_unsigned_knob("CS_NETIO_MAX_ATTEMPTS", options.max_attempts,
+                        "send attempts per exchange >= 1");
+  options.retry_budget_cap = env_unsigned_knob(
+      "CS_NETIO_RETRY_BUDGET",
+      static_cast<unsigned>(options.retry_budget_cap),
+      "retry token bucket capacity >= 1");
+  options.breaker_threshold =
+      env_unsigned_knob("CS_NETIO_BREAKER_FAILS", options.breaker_threshold,
+                        "consecutive expiries to open the breaker >= 1");
+  options.breaker_cooldown_us = env_unsigned_knob(
+      "CS_NETIO_BREAKER_COOLDOWN_US",
+      static_cast<unsigned>(options.breaker_cooldown_us),
+      "breaker open->half-open delay in us >= 1");
+  options.chaos = chaos_profile_from_env();
   return options;
 }
 
 LoopbackDns::LoopbackDns(const dns::SimulatedDnsNetwork& network,
                          Options options)
     : options_(options),
-      server_(network, DnsSocketServer::Options{
-                           options.server_threads ? options.server_threads
-                                                  : 1}) {}
+      chaos_(options.chaos.any()
+                 ? std::make_unique<ChaosLink>(options.chaos,
+                                               options.max_attempts)
+                 : nullptr),
+      server_(network,
+              DnsSocketServer::Options{
+                  options.server_threads ? options.server_threads : 1,
+                  chaos_.get()}) {
+  if (chaos_) {
+    const auto& p = chaos_->profile();
+    obs::log_info("netio.chaos",
+                  "wire impairment active: drop={} dup={} reorder={} "
+                  "corrupt={} delay_us={} jitter_us={} seed={} ({})",
+                  p.drop, p.dup, p.reorder, p.corrupt, p.delay_us,
+                  p.jitter_us, p.seed,
+                  p.survivable() ? "survivable" : "UNSURVIVABLE");
+    if (p.survivable() && chaos_->max_latency_us() >= options_.min_rto_us)
+      obs::log_warn("netio.chaos",
+                    "injected latency (up to {} us) reaches the RTO floor "
+                    "({} us); delays will look like loss",
+                    chaos_->max_latency_us(), options_.min_rto_us);
+  }
+}
 
 LoopbackDns::~LoopbackDns() { stop(); }
 
@@ -62,6 +100,13 @@ bool LoopbackDns::start() {
                               : server_.thread_count();
   client.rto_us = options_.rto_us;
   client.max_attempts = options_.max_attempts;
+  client.min_rto_us = options_.min_rto_us;
+  client.max_rto_us = options_.max_rto_us;
+  client.retry_budget_credit = options_.retry_budget_credit;
+  client.retry_budget_cap = options_.retry_budget_cap;
+  client.breaker_threshold = options_.breaker_threshold;
+  client.breaker_cooldown_us = options_.breaker_cooldown_us;
+  client.chaos = chaos_.get();
   transport_ = std::make_unique<SocketDnsTransport>(client);
   if (!transport_->start()) {
     transport_.reset();

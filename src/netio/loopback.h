@@ -4,20 +4,29 @@
 #include <memory>
 
 #include "dns/transport.h"
+#include "netio/chaos.h"
 #include "netio/server.h"
 #include "netio/transport.h"
 
 /// One-call harness pairing a DnsSocketServer with its client transport,
 /// plus the CS_* knobs that select and size the live-socket backend:
 ///
-///   CS_TRANSPORT      sim (default) | socket
-///   CS_NETIO_THREADS  server reactor threads (default 2)
-///   CS_NETIO_INFLIGHT client in-flight cap (default 256)
+///   CS_TRANSPORT                sim (default) | socket
+///   CS_NETIO_THREADS            server reactor threads (default 2)
+///   CS_NETIO_INFLIGHT           client in-flight cap (default 256)
+///   CS_NETIO_RTO_US             initial retransmit timeout (default 100000)
+///   CS_NETIO_MAX_ATTEMPTS       sends before an exchange expires (default 3)
+///   CS_NETIO_RETRY_BUDGET       retry token-bucket capacity (default 1000)
+///   CS_NETIO_BREAKER_FAILS      expiries that open a breaker (default 16)
+///   CS_NETIO_BREAKER_COOLDOWN_US open -> half-open delay (default 250000)
+///   CS_CHAOS                    wire impairment profile (chaos.h)
 ///
 /// core::Study consults transport_mode_from_env() and, in socket mode,
 /// stands up a LoopbackDns over the world's SimulatedDnsNetwork and
 /// points every resolver at it — the enumerator, resolver, and dataset
-/// builder run unchanged over real localhost UDP.
+/// builder run unchanged over real localhost UDP. When the chaos profile
+/// is active, one ChaosLink is shared by both directions of the wire so
+/// its per-exchange drop budget spans the whole round trip.
 namespace cs::netio {
 
 enum class TransportMode { kSim, kSocket };
@@ -33,11 +42,18 @@ class LoopbackDns {
     unsigned server_threads = 2;   ///< CS_NETIO_THREADS
     unsigned max_in_flight = 256;  ///< CS_NETIO_INFLIGHT
     unsigned client_sockets = 0;   ///< 0 = match server_threads
-    std::uint64_t rto_us = 100'000;
-    unsigned max_attempts = 3;
+    std::uint64_t rto_us = 100'000;         ///< CS_NETIO_RTO_US
+    unsigned max_attempts = 3;              ///< CS_NETIO_MAX_ATTEMPTS
+    std::uint64_t min_rto_us = 5'000;       ///< adaptive-RTO floor
+    std::uint64_t max_rto_us = 2'000'000;   ///< adaptive-RTO/backoff cap
+    double retry_budget_credit = 0.2;       ///< earned per first send
+    double retry_budget_cap = 1000.0;       ///< CS_NETIO_RETRY_BUDGET
+    unsigned breaker_threshold = 16;        ///< CS_NETIO_BREAKER_FAILS
+    std::uint64_t breaker_cooldown_us = 250'000;  ///< ..._COOLDOWN_US
+    ChaosProfile chaos;  ///< inactive by default; CS_CHAOS via env
   };
 
-  /// Options with CS_NETIO_THREADS / CS_NETIO_INFLIGHT applied (strict
+  /// Options with the CS_NETIO_* knobs and CS_CHAOS applied (strict
   /// parses; malformed values warn and keep the defaults).
   static Options options_from_env();
 
@@ -57,9 +73,14 @@ class LoopbackDns {
   /// The DnsTransport resolvers should use; valid while running().
   SocketDnsTransport& transport() noexcept { return *transport_; }
   DnsSocketServer& server() noexcept { return server_; }
+  const Options& options() const noexcept { return options_; }
+  /// The shared impairment layer, or nullptr when the profile is inactive.
+  ChaosLink* chaos() noexcept { return chaos_.get(); }
 
  private:
   Options options_;
+  /// Shared by server and client; must outlive both (declared first).
+  std::unique_ptr<ChaosLink> chaos_;
   DnsSocketServer server_;
   /// Built in start(), once the server's bound port is known.
   std::unique_ptr<SocketDnsTransport> transport_;

@@ -1,7 +1,9 @@
 #include "netio/server.h"
 
 #include <string>
+#include <utility>
 
+#include "fault/fault.h"
 #include "netio/wire.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -77,7 +79,6 @@ void DnsSocketServer::drain(Worker& worker) {
   static auto& dropped = obs::counter("netio.server.malformed");
   static auto& unreachable = obs::counter("netio.server.unreachable");
   static auto& silent = obs::counter("netio.server.fault_silence");
-  static auto& send_drops = obs::counter("netio.server.send_drops");
 
   std::uint8_t buffer[kRecvBufferSize];
   Endpoint peer;
@@ -93,13 +94,22 @@ void DnsSocketServer::drain(Worker& worker) {
       continue;
     }
     queries.inc();
+    // The chaos key must match the client's: the exchange with the DNS ID
+    // bytes (mux-rewritten there) stripped.
+    const auto payload = frame->payload;
+    const std::uint64_t key =
+        options_.chaos
+            ? fault::exchange_key(
+                  frame->client.value(), frame->server.value(),
+                  payload.size() >= 2 ? payload.subspan(2) : payload)
+            : 0;
     const auto reply =
         network_.serve(frame->client, frame->server, frame->payload);
     switch (reply.verdict) {
       case dns::WireVerdict::kAnswer: {
-        const auto out = encode_frame(FrameKind::kResponse, frame->client,
-                                      frame->server, reply.bytes);
-        if (!worker.socket.send_to(peer, out)) send_drops.inc();
+        send_frame(worker, peer, key,
+                   encode_frame(FrameKind::kResponse, frame->client,
+                                frame->server, reply.bytes));
         break;
       }
       case dns::WireVerdict::kDrop:
@@ -116,13 +126,46 @@ void DnsSocketServer::drain(Worker& worker) {
           echo[0] = frame->payload[0];
           echo[1] = frame->payload[1];
         }
-        const auto out = encode_frame(FrameKind::kUnreachable, frame->client,
-                                      frame->server, echo);
-        if (!worker.socket.send_to(peer, out)) send_drops.inc();
+        send_frame(worker, peer, key,
+                   encode_frame(FrameKind::kUnreachable, frame->client,
+                                frame->server, echo));
         break;
       }
     }
   }
+}
+
+void DnsSocketServer::send_frame(Worker& worker, const Endpoint& peer,
+                                 std::uint64_t exchange_key,
+                                 std::vector<std::uint8_t> frame) {
+  static auto& send_drops = obs::counter("netio.server.send_drops");
+  if (!options_.chaos) {
+    if (!worker.socket.send_to(peer, frame)) send_drops.inc();
+    return;
+  }
+  const auto verdict = options_.chaos->decide(
+      ChaosDirection::kServerToClient, exchange_key, frame.size());
+  if (!verdict.deliver) return;
+  auto* w = &worker;  // workers_ is stable after start()
+  const auto emit = [this, w, peer](std::vector<std::uint8_t> bytes,
+                                    std::uint64_t delay_us) {
+    static auto& drops = obs::counter("netio.server.send_drops");
+    if (delay_us == 0) {
+      if (!w->socket.send_to(peer, bytes)) drops.inc();
+      return;
+    }
+    // Held-back copies ride the worker's own reactor timers; stop() joins
+    // that reactor before the socket is closed, so the capture is safe.
+    w->reactor->run_after(
+        delay_us, [w, peer, bytes = std::move(bytes)] {
+          static auto& late_drops = obs::counter("netio.server.send_drops");
+          if (!w->socket.send_to(peer, bytes)) late_drops.inc();
+        });
+  };
+  if (verdict.corrupt_mask != 0)
+    frame[verdict.corrupt_offset] ^= verdict.corrupt_mask;
+  if (verdict.duplicate) emit(frame, verdict.duplicate_delay_us);
+  emit(std::move(frame), verdict.delay_us);
 }
 
 }  // namespace cs::netio

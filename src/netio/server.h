@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dns/transport.h"
+#include "netio/chaos.h"
 #include "netio/reactor.h"
 #include "netio/socket.h"
 
@@ -21,12 +22,17 @@
 /// (the client really retransmits); a down or unknown server address is
 /// answered with a kUnreachable control frame so the client can fail the
 /// exchange fast instead of waiting out its retransmit schedule.
+///
+/// With a ChaosLink installed, every outgoing response/unreachable frame
+/// takes a seeded impairment verdict (the server-to-client direction);
+/// held-back copies go out through the owning worker's reactor timers.
 namespace cs::netio {
 
 class DnsSocketServer {
  public:
   struct Options {
-    unsigned threads = 2;  ///< reactor workers (CS_NETIO_THREADS)
+    unsigned threads = 2;        ///< reactor workers (CS_NETIO_THREADS)
+    ChaosLink* chaos = nullptr;  ///< non-owning; shared with the client
   };
 
   /// `network` must outlive the server and stay quiescent (no attach /
@@ -60,6 +66,10 @@ class DnsSocketServer {
   };
 
   void drain(Worker& worker);
+  /// Sends one outgoing frame through the chaos verdict (if any).
+  void send_frame(Worker& worker, const Endpoint& peer,
+                  std::uint64_t exchange_key,
+                  std::vector<std::uint8_t> frame);
 
   const dns::SimulatedDnsNetwork& network_;
   Options options_;

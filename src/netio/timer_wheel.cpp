@@ -29,10 +29,21 @@ std::optional<std::uint64_t> TimerWheel::next_deadline() const {
 }
 
 std::vector<std::function<void()>> TimerWheel::advance(std::uint64_t now_us) {
+  // Time never runs backwards here even if the caller's clock does: a
+  // regressed now would underflow the span arithmetic below into a
+  // skipped sweep, leaving due timers stranded for up to a revolution.
+  if (now_us < last_advance_us_) now_us = last_advance_us_;
   std::vector<Timer> due;
   if (!timers_.empty()) {
     // Sweep each slot between the last advance and now once; when the
     // elapsed span laps the wheel, one full revolution covers everything.
+    // Every due timer is always in the swept window — it parked at
+    // slot_of(max(deadline, last_advance)), and consecutive windows tile
+    // the tick line with a one-revolution clamp covering any gap — so one
+    // batch holds *all* timers due at `now_us`, and the (deadline,
+    // sequence) sort below makes the firing order unconditional: equal
+    // deadlines fire in schedule order no matter how many rotations apart
+    // they were scheduled.
     const std::uint64_t first_tick = last_advance_us_ / tick_us_;
     const std::uint64_t last_tick = now_us / tick_us_;
     const std::uint64_t span =

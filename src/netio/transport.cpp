@@ -3,15 +3,20 @@
 #include <chrono>
 #include <string>
 
+#include "fault/fault.h"
 #include "netio/wire.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace cs::netio {
 namespace {
 
 constexpr std::size_t kRecvBufferSize = 65536 + kFrameHeaderSize;
 constexpr std::size_t kMuxIds = 65536;  // the DNS header ID space
+
+/// Salt for the deterministic decorrelated backoff jitter stream.
+constexpr std::uint64_t kBackoffSalt = 0xBAC0FFBAC0FFBAC0ULL;
 
 obs::Histogram& exchange_histogram() {
   static auto& h = obs::histogram(
@@ -21,15 +26,45 @@ obs::Histogram& exchange_histogram() {
   return h;
 }
 
+obs::Histogram& rto_histogram() {
+  static auto& h = obs::histogram(
+      "netio.client.rto_us",
+      {1000, 2000, 5000, 10000, 25000, 50000, 100000, 250000, 500000,
+       1000000, 2000000});
+  return h;
+}
+
+/// Decorrelated jitter over the backed-off RTO: delay in [rto, 1.5*rto),
+/// drawn from a stream keyed only by (exchange key, attempt) so the
+/// schedule is a property of the exchange, not of scheduler timing.
+std::uint64_t jittered_delay(std::uint64_t rto_us, std::uint64_t exchange_key,
+                             unsigned attempt) noexcept {
+  util::Rng rng{exchange_key ^ kBackoffSalt ^
+                (static_cast<std::uint64_t>(attempt) *
+                 0x9E3779B97F4A7C15ULL)};
+  return rto_us + static_cast<std::uint64_t>(0.5 * static_cast<double>(rto_us) *
+                                             rng.uniform01());
+}
+
 }  // namespace
 
-SocketDnsTransport::SocketDnsTransport(Options options) : options_(options) {
+SocketDnsTransport::SocketDnsTransport(Options options)
+    : options_(options),
+      budget_(RetryBudget::Options{options.retry_budget_credit,
+                                   options.retry_budget_cap}) {
   if (options_.max_in_flight == 0) options_.max_in_flight = 1;
   if (options_.max_in_flight > kMuxIds)
     options_.max_in_flight = static_cast<unsigned>(kMuxIds);
   if (options_.client_sockets == 0) options_.client_sockets = 1;
   if (options_.max_attempts == 0) options_.max_attempts = 1;
   if (options_.rto_us == 0) options_.rto_us = 1;
+  // The adaptive band must bracket the initial RTO: tests that pin a tiny
+  // rto_us get a floor below it, and the backoff cap never undercuts it.
+  if (options_.min_rto_us > options_.rto_us)
+    options_.min_rto_us = options_.rto_us;
+  if (options_.min_rto_us == 0) options_.min_rto_us = 1;
+  if (options_.max_rto_us < options_.rto_us)
+    options_.max_rto_us = options_.rto_us;
 }
 
 SocketDnsTransport::~SocketDnsTransport() { stop(); }
@@ -65,9 +100,10 @@ bool SocketDnsTransport::start() {
   reactor_.start();
   obs::log_info("netio.client",
                 "connected {} sockets to 127.0.0.1:{} (in-flight cap {}, "
-                "rto {} us x{})",
+                "rto {} us x{}, adaptive band [{}, {}] us)",
                 sockets_.size(), options_.server_port, options_.max_in_flight,
-                options_.rto_us, options_.max_attempts);
+                options_.rto_us, options_.max_attempts, options_.min_rto_us,
+                options_.max_rto_us);
   return true;
 }
 
@@ -80,17 +116,87 @@ void SocketDnsTransport::stop() {
     std::vector<std::uint16_t> live;
     live.reserve(pending_.size());
     for (const auto& [mux_id, p] : pending_) live.push_back(mux_id);
-    for (const auto mux_id : live) settle_locked(mux_id, std::nullopt);
+    for (const auto mux_id : live) {
+      // No verdict on the server either way; free any half-open probe.
+      server_state_locked(pending_[mux_id]->server.value())
+          .breaker.on_abandon();
+      settle_locked(mux_id, std::nullopt);
+    }
   }
   slot_free_.notify_all();
   reactor_.stop();
   sockets_.clear();
 }
 
+SocketDnsTransport::ServerState& SocketDnsTransport::server_state_locked(
+    std::uint32_t server) {
+  auto it = servers_.find(server);
+  if (it == servers_.end())
+    it = servers_.emplace(server, ServerState{options_}).first;
+  return it->second;
+}
+
+void SocketDnsTransport::breaker_failure_locked(ServerState& state) {
+  static auto& trips = obs::counter("netio.client.breaker_trips");
+  static auto& open_gauge = obs::gauge("netio.client.breakers_open");
+  const bool was_open = state.breaker.state() == CircuitBreaker::State::kOpen;
+  const bool was_tripped =
+      state.breaker.state() != CircuitBreaker::State::kClosed;
+  state.breaker.on_failure(Reactor::now_us());
+  if (!was_open && state.breaker.state() == CircuitBreaker::State::kOpen)
+    trips.inc();
+  if (!was_tripped &&
+      state.breaker.state() != CircuitBreaker::State::kClosed)
+    open_gauge.set(++breakers_open_);
+}
+
+void SocketDnsTransport::breaker_success_locked(ServerState& state) {
+  static auto& open_gauge = obs::gauge("netio.client.breakers_open");
+  const bool was_tripped =
+      state.breaker.state() != CircuitBreaker::State::kClosed;
+  state.breaker.on_success();
+  if (was_tripped && breakers_open_ > 0) open_gauge.set(--breakers_open_);
+}
+
+void SocketDnsTransport::send_query_locked(Pending& p) {
+  if (!options_.chaos) {
+    // A failed send (full socket buffer) is just a lost datagram: the
+    // retransmit timer recovers it.
+    sockets_[p.socket_index].send(p.datagram);
+    return;
+  }
+  const auto verdict = options_.chaos->decide(ChaosDirection::kClientToServer,
+                                              p.exchange_key,
+                                              p.datagram.size());
+  if (!verdict.deliver) return;
+  const auto emit = [this, index = p.socket_index](
+                        std::vector<std::uint8_t> bytes,
+                        std::uint64_t delay_us) {
+    if (delay_us == 0) {
+      sockets_[index].send(bytes);
+      return;
+    }
+    // Held-back copies go out through the reactor's own timer wheel; the
+    // lock re-check keeps the send inside the sockets' lifetime (stop()
+    // joins the reactor before it closes them).
+    reactor_.run_after(delay_us, [this, index, bytes = std::move(bytes)] {
+      std::lock_guard lock{mutex_};
+      if (running_) sockets_[index].send(bytes);
+    });
+  };
+  auto bytes = p.datagram;
+  if (verdict.corrupt_mask != 0)
+    bytes[verdict.corrupt_offset] ^= verdict.corrupt_mask;
+  if (verdict.duplicate) emit(bytes, verdict.duplicate_delay_us);
+  emit(std::move(bytes), verdict.delay_us);
+}
+
 std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
     net::Ipv4 client, net::Ipv4 server, std::span<const std::uint8_t> query) {
   static auto& exchanges = obs::counter("netio.client.exchanges");
+  static auto& fastfails = obs::counter("netio.client.breaker_fastfails");
   static auto& in_flight_gauge = obs::gauge("netio.client.in_flight");
+  static auto& budget_gauge = obs::gauge("netio.client.retry_budget_tokens");
   static auto& guard_trips = obs::counter("netio.client.hang_guard_trips");
 
   std::shared_ptr<Pending> p;
@@ -103,6 +209,14 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
     });
     if (!running_) return std::nullopt;
     exchanges.inc();
+    // Fail fast while the server's breaker is open: no slot, no send, no
+    // retransmit schedule — the caller sees the same nullopt a timeout
+    // would produce, a few RTOs sooner and without wire pressure.
+    if (!server_state_locked(server.value())
+             .breaker.allow(Reactor::now_us())) {
+      fastfails.inc();
+      return std::nullopt;
+    }
     ++in_flight_;
     in_flight_gauge.set(in_flight_);
     mux_id = free_ids_.front();
@@ -111,6 +225,11 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
     p = std::make_shared<Pending>();
     p->server = server;
     p->original_id = dns_id(query).value_or(0);
+    // Keyed before the mux rewrite and without the ID bytes: retransmits,
+    // the response, and a re-ask of the same question all share the key.
+    p->exchange_key = fault::exchange_key(
+        client.value(), server.value(),
+        query.size() >= 2 ? query.subspan(2) : query);
     std::vector<std::uint8_t> payload{query.begin(), query.end()};
     rewrite_dns_id(payload, mux_id);
     p->datagram = encode_frame(FrameKind::kQuery, client, server, payload);
@@ -119,22 +238,25 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
     p->attempts = 1;
     pending_.emplace(mux_id, p);
 
-    // A failed send (full socket buffer) is just a lost datagram: the
-    // retransmit timer recovers it.
-    sockets_[p->socket_index].send(p->datagram);
+    auto& state = server_state_locked(server.value());
+    const auto rto_us = state.rto.rto_us();
+    rto_histogram().observe(static_cast<double>(rto_us));
+    budget_.on_send();
+    budget_gauge.set(static_cast<std::int64_t>(budget_.tokens()));
+    send_query_locked(*p);
     p->timer = reactor_.run_after(
-        options_.rto_us, [this, mux_id] { on_retransmit_deadline(mux_id); });
+        rto_us, [this, mux_id] { on_retransmit_deadline(mux_id); });
   }
 
   // Hang guard: the retransmit schedule bounds every exchange, so waiting
   // past it (a lost timer would be a netio bug, not an injected fault)
   // must not deadlock the resolver; reclaim the slot and fail the lookup.
+  // The bound uses the adaptive cap: every armed delay is <= 1.5 *
+  // max_rto_us.
   // cslint:allow(D1): hang-guard deadline needs the raw monotonic clock for cv::wait_until; transport timing never shapes artifacts
   const auto guard_deadline = std::chrono::steady_clock::now() +
-                              std::chrono::microseconds(
-                                  options_.rto_us * options_.max_attempts *
-                                      2 +
-                                  1'000'000);
+      std::chrono::microseconds(
+          options_.max_rto_us * 2 * options_.max_attempts + 1'000'000);
   bool done = false;
   {
     std::unique_lock pl{p->m};
@@ -147,6 +269,8 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
       guard_trips.inc();
       obs::log_warn("netio.client",
                     "exchange hang guard tripped (mux id {})", mux_id);
+      // A wedged exchange says nothing about the server; free the probe.
+      server_state_locked(p->server.value()).breaker.on_abandon();
       settle_locked(mux_id, std::nullopt);
     }
   }
@@ -187,12 +311,21 @@ void SocketDnsTransport::on_frame(std::span<const std::uint8_t> datagram) {
     strays.inc();
     return;
   }
+  auto& state = server_state_locked(it->second->server.value());
   if (frame->kind == FrameKind::kUnreachable) {
     unreachable.inc();
+    // The path answered — the *server* is down. Breaker success keeps
+    // set_down semantics identical between the sim and socket backends.
+    breaker_success_locked(state);
     settle_locked(*mux_id, std::nullopt);
     return;
   }
   responses.inc();
+  // Karn's rule: only a never-retransmitted exchange yields a clean RTT
+  // sample (a retransmitted one cannot tell which send was answered).
+  if (!it->second->retransmitted)
+    state.rto.observe_rtt(Reactor::now_us() - it->second->sent_us);
+  breaker_success_locked(state);
   std::vector<std::uint8_t> bytes{frame->payload.begin(),
                                   frame->payload.end()};
   // Hand the resolver back its own DNS ID; the mux ID was transport-local.
@@ -203,23 +336,46 @@ void SocketDnsTransport::on_frame(std::span<const std::uint8_t> datagram) {
 void SocketDnsTransport::on_retransmit_deadline(std::uint16_t mux_id) {
   static auto& retransmits = obs::counter("netio.client.retransmits");
   static auto& expirations = obs::counter("netio.client.expirations");
+  static auto& rejections = obs::counter("netio.client.retry_budget_rejections");
+  static auto& budget_gauge = obs::gauge("netio.client.retry_budget_tokens");
 
   std::lock_guard lock{mutex_};
   const auto it = pending_.find(mux_id);
   if (it == pending_.end()) return;  // settled while the timer fired
   auto& p = *it->second;
+  auto& state = server_state_locked(p.server.value());
+  // Karn backoff: every expiry doubles this server's RTO (capped); the
+  // next clean sample resets it.
+  state.rto.on_timeout();
   if (p.attempts >= options_.max_attempts) {
     expirations.inc();
+    breaker_failure_locked(state);
     settle_locked(mux_id, std::nullopt);
     return;
   }
+  if (!budget_.try_spend()) {
+    // Correlated loss has drained the retry budget: refuse the retransmit
+    // and fail the exchange now — a storm of retries into a lossy path
+    // only feeds the loss. Counted, and no server verdict (the breaker
+    // only trusts full expiries).
+    rejections.inc();
+    budget_gauge.set(static_cast<std::int64_t>(budget_.tokens()));
+    state.breaker.on_abandon();
+    settle_locked(mux_id, std::nullopt);
+    return;
+  }
+  budget_gauge.set(static_cast<std::int64_t>(budget_.tokens()));
   ++p.attempts;
+  p.retransmitted = true;
   retransmits.inc();
   // Same bytes, same mux ID: the server replays the same seeded fault
   // decision, so an injected loss stays lost across every attempt.
-  sockets_[p.socket_index].send(p.datagram);
+  send_query_locked(p);
+  const auto delay_us =
+      jittered_delay(state.rto.rto_us(), p.exchange_key, p.attempts);
+  rto_histogram().observe(static_cast<double>(delay_us));
   p.timer = reactor_.run_after(
-      options_.rto_us, [this, mux_id] { on_retransmit_deadline(mux_id); });
+      delay_us, [this, mux_id] { on_retransmit_deadline(mux_id); });
 }
 
 void SocketDnsTransport::settle_locked(

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "dns/transport.h"
+#include "netio/chaos.h"
 #include "netio/reactor.h"
+#include "netio/resilience.h"
 #include "netio/socket.h"
 
 /// The client half of the live-socket DNS backend.
@@ -28,16 +30,24 @@
 /// exchange almost always finds its slot empty (and is counted, not
 /// misdelivered — the slot also pins the expected server address).
 ///
-/// Lost datagrams — injected faults served as silence, or genuine kernel
-/// buffer drops under load — are recovered by a per-exchange retransmit
-/// timer on the reactor's hashed timing wheel: same bytes, same mux ID,
-/// up to max_attempts sends rto_us apart, then the exchange expires as
-/// nullopt exactly like the in-process backend's timeout. A kUnreachable
-/// control frame from the server settles the exchange immediately.
+/// Loss recovery is adaptive (resilience.h): each server gets an RFC 6298
+/// RTO estimator fed only by clean samples (Karn's rule), retransmits
+/// back off exponentially with deterministic decorrelated jitter keyed by
+/// the exchange, a global token-bucket retry budget refuses retransmits
+/// under correlated loss, and a per-server circuit breaker fails new
+/// exchanges fast once a server has expired enough exchanges in a row.
+/// Every fast-fail path is a named counter surfaced in the data-quality
+/// report — degradation is accounted, never silent. A kUnreachable
+/// control frame from the server settles the exchange immediately and
+/// counts as breaker *success*: the path answered, the server said no.
 ///
 /// Backpressure: at most max_in_flight exchanges may hold the wire; the
 /// next caller blocks until a slot frees, bounding socket-buffer pressure
 /// no matter how many resolver threads pile on.
+///
+/// When a ChaosLink is installed (chaos.h) every outgoing datagram takes
+/// a seeded impairment verdict first; without one the cost is a single
+/// null-pointer branch.
 namespace cs::netio {
 
 class SocketDnsTransport final : public dns::DnsTransport {
@@ -46,8 +56,15 @@ class SocketDnsTransport final : public dns::DnsTransport {
     std::uint16_t server_port = 0;    ///< DnsSocketServer::port()
     unsigned max_in_flight = 256;     ///< CS_NETIO_INFLIGHT
     unsigned client_sockets = 2;      ///< spread over SO_REUSEPORT workers
-    std::uint64_t rto_us = 100'000;   ///< retransmit timeout per attempt
-    unsigned max_attempts = 3;        ///< sends before the exchange expires
+    std::uint64_t rto_us = 100'000;   ///< initial RTO (CS_NETIO_RTO_US)
+    unsigned max_attempts = 3;        ///< CS_NETIO_MAX_ATTEMPTS
+    std::uint64_t min_rto_us = 5'000;     ///< adaptive-RTO floor
+    std::uint64_t max_rto_us = 2'000'000;  ///< adaptive-RTO + backoff cap
+    double retry_budget_credit = 0.2;  ///< earned per first send
+    double retry_budget_cap = 1000.0;  ///< CS_NETIO_RETRY_BUDGET
+    unsigned breaker_threshold = 16;   ///< CS_NETIO_BREAKER_FAILS
+    std::uint64_t breaker_cooldown_us = 250'000;  ///< open -> half-open
+    ChaosLink* chaos = nullptr;  ///< non-owning; shared with the server
   };
 
   explicit SocketDnsTransport(Options options);
@@ -84,6 +101,22 @@ class SocketDnsTransport final : public dns::DnsTransport {
     unsigned attempts = 0;
     TimerWheel::Token timer = 0;
     std::uint64_t sent_us = 0;  ///< first send, for the latency histogram
+    /// fault::exchange_key over the ID-stripped query: the chaos-decision
+    /// and backoff-jitter key, invariant across mux rewrites/retransmits.
+    std::uint64_t exchange_key = 0;
+    /// Karn's rule: once true, this exchange's RTT never feeds SRTT.
+    bool retransmitted = false;
+  };
+
+  /// Per-server adaptive state, keyed by the simulated server address.
+  struct ServerState {
+    RtoEstimator rto;
+    CircuitBreaker breaker;
+    explicit ServerState(const Options& options)
+        : rto(RtoEstimator::Options{options.rto_us, options.min_rto_us,
+                                    options.max_rto_us}),
+          breaker(CircuitBreaker::Options{options.breaker_threshold,
+                                          options.breaker_cooldown_us}) {}
   };
 
   void drain(std::size_t socket_index);
@@ -92,6 +125,13 @@ class SocketDnsTransport final : public dns::DnsTransport {
   /// Completes and unblocks one exchange; caller holds mutex_.
   void settle_locked(std::uint16_t mux_id,
                      std::optional<std::vector<std::uint8_t>> result);
+  /// Sends (or chaos-impairs) one copy of the pending query's datagram;
+  /// caller holds mutex_.
+  void send_query_locked(Pending& p);
+  ServerState& server_state_locked(std::uint32_t server);
+  /// Breaker failure with trip/open accounting; caller holds mutex_.
+  void breaker_failure_locked(ServerState& state);
+  void breaker_success_locked(ServerState& state);
 
   Options options_;
   Reactor reactor_{"netio-client"};
@@ -102,7 +142,10 @@ class SocketDnsTransport final : public dns::DnsTransport {
   std::condition_variable slot_free_;
   std::deque<std::uint16_t> free_ids_;
   std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> pending_;
+  std::unordered_map<std::uint32_t, ServerState> servers_;
+  RetryBudget budget_;
   unsigned in_flight_ = 0;
+  unsigned breakers_open_ = 0;
 };
 
 }  // namespace cs::netio

@@ -1,0 +1,201 @@
+// The chaos layer's headline promise, split by survivability.
+//
+// Survivable profiles (loss/dup/reorder/delay, no corruption): the drop
+// clamp guarantees every exchange still completes with unchanged answer
+// bytes, so a study's dataset artifact is byte-identical chaos-on vs
+// chaos-off at any CS_THREADS — the resilience machinery absorbs the
+// pressure without ever reaching a terminal state. Checked against the
+// sim artifact (which the socket determinism test already pins equal to
+// the chaos-off socket artifact), two seeds x CS_THREADS {1, 8}.
+//
+// Unsurvivable profiles (corrupt > 0): the run must degrade gracefully —
+// complete without hangs, with every failed exchange accounted to
+// exactly one cause. Exercised twice, once tuned to trip the circuit
+// breaker and once to exhaust the retry budget.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "exec/config.h"
+#include "netio/loopback.h"
+#include "obs/metrics.h"
+#include "snap/artifacts.h"
+#include "snap/codec.h"
+
+namespace cs::core {
+namespace {
+
+StudyConfig small_config(std::uint64_t seed, netio::TransportMode mode) {
+  StudyConfig config;
+  config.world.seed = seed;
+  config.world.domain_count = 60;
+  config.dataset.wordlist = {"www", "mail", "api", "cdn", "dev", "static"};
+  config.dataset.lookup_vantages = 2;
+  config.dataset.collect_name_servers = true;
+  config.transport = mode;
+  return config;
+}
+
+/// Loss, duplication, reordering, and sub-RTO delay — everything the
+/// clamp makes survivable — at rates high enough to exercise every
+/// impairment across a 60-domain study.
+netio::LoopbackDns::Options survivable_chaos() {
+  netio::LoopbackDns::Options options;
+  options.rto_us = 20'000;  // adaptive band [5ms, 2s] brackets this
+  options.chaos.drop = 0.06;
+  options.chaos.dup = 0.05;
+  options.chaos.reorder = 0.08;
+  options.chaos.delay_us = 300;
+  options.chaos.jitter_us = 200;
+  return options;
+}
+
+std::vector<std::uint8_t> dataset_bytes(StudyConfig config,
+                                        unsigned threads) {
+  exec::ScopedThreads guard{threads};
+  Study study{std::move(config)};
+  snap::Writer writer;
+  snap::encode_artifact(writer, study.dataset());
+  const auto bytes = writer.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+class ChaosDeterminism : public testing::TestWithParam<unsigned> {};
+
+TEST_P(ChaosDeterminism, SurvivableProfileKeepsArtifactByteIdentical) {
+  const unsigned threads = GetParam();
+  for (const std::uint64_t seed : {2013ull, 5077ull}) {
+    const auto clean = dataset_bytes(
+        small_config(seed, netio::TransportMode::kSim), threads);
+    ASSERT_FALSE(clean.empty());
+
+    const auto before = obs::MetricsRegistry::instance().snapshot();
+    auto config = small_config(seed, netio::TransportMode::kSocket);
+    config.netio = survivable_chaos();
+    const auto chaotic = dataset_bytes(std::move(config), threads);
+    const auto after = obs::MetricsRegistry::instance().snapshot();
+
+    EXPECT_EQ(clean, chaotic)
+        << "survivable chaos changed the artifact at seed " << seed
+        << ", CS_THREADS=" << threads;
+
+    // The wire really was hostile...
+    const auto impairments = [&](const char* name) {
+      return after.counter(name) - before.counter(name);
+    };
+    EXPECT_GT(impairments("netio.chaos.drops") +
+                  impairments("netio.chaos.dups") +
+                  impairments("netio.chaos.reorders") +
+                  impairments("netio.chaos.delays"),
+              0u)
+        << "profile injected nothing; the identity proves nothing";
+    // ...yet no exchange ever reached a terminal resilience state: the
+    // clamp turns every impairment into pressure, never failure.
+    EXPECT_EQ(impairments("netio.client.expirations"), 0u);
+    EXPECT_EQ(impairments("netio.client.breaker_fastfails"), 0u);
+    EXPECT_EQ(impairments("netio.client.retry_budget_rejections"), 0u);
+    EXPECT_EQ(impairments("netio.client.hang_guard_trips"), 0u);
+    EXPECT_EQ(impairments("netio.chaos.corrupts"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ChaosDeterminism, testing::Values(1u, 8u));
+
+// --- unsurvivable profiles: graceful degradation --------------------------
+
+StudyConfig tiny_config(std::uint64_t seed) {
+  StudyConfig config;
+  config.world.seed = seed;
+  config.world.domain_count = 25;
+  config.dataset.wordlist = {"www", "mail", "api", "cdn"};
+  config.dataset.lookup_vantages = 1;
+  config.dataset.collect_name_servers = true;
+  config.transport = netio::TransportMode::kSocket;
+  return config;
+}
+
+/// corrupt=1 flips one bit in every datagram, both directions: answers
+/// die in flight (bad frame, bad mux ID, undecodable DNS bytes), and the
+/// resilience machinery must carry the run to completion.
+netio::LoopbackDns::Options corrupting_chaos() {
+  netio::LoopbackDns::Options options;
+  options.rto_us = 5'000;
+  options.max_rto_us = 20'000;  // keep the backoff schedule test-sized
+  options.chaos.corrupt = 1.0;
+  return options;
+}
+
+/// Every settled exchange has exactly one cause; the sum of causes is
+/// the number of exchanges started. This is the exact-accounting
+/// invariant render_data_quality reports against.
+void expect_exact_accounting(const obs::MetricsSnapshot& before,
+                             const obs::MetricsSnapshot& after) {
+  const auto delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  EXPECT_EQ(delta("netio.client.exchanges"),
+            delta("netio.client.responses") +
+                delta("netio.client.unreachable") +
+                delta("netio.client.expirations") +
+                delta("netio.client.retry_budget_rejections") +
+                delta("netio.client.breaker_fastfails") +
+                delta("netio.client.hang_guard_trips"));
+  EXPECT_GT(delta("netio.chaos.corrupts"), 0u);
+  EXPECT_EQ(delta("netio.client.hang_guard_trips"), 0u) << "run hung";
+}
+
+TEST(ChaosDegradation, CorruptingWireTripsBreakersAndStillCompletes) {
+  auto config = tiny_config(911);
+  config.netio = corrupting_chaos();
+  // A hair-trigger breaker with an hour-long cooldown: one silent expiry
+  // opens a server's breaker and everything else to it fast-fails — the
+  // run finishes on fast failures, not timeouts. Threshold 1 because a
+  // corrupted response whose flipped bit lands past the mux ID still
+  // settles as a transport success and resets a longer consecutive-failure
+  // count, making any threshold > 1 scheduling-dependent.
+  config.netio->breaker_threshold = 1;
+  config.netio->breaker_cooldown_us = 3'600'000'000ULL;
+
+  const auto before = obs::MetricsRegistry::instance().snapshot();
+  const auto bytes = dataset_bytes(std::move(config), 8);
+  const auto after = obs::MetricsRegistry::instance().snapshot();
+
+  EXPECT_FALSE(bytes.empty()) << "degraded run still produces an artifact";
+  expect_exact_accounting(before, after);
+  EXPECT_GT(after.counter("netio.client.expirations") -
+                before.counter("netio.client.expirations"),
+            0u);
+  EXPECT_GT(after.counter("netio.client.breaker_trips") -
+                before.counter("netio.client.breaker_trips"),
+            0u);
+  EXPECT_GT(after.counter("netio.client.breaker_fastfails") -
+                before.counter("netio.client.breaker_fastfails"),
+            0u);
+}
+
+TEST(ChaosDegradation, CorruptingWireExhaustsRetryBudgetAndStillCompletes) {
+  auto config = tiny_config(912);
+  config.netio = corrupting_chaos();
+  // No breaker (threshold out of reach), a five-token budget that never
+  // refills: once it drains, every exchange fails at its first deadline
+  // with a budget rejection instead of feeding a retry storm.
+  config.netio->breaker_threshold = 1'000'000;
+  config.netio->retry_budget_credit = 0.0;
+  config.netio->retry_budget_cap = 5.0;
+
+  const auto before = obs::MetricsRegistry::instance().snapshot();
+  const auto bytes = dataset_bytes(std::move(config), 8);
+  const auto after = obs::MetricsRegistry::instance().snapshot();
+
+  EXPECT_FALSE(bytes.empty()) << "degraded run still produces an artifact";
+  expect_exact_accounting(before, after);
+  EXPECT_GT(after.counter("netio.client.retry_budget_rejections") -
+                before.counter("netio.client.retry_budget_rejections"),
+            0u);
+}
+
+}  // namespace
+}  // namespace cs::core

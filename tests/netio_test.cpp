@@ -7,9 +7,11 @@
 // survive. Runs under ASan/TSan in CI (socket-smoke and tsan jobs).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "dns/resolver.h"
 #include "dns/transport.h"
 #include "fault/fault.h"
+#include "netio/chaos.h"
 #include "netio/loopback.h"
 #include "netio/reactor.h"
 #include "netio/server.h"
@@ -27,6 +30,7 @@
 #include "netio/transport.h"
 #include "netio/wire.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace cs::netio {
 namespace {
@@ -89,6 +93,90 @@ TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
   wheel.schedule(400, [&] { fired = true; });
   for (auto& fn : wheel.advance(10'100)) fn();
   EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, EqualDeadlinesAcrossRotationsFireInScheduleOrder) {
+  // The tie-break contract holds unconditionally: equal deadlines fire in
+  // schedule order even when the schedules straddle cursor advances and
+  // full revolutions of the wheel (5000 us is laps of an 8x100 wheel).
+  TimerWheel wheel{/*tick_us=*/100, /*slots=*/8};
+  std::vector<int> order;
+  wheel.schedule(5000, [&] { order.push_back(1); });
+  for (auto& fn : wheel.advance(900)) fn();
+  wheel.schedule(5000, [&] { order.push_back(2); });
+  for (auto& fn : wheel.advance(2500)) fn();
+  wheel.schedule(5000, [&] { order.push_back(3); });
+  for (auto& fn : wheel.advance(6000)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, SameSlotDifferentLapsFireInDeadlineOrder) {
+  // 800 and 1600 share a slot on an 8x100 wheel but sit a lap apart;
+  // scheduled in reverse, the sweep must still fire them deadline-first.
+  TimerWheel wheel{/*tick_us=*/100, /*slots=*/8};
+  std::vector<int> order;
+  wheel.schedule(1600, [&] { order.push_back(2); });
+  wheel.schedule(800, [&] { order.push_back(1); });
+  for (auto& fn : wheel.advance(2000)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerWheel, AdvanceToleratesRegressingClock) {
+  TimerWheel wheel{/*tick_us=*/100, /*slots=*/8};
+  for (auto& fn : wheel.advance(10'000)) fn();
+  int fired = 0;
+  wheel.schedule(10'200, [&] { ++fired; });
+  // A clock that runs backwards must neither fire the timer early nor
+  // corrupt the sweep window: advance clamps to its high-water mark.
+  for (auto& fn : wheel.advance(400)) fn();
+  EXPECT_EQ(fired, 0);
+  for (auto& fn : wheel.advance(10'200)) fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, RandomizedFiringMatchesReferenceModel) {
+  // Model check: under a seeded random interleaving of schedules and
+  // advances, every advance fires exactly the due set, globally ordered
+  // by (deadline, schedule sequence) — the invariant the transport's
+  // retransmit determinism leans on.
+  util::Rng rng{0xC10C4DE7EC7AB1EULL};
+  TimerWheel wheel{/*tick_us=*/50, /*slots=*/16};
+  struct Ref {
+    std::uint64_t deadline;
+    int seq;
+  };
+  std::vector<Ref> outstanding;
+  std::vector<int> fired;
+  std::uint64_t now = 0;
+  int seq = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (rng.uniform01() < 0.6) {
+      const std::uint64_t deadline = now + 1 + rng.next_below(3000);
+      const int id = seq++;
+      wheel.schedule(deadline, [&fired, id] { fired.push_back(id); });
+      outstanding.push_back({deadline, id});
+    } else {
+      now += 50 + rng.next_below(800);
+      std::stable_sort(outstanding.begin(), outstanding.end(),
+                       [](const Ref& a, const Ref& b) {
+                         return a.deadline != b.deadline
+                                    ? a.deadline < b.deadline
+                                    : a.seq < b.seq;
+                       });
+      std::vector<int> want;
+      std::vector<Ref> keep;
+      for (const auto& r : outstanding) {
+        if (r.deadline <= now)
+          want.push_back(r.seq);
+        else
+          keep.push_back(r);
+      }
+      outstanding = std::move(keep);
+      fired.clear();
+      for (auto& fn : wheel.advance(now)) fn();
+      ASSERT_EQ(fired, want) << "divergence at now=" << now;
+    }
+  }
 }
 
 // --- frame codec ----------------------------------------------------------
@@ -384,6 +472,16 @@ TEST_F(SocketBackendTest, ServerSurvivesMalformedDatagramCorpus) {
                           {0xDE, 0xAD, 0xBE, 0xEF, 0xFF, 0xFF}));
   // Valid frame, truncated DNS header (shorter than 12 bytes).
   corpus.push_back(framed(FrameKind::kQuery, {0x00, 0x01, 0x02}));
+  // A valid frame cut mid-header (header is 12 bytes): the decoder sees
+  // real magic/version/kind but runs out of address bytes.
+  const auto whole = framed(FrameKind::kQuery, query_bytes(0x55));
+  for (const std::size_t cut : {6u, 8u, 10u})
+    corpus.emplace_back(whole.begin(),
+                        whole.begin() + static_cast<std::ptrdiff_t>(cut));
+  // The same role-confused response twice: a duplicated stray must be
+  // dropped cold both times, not tallied into any pending state.
+  corpus.push_back(framed(FrameKind::kResponse, {0x00, 0x02}));
+  corpus.push_back(framed(FrameKind::kResponse, {0x00, 0x02}));
   // A 64 KiB garbage blob (oversized but deliverable over loopback).
   corpus.push_back(std::vector<std::uint8_t>(60'000, 0xAA));
 
@@ -399,6 +497,77 @@ TEST_F(SocketBackendTest, ServerSurvivesMalformedDatagramCorpus) {
     ASSERT_TRUE(got.has_value()) << "exchange " << i;
     EXPECT_EQ(*got, *want) << "exchange " << i;
   }
+}
+
+// --- chaos link on the live path ------------------------------------------
+
+TEST_F(SocketBackendTest, ChaosDuplicatesAnswerOnceAndLandAsStrays) {
+  // dup=1 doubles every datagram in both directions; the held-back copies
+  // of each response arrive after their exchange settled, carrying a mux
+  // ID that is now stale. The FIFO free-list keeps released IDs cold and
+  // the server check catches immediate reuse, so every late copy must be
+  // counted a stray — never delivered, never corrupting a later answer.
+  auto options = tight_options();
+  options.chaos.dup = 1.0;
+  options.chaos.delay_us = 500;
+  options.chaos.jitter_us = 200;
+  LoopbackDns loopback{network, options};
+  ASSERT_TRUE(loopback.start());
+  const auto want = network.exchange(kClient, kRoot, query_bytes(0));
+  ASSERT_TRUE(want.has_value());
+  const auto before = obs::MetricsRegistry::instance().snapshot();
+  constexpr int kExchanges = 24;
+  for (int i = 0; i < kExchanges; ++i) {
+    const auto id = static_cast<std::uint16_t>(0x400 + i);
+    const auto got =
+        loopback.transport().exchange(kClient, kRoot, query_bytes(id));
+    ASSERT_TRUE(got.has_value()) << "exchange " << i;
+    EXPECT_EQ(dns_id(*got), id) << "exchange " << i;
+    auto normalized = *got;
+    rewrite_dns_id(normalized, 0);
+    auto expected = *want;
+    rewrite_dns_id(expected, 0);
+    EXPECT_EQ(normalized, expected) << "exchange " << i;
+  }
+  // Let the held-back duplicates land before reading the counters.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto after = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_GT(after.counter("netio.chaos.dups"),
+            before.counter("netio.chaos.dups"));
+  EXPECT_GT(after.counter("netio.client.strays"),
+            before.counter("netio.client.strays"));
+  // Exactly one response settled each exchange: duplicates never matched
+  // a pending slot, whatever their arrival timing.
+  EXPECT_EQ(after.counter("netio.client.responses") -
+                before.counter("netio.client.responses"),
+            static_cast<std::uint64_t>(kExchanges));
+}
+
+TEST_F(SocketBackendTest, ChaosDropClampForcesEventualDelivery) {
+  // drop=1 discards every datagram until the per-key budget
+  // (max_attempts - 1, shared by both directions) is spent, then
+  // force-delivers: the final attempt must get through and the answer
+  // must be byte-identical to the sim — the survivability contract.
+  auto options = tight_options();
+  options.rto_us = 2'000;  // keep the forced retransmit schedule quick
+  options.chaos.drop = 1.0;
+  LoopbackDns loopback{network, options};
+  ASSERT_TRUE(loopback.start());
+  const auto before = obs::MetricsRegistry::instance().snapshot();
+  const auto want = network.exchange(kClient, kRoot, query_bytes(0x99));
+  const auto got =
+      loopback.transport().exchange(kClient, kRoot, query_bytes(0x99));
+  ASSERT_TRUE(want.has_value());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, *want);
+  const auto after = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_GE(after.counter("netio.chaos.drops") -
+                before.counter("netio.chaos.drops"),
+            2u);
+  EXPECT_GT(after.counter("netio.chaos.forced_deliveries"),
+            before.counter("netio.chaos.forced_deliveries"));
+  EXPECT_EQ(after.counter("netio.client.expirations"),
+            before.counter("netio.client.expirations"));
 }
 
 TEST_F(SocketBackendTest, StopFailsPendingExchangesInsteadOfHanging) {
