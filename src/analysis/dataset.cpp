@@ -32,11 +32,11 @@ DatasetBuilder::DatasetBuilder(const synth::World& world, Options options)
 
 std::size_t DatasetBuilder::chunk_domains() const {
   if (options_.chunk_domains != 0) return options_.chunk_domains;
-  if (const auto text = util::env_text("CS_CHUNK_DOMAINS")) {
+  if (const auto text = util::env_text(util::Knob::kChunkDomains)) {
     const auto parsed = util::parse_env_unsigned(*text);
     if (parsed && *parsed > 0) return *parsed;
     obs::log_warn("analysis", "{}",
-                  util::env_malformed("CS_CHUNK_DOMAINS", *text,
+                  util::env_malformed(util::Knob::kChunkDomains, *text,
                                       "a positive integer"));
   }
   return kDefaultChunkDomains;

@@ -1,4 +1,4 @@
-#include "snap/artifacts.h"
+#include "analysis/snapshot.h"
 
 #include <stdexcept>
 #include <type_traits>

@@ -14,7 +14,10 @@
 
 /// Snapshot codecs for every cached stage result in core::Study. One
 /// encode/decode pair per artifact type; the store picks the overload by
-/// the slot's static type. Decoding validates as it goes (DNS names are
+/// the slot's static type, via ADL on snap::Writer/Reader, which is why
+/// these stay in namespace cs::snap even though the file lives in
+/// analysis/ — the codecs depend on every artifact type, and the include
+/// graph must point analysis -> snap, never snap -> analysis (cslint G1). Decoding validates as it goes (DNS names are
 /// re-parsed through their own validators, enums are range-checked) and
 /// throws SnapshotError rather than materialising nonsense.
 ///

@@ -82,7 +82,7 @@ Study::Study(StudyConfig config)
   }
   std::string dir = config_.checkpoint_dir;
   if (dir.empty())
-    if (const auto env = util::env_text("CS_CHECKPOINT")) dir = *env;
+    if (const auto env = util::env_text(util::Knob::kCheckpoint)) dir = *env;
   if (!dir.empty()) {
     store_.emplace(dir, config_hash());
     obs::log_info("core.study", "checkpointing to {} (config hash 0x{:x})",

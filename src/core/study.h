@@ -15,6 +15,7 @@
 #include "analysis/isp.h"
 #include "analysis/patterns.h"
 #include "analysis/regions.h"
+#include "analysis/snapshot.h"
 #include "analysis/widearea.h"
 #include "analysis/zones.h"
 #include "internet/traceroute.h"

@@ -29,11 +29,11 @@ unsigned hardware_threads() noexcept {
 unsigned thread_count() noexcept {
   if (const unsigned forced = g_override.load(std::memory_order_relaxed))
     return forced;
-  const auto value = util::env_text("CS_THREADS");
+  const auto value = util::env_text(util::Knob::kThreads);
   if (!value) return hardware_threads();
   if (const auto parsed = parse_threads(*value)) return *parsed;
   obs::log_warn("exec", "{}",
-                util::env_malformed("CS_THREADS", *value,
+                util::env_malformed(util::Knob::kThreads, *value,
                                     "a non-negative integer; 0 = hardware "
                                     "concurrency"));
   return hardware_threads();

@@ -1,14 +1,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <type_traits>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "util/sync.h"
 
 /// Fork-join building blocks over the global thread pool.
 ///
@@ -40,9 +39,9 @@ struct RegionState {
   std::atomic<std::size_t> next_chunk{0};
   std::size_t chunk_count = 0;
   std::atomic<unsigned> live_runners{0};
-  std::mutex mutex;
-  std::condition_variable done;
-  std::exception_ptr error;  ///< first failure; guarded by mutex
+  util::Mutex mutex;
+  util::CondVar done;
+  std::exception_ptr error CS_GUARDED_BY(mutex);  ///< first failure
 
   void abandon_remaining() noexcept {
     next_chunk.store(chunk_count, std::memory_order_relaxed);
@@ -86,7 +85,7 @@ void parallel_for_chunks(std::size_t n, std::size_t grain, Fn&& fn) {
       try {
         run_chunk(chunk);
       } catch (...) {
-        std::lock_guard lock{state.mutex};
+        util::LockGuard lock{state.mutex};
         if (!state.error) state.error = std::current_exception();
         state.abandon_remaining();
       }
@@ -99,20 +98,21 @@ void parallel_for_chunks(std::size_t n, std::size_t grain, Fn&& fn) {
   for (unsigned r = 0; r < runners; ++r) {
     pool.submit([&state, &drain] {
       drain();
-      std::lock_guard lock{state.mutex};
+      util::LockGuard lock{state.mutex};
       if (state.live_runners.fetch_sub(1, std::memory_order_acq_rel) == 1)
         state.done.notify_one();
     });
   }
 
   drain();  // the caller is a lane too
+  std::exception_ptr error;
   {
-    std::unique_lock lock{state.mutex};
-    state.done.wait(lock, [&state] {
-      return state.live_runners.load(std::memory_order_acquire) == 0;
-    });
+    util::LockGuard lock{state.mutex};
+    while (state.live_runners.load(std::memory_order_acquire) != 0)
+      state.done.wait(state.mutex);
+    error = state.error;
   }
-  if (state.error) std::rethrow_exception(state.error);
+  if (error) std::rethrow_exception(error);
 }
 
 /// Per-index parallel loop: fn(i) for every i in [0, n).

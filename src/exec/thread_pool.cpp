@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/format.h"
+#include "util/sync.h"
 
 namespace cs::exec {
 namespace {
@@ -37,7 +38,7 @@ ThreadPool::ThreadPool(unsigned threads) : size_(threads == 0 ? 1 : threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock{sleep_mutex_};
+    util::LockGuard lock{sleep_mutex_};
     stop_.store(true, std::memory_order_relaxed);
   }
   wake_.notify_all();
@@ -56,7 +57,7 @@ void ThreadPool::submit(Task task) {
       next_queue_.fetch_add(1, std::memory_order_relaxed) % size_;
   std::size_t depth;
   {
-    std::lock_guard lock{queues_[target]->mutex};
+    util::LockGuard lock{queues_[target]->mutex};
     queues_[target]->tasks.push_back(std::move(task));
     depth = queues_[target]->tasks.size();
   }
@@ -74,9 +75,9 @@ void ThreadPool::submit(Task task) {
   static auto& depth_metric = obs::gauge("exec.pool.max_queue_depth");
   depth_metric.set(max_depth_.load(std::memory_order_relaxed));
   {
-    // Lock-step with the sleeper's predicate check so a worker that just
-    // saw an empty pool cannot miss this wakeup.
-    std::lock_guard lock{sleep_mutex_};
+    // Lock-step with the sleeper's wait-condition check so a worker that
+    // just saw an empty pool cannot miss this wakeup.
+    util::LockGuard lock{sleep_mutex_};
   }
   wake_.notify_one();
 }
@@ -88,7 +89,7 @@ bool ThreadPool::try_run_one(unsigned self) {
   {
     // Own deque first, newest-first (cache-warm).
     auto& mine = *queues_[self];
-    std::lock_guard lock{mine.mutex};
+    util::LockGuard lock{mine.mutex};
     if (!mine.tasks.empty()) {
       task = std::move(mine.tasks.back());
       mine.tasks.pop_back();
@@ -98,7 +99,7 @@ bool ThreadPool::try_run_one(unsigned self) {
     // Steal oldest-first from the other deques.
     for (unsigned k = 1; k < size_ && !task; ++k) {
       auto& victim = *queues_[(self + k) % size_];
-      std::lock_guard lock{victim.mutex};
+      util::LockGuard lock{victim.mutex};
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -124,11 +125,10 @@ void ThreadPool::worker_loop(unsigned index) {
       util::fmt("exec-worker-{}", index));
   for (;;) {
     if (try_run_one(index)) continue;
-    std::unique_lock lock{sleep_mutex_};
-    wake_.wait(lock, [this] {
-      return stop_.load(std::memory_order_relaxed) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    util::LockGuard lock{sleep_mutex_};
+    while (!stop_.load(std::memory_order_relaxed) &&
+           pending_.load(std::memory_order_acquire) == 0)
+      wake_.wait(sleep_mutex_);
     if (stop_.load(std::memory_order_relaxed) &&
         pending_.load(std::memory_order_acquire) == 0)
       return;
@@ -139,7 +139,7 @@ bool ThreadPool::on_worker_thread() noexcept { return tls_on_worker; }
 
 namespace {
 
-std::mutex g_global_mutex;
+util::Mutex g_global_mutex;
 std::unique_ptr<ThreadPool>& global_slot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
@@ -148,14 +148,14 @@ std::unique_ptr<ThreadPool>& global_slot() {
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard lock{g_global_mutex};
+  util::LockGuard lock{g_global_mutex};
   auto& slot = global_slot();
   if (!slot) slot = std::make_unique<ThreadPool>(thread_count());
   return *slot;
 }
 
 void ThreadPool::rebuild_global() {
-  std::lock_guard lock{g_global_mutex};
+  util::LockGuard lock{g_global_mutex};
   global_slot().reset();
 }
 

@@ -1,14 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 /// A work-stealing thread pool sized by CS_THREADS.
 ///
@@ -69,8 +69,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<Task> tasks;
+    util::Mutex mutex;
+    std::deque<Task> tasks CS_GUARDED_BY(mutex);
   };
 
   void worker_loop(unsigned index);
@@ -79,8 +79,8 @@ class ThreadPool {
   unsigned size_ = 1;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
-  std::mutex sleep_mutex_;
-  std::condition_variable wake_;
+  util::Mutex sleep_mutex_;
+  util::CondVar wake_;
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> pending_{0};
   std::atomic<unsigned> next_queue_{0};

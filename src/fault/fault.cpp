@@ -2,11 +2,11 @@
 
 #include <charconv>
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/log.h"
 #include "util/env.h"
+#include "util/sync.h"
 
 namespace cs::fault {
 namespace {
@@ -168,13 +168,13 @@ std::atomic<int> g_state{-1};
 std::atomic<const Plan*> g_plan{nullptr};
 
 const Plan* init_plan_from_env() noexcept {
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock{mutex};
+  static util::Mutex mutex;
+  util::LockGuard lock{mutex};
   const int current = g_state.load(std::memory_order_acquire);
   if (current >= 0)  // another thread (or a ScopedPlan) won the race
     return current == 1 ? g_plan.load(std::memory_order_acquire) : nullptr;
 
-  const auto env = util::env_text("CS_FAULT");
+  const auto env = util::env_text(util::Knob::kFault);
   if (!env) {
     g_state.store(0, std::memory_order_release);
     return nullptr;
@@ -185,7 +185,7 @@ const Plan* init_plan_from_env() noexcept {
       obs::log_warn(
           "fault", "{}",
           util::env_malformed(
-              "CS_FAULT", *env,
+              util::Knob::kFault, *env,
               "loss=P,timeout=P,truncate=P,servfail=P[,corrupt=P]"
               "[,vantage_drop=P][,stage_abort=P][,seed=N] with P in [0,1]"));
     g_state.store(0, std::memory_order_release);

@@ -125,14 +125,14 @@ std::optional<ChaosProfile> ChaosProfile::parse(
 }
 
 ChaosProfile chaos_profile_from_env() {
-  const auto text = util::env_text("CS_CHAOS");
+  const auto text = util::env_text(util::Knob::kChaos);
   if (!text) return ChaosProfile{};
   const auto parsed = ChaosProfile::parse(*text);
   if (!parsed) {
     obs::log_warn(
         "netio.chaos", "{}",
         util::env_malformed(
-            "CS_CHAOS", *text,
+            util::Knob::kChaos, *text,
             "drop=P,dup=P,reorder=P,delay_us=N,jitter_us=N,corrupt=P,seed=N "
             "with P in [0,1]"));
     return ChaosProfile{};
@@ -170,7 +170,7 @@ ChaosLink::Verdict ChaosLink::decide(ChaosDirection direction,
   static auto& corrupts = obs::counter("netio.chaos.corrupts");
 
   Verdict verdict;
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   auto& state = keys_[exchange_key];
   const std::uint32_t attempt =
       state.attempts[static_cast<std::size_t>(direction)]++;

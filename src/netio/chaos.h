@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
 
 #include "exec/sharded_rng.h"
+#include "util/sync.h"
 
 /// Deterministic wire-level impairment for the loopback UDP path.
 ///
@@ -126,8 +126,8 @@ class ChaosLink {
   exec::ShardedRng reorder_root_;
   exec::ShardedRng corrupt_root_;
   exec::ShardedRng delay_root_;
-  std::mutex mutex_;
-  std::unordered_map<std::uint64_t, KeyState> keys_;
+  util::Mutex mutex_;
+  std::unordered_map<std::uint64_t, KeyState> keys_ CS_GUARDED_BY(mutex_);
 };
 
 }  // namespace cs::netio

@@ -8,13 +8,13 @@ namespace {
 
 /// Strict unsigned knob with a floor of 1; malformed or zero values warn
 /// once through the uniform util::env message and keep `fallback`.
-unsigned env_unsigned_knob(const char* name, unsigned fallback,
+unsigned env_unsigned_knob(util::Knob knob, unsigned fallback,
                            const char* expected) {
-  const auto text = util::env_text(name);
+  const auto text = util::env_text(knob);
   if (!text) return fallback;
   const auto parsed = util::parse_env_unsigned(*text);
   if (!parsed || *parsed == 0) {
-    obs::log_warn("netio", "{}", util::env_malformed(name, *text, expected));
+    obs::log_warn("netio", "{}", util::env_malformed(knob, *text, expected));
     return fallback;
   }
   return *parsed;
@@ -23,37 +23,38 @@ unsigned env_unsigned_knob(const char* name, unsigned fallback,
 }  // namespace
 
 TransportMode transport_mode_from_env() {
-  const auto text = util::env_text("CS_TRANSPORT");
+  const auto text = util::env_text(util::Knob::kTransport);
   if (!text || *text == "sim") return TransportMode::kSim;
   if (*text == "socket") return TransportMode::kSocket;
-  obs::log_warn("netio", "{}",
-                util::env_malformed("CS_TRANSPORT", *text, "sim|socket"));
+  obs::log_warn(
+      "netio", "{}",
+      util::env_malformed(util::Knob::kTransport, *text, "sim|socket"));
   return TransportMode::kSim;
 }
 
 LoopbackDns::Options LoopbackDns::options_from_env() {
   Options options;
   options.server_threads =
-      env_unsigned_knob("CS_NETIO_THREADS", options.server_threads,
+      env_unsigned_knob(util::Knob::kNetioThreads, options.server_threads,
                         "reactor thread count >= 1");
   options.max_in_flight =
-      env_unsigned_knob("CS_NETIO_INFLIGHT", options.max_in_flight,
+      env_unsigned_knob(util::Knob::kNetioInflight, options.max_in_flight,
                         "in-flight query cap >= 1");
   options.rto_us = env_unsigned_knob(
-      "CS_NETIO_RTO_US", static_cast<unsigned>(options.rto_us),
+      util::Knob::kNetioRtoUs, static_cast<unsigned>(options.rto_us),
       "initial retransmit timeout in us >= 1");
   options.max_attempts =
-      env_unsigned_knob("CS_NETIO_MAX_ATTEMPTS", options.max_attempts,
+      env_unsigned_knob(util::Knob::kNetioMaxAttempts, options.max_attempts,
                         "send attempts per exchange >= 1");
   options.retry_budget_cap = env_unsigned_knob(
-      "CS_NETIO_RETRY_BUDGET",
+      util::Knob::kNetioRetryBudget,
       static_cast<unsigned>(options.retry_budget_cap),
       "retry token bucket capacity >= 1");
-  options.breaker_threshold =
-      env_unsigned_knob("CS_NETIO_BREAKER_FAILS", options.breaker_threshold,
-                        "consecutive expiries to open the breaker >= 1");
+  options.breaker_threshold = env_unsigned_knob(
+      util::Knob::kNetioBreakerFails, options.breaker_threshold,
+      "consecutive expiries to open the breaker >= 1");
   options.breaker_cooldown_us = env_unsigned_knob(
-      "CS_NETIO_BREAKER_COOLDOWN_US",
+      util::Knob::kNetioBreakerCooldownUs,
       static_cast<unsigned>(options.breaker_cooldown_us),
       "breaker open->half-open delay in us >= 1");
   options.chaos = chaos_profile_from_env();

@@ -9,6 +9,7 @@
 
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "util/sync.h"
 
 namespace cs::netio {
 namespace {
@@ -62,7 +63,7 @@ TimerWheel::Token Reactor::run_after(std::uint64_t delay_us,
   const std::uint64_t deadline = now_us() + delay_us;
   TimerWheel::Token token;
   {
-    std::lock_guard lock{wheel_mutex_};
+    util::LockGuard lock{wheel_mutex_};
     token = wheel_.schedule(deadline, std::move(fn));
   }
   const std::uint64_t sleeping_until =
@@ -72,7 +73,7 @@ TimerWheel::Token Reactor::run_after(std::uint64_t delay_us,
 }
 
 bool Reactor::cancel_timer(TimerWheel::Token token) {
-  std::lock_guard lock{wheel_mutex_};
+  util::LockGuard lock{wheel_mutex_};
   return wheel_.cancel(token);
 }
 
@@ -104,7 +105,7 @@ void Reactor::loop() {
     // Sleep until the earliest timer (capped) or a readable fd/wakeup.
     int timeout_ms = kIdleSleepMs;
     {
-      std::lock_guard lock{wheel_mutex_};
+      util::LockGuard lock{wheel_mutex_};
       if (const auto deadline = wheel_.next_deadline()) {
         const std::uint64_t now = now_us();
         timeout_ms = *deadline <= now
@@ -137,7 +138,7 @@ void Reactor::loop() {
     }
     std::vector<std::function<void()>> fired;
     {
-      std::lock_guard lock{wheel_mutex_};
+      util::LockGuard lock{wheel_mutex_};
       fired = wheel_.advance(now_us());
     }
     for (auto& fn : fired) fn();

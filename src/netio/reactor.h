@@ -3,13 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "netio/timer_wheel.h"
+#include "util/sync.h"
 
 /// Single-threaded epoll event loop: the heart of the netio subsystem.
 ///
@@ -77,8 +77,8 @@ class Reactor {
   std::thread thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex wheel_mutex_;
-  TimerWheel wheel_;
+  mutable util::Mutex wheel_mutex_;
+  TimerWheel wheel_ CS_GUARDED_BY(wheel_mutex_);
   /// The deadline the loop is currently sleeping toward (us, 0 = none);
   /// run_after only pays the eventfd wakeup when it beats this.
   std::atomic<std::uint64_t> sleep_until_us_{0};

@@ -8,6 +8,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace cs::netio {
 namespace {
@@ -70,7 +71,7 @@ SocketDnsTransport::SocketDnsTransport(Options options)
 SocketDnsTransport::~SocketDnsTransport() { stop(); }
 
 bool SocketDnsTransport::start() {
-  if (running_) return true;
+  if (running()) return true;
   if (options_.server_port == 0) {
     obs::log_error("netio.client", "no server port configured");
     return false;
@@ -93,10 +94,13 @@ bool SocketDnsTransport::start() {
       return false;
     }
   }
-  free_ids_.clear();
-  for (std::size_t id = 0; id < kMuxIds; ++id)
-    free_ids_.push_back(static_cast<std::uint16_t>(id));
-  running_ = true;
+  {
+    util::LockGuard lock{mutex_};
+    free_ids_.clear();
+    for (std::size_t id = 0; id < kMuxIds; ++id)
+      free_ids_.push_back(static_cast<std::uint16_t>(id));
+  }
+  running_.store(true, std::memory_order_release);
   reactor_.start();
   obs::log_info("netio.client",
                 "connected {} sockets to 127.0.0.1:{} (in-flight cap {}, "
@@ -109,9 +113,9 @@ bool SocketDnsTransport::start() {
 
 void SocketDnsTransport::stop() {
   {
-    std::lock_guard lock{mutex_};
-    if (!running_) return;
-    running_ = false;
+    util::LockGuard lock{mutex_};
+    if (!running_.load(std::memory_order_relaxed)) return;
+    running_.store(false, std::memory_order_release);
     // Fail every still-blocked exchange; their callers wake with nullopt.
     std::vector<std::uint16_t> live;
     live.reserve(pending_.size());
@@ -176,12 +180,14 @@ void SocketDnsTransport::send_query_locked(Pending& p) {
       sockets_[index].send(bytes);
       return;
     }
-    // Held-back copies go out through the reactor's own timer wheel; the
-    // lock re-check keeps the send inside the sockets' lifetime (stop()
-    // joins the reactor before it closes them).
+    // Held-back copies go out through the reactor's own timer wheel.
+    // Lock-free on purpose: B1 bans mutex acquisition inside reactor
+    // callbacks, and none is needed — the atomic running_ check plus
+    // stop()'s join-before-close ordering (the reactor joins before the
+    // sockets close) keep the send inside the sockets' lifetime.
     reactor_.run_after(delay_us, [this, index, bytes = std::move(bytes)] {
-      std::lock_guard lock{mutex_};
-      if (running_) sockets_[index].send(bytes);
+      if (running_.load(std::memory_order_acquire))
+        sockets_[index].send(bytes);
     });
   };
   auto bytes = p.datagram;
@@ -202,12 +208,12 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
   std::shared_ptr<Pending> p;
   std::uint16_t mux_id = 0;
   {
-    std::unique_lock lock{mutex_};
+    util::LockGuard lock{mutex_};
     // Bounded in-flight backpressure: hold the caller until a slot frees.
-    slot_free_.wait(lock, [this] {
-      return !running_ || in_flight_ < options_.max_in_flight;
-    });
-    if (!running_) return std::nullopt;
+    while (running_.load(std::memory_order_relaxed) &&
+           in_flight_ >= options_.max_in_flight)
+      slot_free_.wait(mutex_);
+    if (!running_.load(std::memory_order_relaxed)) return std::nullopt;
     exchanges.inc();
     // Fail fast while the server's breaker is open: no slot, no send, no
     // retransmit schedule — the caller sees the same nullopt a timeout
@@ -259,11 +265,14 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
           options_.max_rto_us * 2 * options_.max_attempts + 1'000'000);
   bool done = false;
   {
-    std::unique_lock pl{p->m};
-    done = p->cv.wait_until(pl, guard_deadline, [&] { return p->done; });
+    util::LockGuard pl{p->m};
+    while (!p->done && p->cv.wait_until(p->m, guard_deadline) !=
+                           std::cv_status::timeout) {
+    }
+    done = p->done;
   }
   if (!done) {
-    std::lock_guard lock{mutex_};
+    util::LockGuard lock{mutex_};
     if (const auto it = pending_.find(mux_id);
         it != pending_.end() && it->second == p) {
       guard_trips.inc();
@@ -274,7 +283,7 @@ std::optional<std::vector<std::uint8_t>> SocketDnsTransport::exchange(
       settle_locked(mux_id, std::nullopt);
     }
   }
-  std::lock_guard pl{p->m};
+  util::LockGuard pl{p->m};
   return std::move(p->result);
 }
 
@@ -301,7 +310,7 @@ void SocketDnsTransport::on_frame(std::span<const std::uint8_t> datagram) {
     return;
   }
 
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   const auto it = pending_.find(*mux_id);
   // A missing or mismatched slot is a straggler from an already-settled
   // exchange (e.g. a retransmit raced its own first response); the FIFO
@@ -339,7 +348,7 @@ void SocketDnsTransport::on_retransmit_deadline(std::uint16_t mux_id) {
   static auto& rejections = obs::counter("netio.client.retry_budget_rejections");
   static auto& budget_gauge = obs::gauge("netio.client.retry_budget_tokens");
 
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   const auto it = pending_.find(mux_id);
   if (it == pending_.end()) return;  // settled while the timer fired
   auto& p = *it->second;
@@ -394,7 +403,7 @@ void SocketDnsTransport::settle_locked(
   exchange_histogram().observe(
       static_cast<double>(Reactor::now_us() - p->sent_us));
   {
-    std::lock_guard pl{p->m};
+    util::LockGuard pl{p->m};
     p->done = true;
     p->result = std::move(result);
   }

@@ -1,10 +1,9 @@
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "netio/reactor.h"
 #include "netio/resilience.h"
 #include "netio/socket.h"
+#include "util/sync.h"
 
 /// The client half of the live-socket DNS backend.
 ///
@@ -80,7 +80,9 @@ class SocketDnsTransport final : public dns::DnsTransport {
   /// Fails every still-blocked exchange and joins the reactor.
   void stop();
 
-  bool running() const noexcept { return running_; }
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
 
   /// Blocking send-and-wait; thread-safe, pipelined across callers.
   std::optional<std::vector<std::uint8_t>> exchange(
@@ -89,10 +91,10 @@ class SocketDnsTransport final : public dns::DnsTransport {
 
  private:
   struct Pending {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
-    std::optional<std::vector<std::uint8_t>> result;
+    util::Mutex m;
+    util::CondVar cv;
+    bool done CS_GUARDED_BY(m) = false;
+    std::optional<std::vector<std::uint8_t>> result CS_GUARDED_BY(m);
 
     net::Ipv4 server;                  ///< expected responder
     std::uint16_t original_id = 0;     ///< resolver's DNS header ID
@@ -120,32 +122,37 @@ class SocketDnsTransport final : public dns::DnsTransport {
   };
 
   void drain(std::size_t socket_index);
-  void on_frame(std::span<const std::uint8_t> datagram);
-  void on_retransmit_deadline(std::uint16_t mux_id);
-  /// Completes and unblocks one exchange; caller holds mutex_.
+  void on_frame(std::span<const std::uint8_t> datagram) CS_EXCLUDES(mutex_);
+  void on_retransmit_deadline(std::uint16_t mux_id) CS_EXCLUDES(mutex_);
+  /// Completes and unblocks one exchange.
   void settle_locked(std::uint16_t mux_id,
-                     std::optional<std::vector<std::uint8_t>> result);
-  /// Sends (or chaos-impairs) one copy of the pending query's datagram;
-  /// caller holds mutex_.
-  void send_query_locked(Pending& p);
-  ServerState& server_state_locked(std::uint32_t server);
-  /// Breaker failure with trip/open accounting; caller holds mutex_.
-  void breaker_failure_locked(ServerState& state);
-  void breaker_success_locked(ServerState& state);
+                     std::optional<std::vector<std::uint8_t>> result)
+      CS_REQUIRES(mutex_);
+  /// Sends (or chaos-impairs) one copy of the pending query's datagram.
+  void send_query_locked(Pending& p) CS_REQUIRES(mutex_);
+  ServerState& server_state_locked(std::uint32_t server) CS_REQUIRES(mutex_);
+  /// Breaker failure with trip/open accounting.
+  void breaker_failure_locked(ServerState& state) CS_REQUIRES(mutex_);
+  void breaker_success_locked(ServerState& state) CS_REQUIRES(mutex_);
 
   Options options_;
   Reactor reactor_{"netio-client"};
   std::vector<UdpSocket> sockets_;
-  bool running_ = false;
+  /// Lifecycle flag. Reads are lock-free (the running() accessor and the
+  /// chaos-delayed send path); every transition happens under mutex_, so
+  /// exchange()'s locked re-check still rules out a send-after-stop.
+  std::atomic<bool> running_{false};
 
-  std::mutex mutex_;
-  std::condition_variable slot_free_;
-  std::deque<std::uint16_t> free_ids_;
-  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> pending_;
-  std::unordered_map<std::uint32_t, ServerState> servers_;
-  RetryBudget budget_;
-  unsigned in_flight_ = 0;
-  unsigned breakers_open_ = 0;
+  util::Mutex mutex_;
+  util::CondVar slot_free_;
+  std::deque<std::uint16_t> free_ids_ CS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint16_t, std::shared_ptr<Pending>> pending_
+      CS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint32_t, ServerState> servers_
+      CS_GUARDED_BY(mutex_);
+  RetryBudget budget_ CS_GUARDED_BY(mutex_);
+  unsigned in_flight_ CS_GUARDED_BY(mutex_) = 0;
+  unsigned breakers_open_ CS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace cs::netio

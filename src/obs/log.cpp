@@ -2,16 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 
 #include "util/env.h"
+#include "util/sync.h"
 
 namespace cs::obs {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = not yet initialized from the env
-std::mutex g_emit_mutex;
+util::Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -46,7 +46,7 @@ std::optional<LogLevel> try_parse_log_level(std::string_view text) noexcept {
 LogLevel init_from_env() noexcept {
   LogLevel level = LogLevel::kWarn;
   std::optional<std::string> malformed;
-  if (const auto env = util::env_text("CS_LOG_LEVEL")) {
+  if (const auto env = util::env_text(util::Knob::kLogLevel)) {
     if (const auto parsed = try_parse_log_level(*env))
       level = *parsed;
     else
@@ -56,7 +56,7 @@ LogLevel init_from_env() noexcept {
   // Warn only after the level is installed, so the warning itself obeys it.
   if (malformed && level <= LogLevel::kWarn)
     log_line(LogLevel::kWarn, "obs",
-             util::env_malformed("CS_LOG_LEVEL", *malformed,
+             util::env_malformed(util::Knob::kLogLevel, *malformed,
                                  "trace/debug/info/warn/error/off"));
   return level;
 }
@@ -79,7 +79,7 @@ void set_log_level(LogLevel level) noexcept {
 
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
-  std::lock_guard lock{g_emit_mutex};
+  util::LockGuard lock{g_emit_mutex};
   // The logger's terminal sink: the one place in library code where
   // bytes are allowed to reach stderr.
   // cslint:allow(L1): obs::log IS the sanctioned sink itself

@@ -5,6 +5,7 @@
 
 #include "obs/log.h"
 #include "util/env.h"
+#include "util/sync.h"
 
 namespace cs::obs {
 
@@ -12,12 +13,12 @@ namespace detail {
 
 int init_detailed_metrics_from_env() noexcept {
   int on = 0;
-  if (const auto env = util::env_text("CS_METRICS")) {
+  if (const auto env = util::env_text(util::Knob::kMetrics)) {
     if (const auto flag = util::parse_env_flag(*env)) {
       on = *flag ? 1 : 0;
     } else {
       log_warn("obs", "{}",
-               util::env_malformed("CS_METRICS", *env,
+               util::env_malformed(util::Knob::kMetrics, *env,
                                    "1/true/on/yes or 0/false/off/no"));
     }
   }
@@ -96,7 +97,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string{name}, std::make_unique<Counter>())
@@ -104,7 +105,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string{name}, std::make_unique<Gauge>())
@@ -113,7 +114,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_
@@ -123,7 +124,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)
@@ -145,7 +146,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

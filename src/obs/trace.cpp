@@ -6,6 +6,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/env.h"
+#include "util/sync.h"
 #include "util/table.h"
 
 namespace cs::obs {
@@ -52,7 +53,8 @@ Tracer::Tracer() : epoch_ns_(steady_now_ns()) {
   // The thread constructing the tracer is, in practice, the program's main
   // thread; give its lane a readable name up front.
   thread_names_[thread_ordinal()] = "main";
-  if (const auto path = util::env_text("CS_TRACE")) enable_export(*path);
+  if (const auto path = util::env_text(util::Knob::kTrace))
+    enable_export(*path);
 }
 
 Tracer& Tracer::instance() {
@@ -71,7 +73,7 @@ void Tracer::enable_collection() {
 
 void Tracer::enable_export(std::string path) {
   {
-    std::lock_guard lock{mutex_};
+    util::LockGuard lock{mutex_};
     const bool first_export = export_path_.empty();
     export_path_ = std::move(path);
     if (first_export)
@@ -79,7 +81,7 @@ void Tracer::enable_export(std::string path) {
         Tracer& tracer = Tracer::instance();
         std::string path;
         {
-          std::lock_guard exit_lock{tracer.mutex_};
+          util::LockGuard exit_lock{tracer.mutex_};
           path = tracer.export_path_;
         }
         if (!path.empty()) tracer.write_chrome_json(path);
@@ -93,7 +95,7 @@ void Tracer::disable() noexcept {
 }
 
 void Tracer::clear() {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   events_.clear();
   counter_events_.clear();
 }
@@ -101,7 +103,7 @@ void Tracer::clear() {
 void Tracer::record_counter(std::string_view name, double value) {
   if (!enabled()) return;
   const std::uint64_t ts = epoch_now_us();
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   CounterEvent event;
   event.name.assign(name);
   event.ts_us = ts;
@@ -110,7 +112,7 @@ void Tracer::record_counter(std::string_view name, double value) {
 }
 
 std::vector<CounterEvent> Tracer::counter_events() const {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   return counter_events_;
 }
 
@@ -126,20 +128,20 @@ std::uint32_t Tracer::thread_ordinal() {
 }
 
 void Tracer::set_thread_name(std::string name) {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   thread_names_[thread_ordinal()] = std::move(name);
 }
 
 std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names()
     const {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   return {thread_names_.begin(), thread_names_.end()};
 }
 
 std::int32_t Tracer::record(std::string_view name, std::uint64_t start_us,
                             std::uint64_t dur_us, std::int32_t parent,
                             std::int32_t depth, std::uint32_t tid) {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   SpanEvent event;
   event.name.assign(name);
   event.start_us = start_us;
@@ -152,13 +154,13 @@ std::int32_t Tracer::record(std::string_view name, std::uint64_t start_us,
 }
 
 void Tracer::patch_duration(std::int32_t index, std::uint64_t dur_us) {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   if (index < 0 || static_cast<std::size_t>(index) >= events_.size()) return;
   events_[static_cast<std::size_t>(index)].dur_us = dur_us;
 }
 
 std::vector<SpanEvent> Tracer::events() const {
-  std::lock_guard lock{mutex_};
+  util::LockGuard lock{mutex_};
   return events_;
 }
 

@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 /// Pipeline spans: RAII timers that nest, aggregate into a per-stage
 /// summary table, and export as Chrome trace-event JSON.
@@ -125,12 +126,12 @@ class Tracer {
   Tracer();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<SpanEvent> events_;
-  std::vector<CounterEvent> counter_events_;
-  std::map<std::uint32_t, std::string> thread_names_;
-  std::string export_path_;
-  std::int64_t epoch_ns_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<SpanEvent> events_ CS_GUARDED_BY(mutex_);
+  std::vector<CounterEvent> counter_events_ CS_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, std::string> thread_names_ CS_GUARDED_BY(mutex_);
+  std::string export_path_ CS_GUARDED_BY(mutex_);
+  std::int64_t epoch_ns_ = 0;  ///< immutable after construction
 };
 
 /// RAII span. Opens on construction, records on destruction. When the

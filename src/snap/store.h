@@ -6,7 +6,6 @@
 #include <string_view>
 #include <vector>
 
-#include "snap/artifacts.h"
 #include "snap/codec.h"
 
 /// Checkpoint directory management: one `<stage>.snap` file per completed

@@ -12,12 +12,29 @@ bool iequals(std::string_view a, std::string_view b) noexcept {
   return true;
 }
 
+constexpr KnobInfo kRegistry[] = {
+#define CS_KNOB(id, name, kind, fallback, doc) \
+  {Knob::id, name, #kind, fallback, doc},
+#include "util/knobs.def"
+#undef CS_KNOB
+};
+
 }  // namespace
+
+std::span<const KnobInfo> knob_registry() noexcept { return kRegistry; }
+
+const KnobInfo& knob_info(Knob knob) noexcept {
+  return kRegistry[static_cast<std::size_t>(knob)];
+}
 
 std::optional<std::string> env_text(const char* name) {
   const char* value = std::getenv(name);
   if (!value || !*value) return std::nullopt;
   return std::string{value};
+}
+
+std::optional<std::string> env_text(Knob knob) {
+  return env_text(knob_info(knob).name);
 }
 
 std::string env_malformed(std::string_view name, std::string_view value,
@@ -30,6 +47,11 @@ std::string env_malformed(std::string_view name, std::string_view value,
   out += expected;
   out += ")";
   return out;
+}
+
+std::string env_malformed(Knob knob, std::string_view value,
+                          std::string_view expected) {
+  return env_malformed(knob_info(knob).name, value, expected);
 }
 
 std::optional<bool> parse_env_flag(std::string_view text) noexcept {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -11,18 +12,53 @@
 /// malformed-value message, so a misspelt knob always warns the same way
 /// instead of silently changing behaviour.
 ///
+/// Knob *names* live in one place too: src/util/knobs.def is an X-macro
+/// registry of every CS_* knob, expanded here into the Knob enum and its
+/// metadata. In-tree readers name knobs by enum (`env_text(Knob::kTrace)`)
+/// so a typo'd knob is a compile error, and cslint's K1 check holds the
+/// registry, the code, and the README's knob table to the same list.
+///
 /// util cannot depend on obs, so nothing here logs: parsers return
 /// nullopt and `env_malformed` renders the uniform warning text for the
 /// caller to emit through its own component logger.
 namespace cs::util {
 
+/// Every registered CS_* knob, generated from src/util/knobs.def.
+enum class Knob {
+#define CS_KNOB(id, name, kind, fallback, doc) id,
+#include "util/knobs.def"
+#undef CS_KNOB
+};
+
+/// Registry metadata for one knob (all strings are static literals).
+struct KnobInfo {
+  Knob knob;
+  const char* name;      ///< the environment variable, "CS_*"
+  const char* kind;      ///< flag|unsigned|text|path|enumerated|spec|build
+  const char* fallback;  ///< human-readable default when unset
+  const char* doc;       ///< one-line summary
+};
+
+/// Every registered knob, in knobs.def order.
+std::span<const KnobInfo> knob_registry() noexcept;
+
+/// Metadata for one knob.
+const KnobInfo& knob_info(Knob knob) noexcept;
+
 /// The variable's value, or nullopt when unset or empty (the two are
 /// deliberately equivalent: `CS_TRACE= cmd` disables like unsetting does).
 std::optional<std::string> env_text(const char* name);
 
+/// Registry-keyed read: the preferred spelling for in-tree callers.
+std::optional<std::string> env_text(Knob knob);
+
 /// The uniform warning for a malformed value:
 /// `ignoring NAME='value' (want EXPECTED)`.
 std::string env_malformed(std::string_view name, std::string_view value,
+                          std::string_view expected);
+
+/// Registry-keyed form of the malformed-value warning.
+std::string env_malformed(Knob knob, std::string_view value,
                           std::string_view expected);
 
 /// Strict boolean: 1/true/on/yes or 0/false/off/no, case-insensitive.

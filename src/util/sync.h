@@ -1,0 +1,91 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+/// Annotated synchronization primitives.
+///
+/// Every mutex in src/ is a cs::util::Mutex so Clang's thread-safety
+/// analysis (-Werror=thread-safety in the `thread-safety` CI job) can
+/// prove lock discipline at compile time: data members declare their
+/// lock with CS_GUARDED_BY, functions that expect the lock held declare
+/// CS_REQUIRES, and a forgotten LockGuard is a build error, not a TSan
+/// flake. The wrappers are zero-cost shims over the std primitives.
+///
+/// CondVar deliberately has no predicate-taking wait: a predicate lambda
+/// is a separate function to the analysis, so guarded reads inside it
+/// would need their own annotations. Call sites spell the loop out
+///
+///   while (!condition) cv.wait(mutex);
+///
+/// which keeps the guarded reads in the scope that provably holds the
+/// lock.
+namespace cs::util {
+
+class CS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CS_ACQUIRE() { m_.lock(); }
+  void unlock() CS_RELEASE() { m_.unlock(); }
+  bool try_lock() CS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over a Mutex; the std::lock_guard of this codebase.
+class CS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) CS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() CS_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable bound to Mutex. wait() atomically releases and
+/// reacquires the caller's lock, exactly like std::condition_variable;
+/// the CS_REQUIRES annotation makes "wait without the lock" a compile
+/// error under Clang.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& m) CS_REQUIRES(m) {
+    std::unique_lock<std::mutex> adopted{m.m_, std::adopt_lock};
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  /// Returns std::cv_status::timeout when `deadline` passed before a
+  /// notification (spurious wakeups report no_timeout, as with std).
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& m, const std::chrono::time_point<Clock, Duration>& deadline)
+      CS_REQUIRES(m) {
+    std::unique_lock<std::mutex> adopted{m.m_, std::adopt_lock};
+    const auto status = cv_.wait_until(adopted, deadline);
+    adopted.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cs::util

@@ -1,0 +1,48 @@
+#pragma once
+
+// Clang thread-safety analysis attributes behind CS_* macros.
+//
+// The wrappers in util/sync.h attach these to cs::util::Mutex and
+// cs::util::LockGuard; data members guarded by a mutex declare it with
+// CS_GUARDED_BY, and functions that expect the caller to hold a lock
+// declare CS_REQUIRES. Under Clang the `thread-safety` CI job compiles
+// src/ with -Werror=thread-safety so lock-discipline regressions fail
+// the build; under GCC the macros expand to nothing and cost nothing.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CS_THREAD_ANNOTATION_(x)
+#endif
+
+// Type attribute: marks a class as a lockable capability ("mutex").
+#define CS_CAPABILITY(name) CS_THREAD_ANNOTATION_(capability(name))
+
+// Marks a RAII class whose constructor acquires and destructor releases.
+#define CS_SCOPED_CAPABILITY CS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data-member attribute: reads/writes require holding `mu`.
+#define CS_GUARDED_BY(mu) CS_THREAD_ANNOTATION_(guarded_by(mu))
+
+// Pointer-member attribute: the pointed-to data requires holding `mu`.
+#define CS_PT_GUARDED_BY(mu) CS_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+// Function attributes: caller must hold / must not hold the capability.
+#define CS_REQUIRES(...) \
+  CS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define CS_EXCLUDES(...) CS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function attributes: the call acquires / releases the capability.
+#define CS_ACQUIRE(...) CS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define CS_RELEASE(...) CS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define CS_TRY_ACQUIRE(...) \
+  CS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Function attribute: the return value is guarded by the capability.
+#define CS_RETURN_CAPABILITY(x) CS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (document why at use).
+#define CS_NO_THREAD_SAFETY_ANALYSIS \
+  CS_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -1,0 +1,29 @@
+// Negative-compile fixture: reading a CS_GUARDED_BY member without its
+// mutex must be rejected under -Werror=thread-safety. The ctest entry
+// (tests/CMakeLists.txt, Clang-only) builds this target expecting
+// FAILURE — if this file ever compiles under Clang, the annotation layer
+// has stopped enforcing anything and the test fails.
+#include "util/sync.h"
+
+namespace {
+
+struct Counter {
+  mutable cs::util::Mutex mutex;
+  int value CS_GUARDED_BY(mutex) = 0;
+
+  void bump() {
+    cs::util::LockGuard lock{mutex};
+    ++value;
+  }
+
+  // The violation: a guarded read with no lock held.
+  int read_unlocked() const { return value; }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.read_unlocked();
+}

@@ -242,49 +242,262 @@ TEST(CslintC1, SuppressedThreadLocalCounts) {
 }
 
 // ---------------------------------------------------------------------------
-// V1 doc drift
+// K1 knob registry
 // ---------------------------------------------------------------------------
 
-TEST(CslintV1, UndocumentedKnobIsFlaggedAtFirstReference) {
+// A one-entry fixture registry (the doc header is why entries start at a
+// known line: this one's entry is line 2).
+const char* const kFixtureRegistry =
+    "// fixture registry\n"
+    "CS_KNOB(kFixtureKnob, \"CS_FIXTURE_KNOB\", flag, \"0\", \"fixture\")\n";
+
+TEST(CslintK1, UnregisteredKnobIsFlaggedAtFirstReference) {
   const auto findings = run({
       {"src/core/fixture.cpp",
-       "bool on() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
-      {"README.md", "Nothing documented here.\n"},
+       "bool on() { return env_text(\"CS_UNREGISTERED\").has_value(); }\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
+      {"src/core/other.cpp",
+       "bool f() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
+      {"README.md", "`CS_FIXTURE_KNOB=1` documented.\n"},
   });
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].check, "V1");
+  EXPECT_EQ(findings[0].check, "K1");
   EXPECT_EQ(findings[0].file, "src/core/fixture.cpp");
-  EXPECT_NE(findings[0].message.find("CS_FIXTURE_KNOB"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("CS_UNREGISTERED"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("not registered"), std::string::npos);
 }
 
-TEST(CslintV1, StaleDocumentationIsFlaggedInReadme) {
+TEST(CslintK1, DeadKnobIsFlaggedInTheRegistry) {
   const auto findings = run({
       {"src/core/fixture.cpp", "int f() { return 0; }\n"},
-      {"README.md", "line one\nSet `CS_REMOVED_KNOB=1` to do nothing.\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
+      {"README.md", "`CS_FIXTURE_KNOB=1` documented.\n"},
   });
   ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].check, "V1");
-  EXPECT_EQ(findings[0].file, "README.md");
+  EXPECT_EQ(findings[0].check, "K1");
+  EXPECT_EQ(findings[0].file, "src/util/knobs.def");
   EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("dead knob"), std::string::npos);
 }
 
-TEST(CslintV1, MatchedKnobAndNonKnobTokensPass) {
+TEST(CslintK1, EnumIdReferenceKeepsAKnobAlive) {
   const auto findings = run({
       {"src/core/fixture.cpp",
-       "bool on() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"
-       "struct CS_Mixed {};\n"},
+       "bool on() { return env_text(util::Knob::kFixtureKnob).has_value(); }\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
       {"README.md", "`CS_FIXTURE_KNOB=1` documented.\n"},
   });
   EXPECT_TRUE(findings.empty());
 }
 
-TEST(CslintV1, TestsMayUseFixtureKnobs) {
+TEST(CslintK1, RegisteredButUndocumentedKnobIsFlagged) {
+  const auto findings = run({
+      {"src/core/fixture.cpp",
+       "bool on() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
+      {"README.md", "no knobs documented\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "K1");
+  EXPECT_EQ(findings[0].file, "src/util/knobs.def");
+  EXPECT_NE(findings[0].message.find("README.md"), std::string::npos);
+}
+
+TEST(CslintK1, DocsMentioningAnUnregisteredKnobAreFlagged) {
+  const auto findings = run({
+      {"src/core/fixture.cpp",
+       "bool f() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
+      {"README.md",
+       "`CS_FIXTURE_KNOB=1` documented.\nSet `CS_REMOVED_KNOB=1` too.\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "K1");
+  EXPECT_EQ(findings[0].file, "README.md");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(CslintK1, MacroDefinesAndPrefixMentionsAreExempt) {
+  const auto findings = run({
+      {"src/util/fixture.h",
+       "#pragma once\n"
+       "#define CS_FIXTURE_MACRO(x) x\n"
+       "// tune the CS_NETIO_ family of knobs\n"
+       "int f(int v) { return CS_FIXTURE_MACRO(v); }\n"
+       "struct CS_Mixed {};\n"},
+      {"src/core/fixture.cpp",
+       "bool f() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
+      {"README.md",
+       "`CS_FIXTURE_KNOB=1` documented; CS_FIXTURE_MACRO is a macro.\n"},
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(CslintK1, MalformedRegistryEntryIsFlagged) {
+  const auto findings = run({
+      {"src/util/knobs.def", "CS_KNOB(broken entry with no name)\n"},
+      {"README.md", "no knobs\n"},
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "K1");
+  EXPECT_NE(findings[0].message.find("malformed"), std::string::npos);
+}
+
+TEST(CslintK1, TestsMayUseFixtureKnobs) {
   const auto findings = run({
       {"tests/fixture.cpp",
        "bool on() { return env_text(\"CS_ONLY_IN_TESTS\").has_value(); }\n"},
-      {"README.md", "no knobs\n"},
+      {"src/util/knobs.def", kFixtureRegistry},
+      {"src/core/fixture.cpp",
+       "bool f() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
+      {"README.md", "`CS_FIXTURE_KNOB=1` documented.\n"},
   });
   EXPECT_TRUE(findings.empty());
+}
+
+TEST(CslintK1, WithoutARegistryTheCheckIsOff) {
+  // Fixture corpora without a knobs.def (most tests above predate K1)
+  // must not drown in registry findings.
+  const auto findings = run({
+      {"src/core/fixture.cpp",
+       "bool on() { return env_text(\"CS_FIXTURE_KNOB\").has_value(); }\n"},
+      {"README.md", "nothing documented\n"},
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// G1 module layering
+// ---------------------------------------------------------------------------
+
+TEST(CslintG1, BackEdgeUpTheLayerDagIsFlagged) {
+  const Source source{"src/obs/fixture.h",
+                      "#pragma once\n#include \"exec/thread_pool.h\"\n"};
+  const auto findings = run({source});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "G1");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("climbs"), std::string::npos);
+}
+
+TEST(CslintG1, DownwardAndSameModuleIncludesPass) {
+  const Source source{"src/netio/fixture.cpp",
+                      "#include \"netio/reactor.h\"\n"
+                      "#include \"analysis/snapshot.h\"\n"
+                      "#include \"util/sync.h\"\n"
+                      "#include <vector>\n"};
+  EXPECT_TRUE(run({source}).empty());
+}
+
+TEST(CslintG1, AcyclicSameRankEdgesPass) {
+  // cloud -> dns is a sanctioned same-rank edge (both rank 5, no cycle).
+  const Source source{"src/cloud/fixture.h",
+                      "#pragma once\n#include \"dns/transport.h\"\n"};
+  EXPECT_TRUE(run({source}).empty());
+}
+
+TEST(CslintG1, SameRankModuleCycleIsFlagged) {
+  const auto findings = run({
+      {"src/cloud/a.h", "#pragma once\n#include \"dns/b.h\"\n"},
+      {"src/dns/b.h", "#pragma once\n#include \"cloud/a.h\"\n"},
+  });
+  // Both same-rank edges sit on the cycle, and the file-level cycle is
+  // reported once on top.
+  EXPECT_GE(count_check(findings, "G1"), 3u);
+  bool names_modules = false;
+  for (const auto& f : findings)
+    if (f.message.find("cloud") != std::string::npos &&
+        f.message.find("dns") != std::string::npos)
+      names_modules = true;
+  EXPECT_TRUE(names_modules);
+}
+
+TEST(CslintG1, HeaderCycleWithinAModuleIsFlagged) {
+  const auto findings = run({
+      {"src/net/a.h", "#pragma once\n#include \"net/b.h\"\n"},
+      {"src/net/b.h", "#pragma once\n#include \"net/a.h\"\n"},
+  });
+  ASSERT_EQ(count_check(findings, "G1"), 1u);
+  const auto it = std::find_if(findings.begin(), findings.end(),
+                               [](const Finding& f) { return f.check == "G1"; });
+  EXPECT_NE(it->message.find("include cycle"), std::string::npos);
+}
+
+TEST(CslintG1, SuppressedBackEdgeCounts) {
+  const Source source{"src/obs/fixture.h",
+                      "#pragma once\n#include \"exec/thread_pool.h\"  " +
+                          allow("G1") + ": transitional, tracked in DESIGN\n"};
+  const auto findings = run({source});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// B1 reactor hygiene
+// ---------------------------------------------------------------------------
+
+TEST(CslintB1, SleepAnywhereInNetioIsFlagged) {
+  const Source source{"src/netio/fixture.cpp",
+                      "#include <thread>\n"
+                      "void nap() { usleep(100); }\n"
+                      "void doze() { std::this_thread::sleep_for(x); }\n"};
+  EXPECT_EQ(count_check(run({source}), "B1"), 2u);
+}
+
+TEST(CslintB1, LockInInlineReactorCallbackIsFlagged) {
+  const Source source{"src/netio/fixture.cpp",
+                      "void Transport::arm() {\n"
+                      "  reactor_.run_after(10, [this] {\n"
+                      "    util::LockGuard lock{mutex_};\n"
+                      "    resend();\n"
+                      "  });\n"
+                      "}\n"};
+  const auto findings = run({source});
+  ASSERT_EQ(count_check(findings, "B1"), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("run_after"), std::string::npos);
+}
+
+TEST(CslintB1, BlockingSyscallAndBareLockInCallbackAreFlagged) {
+  const Source source{"src/netio/fixture.cpp",
+                      "void Server::watch(int fd) {\n"
+                      "  reactor_.add_fd(fd, [this, fd] {\n"
+                      "    mutex_.lock();\n"
+                      "    recv(fd, buf_, sizeof(buf_), 0);\n"
+                      "  });\n"
+                      "}\n"};
+  EXPECT_EQ(count_check(run({source}), "B1"), 2u);
+}
+
+TEST(CslintB1, LocksOutsideCallbacksAndNamedHandlersPass) {
+  const Source source{"src/netio/fixture.cpp",
+                      "void Transport::exchange() {\n"
+                      "  util::LockGuard lock{mutex_};  // caller thread\n"
+                      "}\n"
+                      "void Transport::arm() {\n"
+                      "  reactor_.run_after(10, retransmit_cb_);\n"
+                      "}\n"};
+  EXPECT_TRUE(run({source}).empty());
+}
+
+TEST(CslintB1, OtherModulesMaySleep) {
+  const Source source{"src/snap/fixture.cpp",
+                      "void backoff() { std::this_thread::sleep_for(d); }\n"};
+  EXPECT_TRUE(run({source}).empty());
+}
+
+TEST(CslintB1, SuppressedCallbackLockCounts) {
+  const Source source{"src/netio/fixture.cpp",
+                      "void Transport::arm() {\n"
+                      "  reactor_.add_fd(fd_, [this] {\n"
+                      "    " + allow("B1") + ": try_lock only, never blocks\n"
+                      "    mutex_.lock();\n"
+                      "  });\n"
+                      "}\n"};
+  const auto findings = run({source});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
 }
 
 // ---------------------------------------------------------------------------
@@ -366,6 +579,27 @@ TEST(CslintOutput, JsonShapeAndEscaping) {
   EXPECT_NE(json.find("has \\\"quotes\\\" in reason"), std::string::npos);
   EXPECT_NE(json.find("\"total\":1,\"suppressed\":1,\"unsuppressed\":0"),
             std::string::npos);
+}
+
+TEST(CslintOutput, GithubFormatEmitsWorkflowCommands) {
+  const auto findings = run({
+      {"src/dns/fixture.cpp",
+       "int f() { return rand(); }\n"
+       "int g() { return rand(); }  " + allow("D1") + ": fixture\n"},
+  });
+  const std::string gh = cs::lint::render_github(findings);
+  EXPECT_NE(gh.find("::error file=src/dns/fixture.cpp,line=1,"
+                    "title=cslint D1::"),
+            std::string::npos);
+  // Suppressed findings never become annotations.
+  EXPECT_EQ(gh.find("line=2,"), std::string::npos);
+  EXPECT_NE(gh.find("1 unsuppressed"), std::string::npos);
+  // The message body must escape the characters GitHub treats as
+  // command delimiters.
+  const std::string escaped = cs::lint::render_github(
+      {{.file = "src/a.cpp", .line = 1, .check = "D1",
+        .message = "100% broken\nsecond line"}});
+  EXPECT_NE(escaped.find("100%25 broken%0Asecond line"), std::string::npos);
 }
 
 TEST(CslintOutput, FindingsAreSortedByFileLineCheck) {

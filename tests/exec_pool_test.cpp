@@ -96,6 +96,29 @@ TEST(ParallelFor, PropagatesTheFirstException) {
                std::runtime_error);
 }
 
+TEST(ParallelFor, ConcurrentFailuresRethrowExactlyOne) {
+  // Regression: the region's error slot used to be read after the join
+  // without the lock that guards the writes. With every chunk throwing
+  // concurrently, exactly one exception must surface each round.
+  ScopedThreads threads{4};
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> started{0};
+    try {
+      parallel_for(
+          64,
+          [&](std::size_t i) {
+            started.fetch_add(1, std::memory_order_relaxed);
+            throw std::runtime_error("chunk " + std::to_string(i));
+          },
+          /*grain=*/1);
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string{error.what()}.find("chunk"), std::string::npos);
+    }
+    EXPECT_GE(started.load(std::memory_order_relaxed), 1);
+  }
+}
+
 TEST(ParallelFor, NestedRegionsDoNotDeadlock) {
   ScopedThreads guard{4};
   std::atomic<int> total{0};

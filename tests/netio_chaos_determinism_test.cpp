@@ -22,7 +22,7 @@
 #include "exec/config.h"
 #include "netio/loopback.h"
 #include "obs/metrics.h"
-#include "snap/artifacts.h"
+#include "analysis/snapshot.h"
 #include "snap/codec.h"
 
 namespace cs::core {

@@ -13,7 +13,7 @@
 #include "core/study.h"
 #include "exec/config.h"
 #include "netio/loopback.h"
-#include "snap/artifacts.h"
+#include "analysis/snapshot.h"
 #include "snap/codec.h"
 
 namespace cs::core {

@@ -570,6 +570,23 @@ TEST_F(SocketBackendTest, ChaosDropClampForcesEventualDelivery) {
             before.counter("netio.client.expirations"));
 }
 
+TEST_F(SocketBackendTest, RunningFlagGatesExchangeAcrossTheLifecycle) {
+  // Regression: running() used to read a plain bool that stop() wrote
+  // under the transport mutex — a racy read for callers probing the
+  // lifecycle from other threads. It is atomic now, and exchange() must
+  // refuse (not crash, not touch the wire) outside the start/stop window.
+  SocketDnsTransport::Options options;
+  options.server_port = 1;  // never actually contacted
+  SocketDnsTransport transport{options};
+  EXPECT_FALSE(transport.running());
+  EXPECT_FALSE(transport.exchange(kClient, kRoot, query_bytes(31)));
+  ASSERT_TRUE(transport.start());
+  EXPECT_TRUE(transport.running());
+  transport.stop();
+  EXPECT_FALSE(transport.running());
+  EXPECT_FALSE(transport.exchange(kClient, kRoot, query_bytes(32)));
+}
+
 TEST_F(SocketBackendTest, StopFailsPendingExchangesInsteadOfHanging) {
   auto options = tight_options();
   options.rto_us = 500'000;  // long enough that stop() races the wait

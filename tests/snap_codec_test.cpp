@@ -16,7 +16,7 @@
 #include "core/study.h"
 #include "exec/config.h"
 #include "fault/fault.h"
-#include "snap/artifacts.h"
+#include "analysis/snapshot.h"
 #include "snap/codec.h"
 #include "snap/store.h"
 #include "synth/world.h"

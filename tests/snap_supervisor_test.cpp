@@ -17,7 +17,7 @@
 #include "core/study.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
-#include "snap/artifacts.h"
+#include "analysis/snapshot.h"
 #include "snap/codec.h"
 #include "snap/store.h"
 #include "snap/supervisor.h"

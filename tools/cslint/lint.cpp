@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -188,10 +189,13 @@ bool d1_exempt(std::string_view path) {
          starts_with(path, "src/netio/reactor");
 }
 
-// V1 corpus: everything that can legitimately reference a CS_* knob.
-// tests/ are excluded so fixture corpora can mention fake knobs.
-bool v1_scope(std::string_view path) {
-  return !starts_with(path, "tests/") && !ends_with(path, "README.md");
+// K1 code scope: everything whose CS_* mentions count as *references* to
+// a knob. tests/ are excluded so fixture corpora can mention fake knobs;
+// the registry and the docs are the other side of the cross-check, not
+// references.
+bool k1_code_scope(std::string_view path) {
+  return !starts_with(path, "tests/") && !ends_with(path, "README.md") &&
+         !ends_with(path, "DESIGN.md") && !ends_with(path, "knobs.def");
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +208,7 @@ bool v1_scope(std::string_view path) {
 // ---------------------------------------------------------------------------
 
 const std::set<std::string, std::less<>> kKnownChecks = {
-    "D1", "E1", "L1", "C1", "V1", "S1"};
+    "B1", "C1", "D1", "E1", "G1", "K1", "L1", "S1"};
 
 struct Allow {
   int line = 0;
@@ -399,12 +403,15 @@ const std::set<std::string, std::less<>> kC1SkipWords = {
     "constexpr","constinit", "consteval",    "asm"};
 
 // Types that are internally synchronized (or synchronization primitives
-// themselves): fine to hold at namespace scope.
+// themselves): fine to hold at namespace scope. Mutex/CondVar/LockGuard
+// are the annotated util::sync wrappers — the project's required spelling
+// for locks, so C1 must know them as well as the std primitives they wrap.
 bool is_sync_type(std::string_view word) {
   return starts_with(word, "atomic") || word == "mutex" ||
          word == "shared_mutex" || word == "recursive_mutex" ||
          word == "timed_mutex" || word == "once_flag" ||
-         word == "condition_variable";
+         word == "condition_variable" || word == "Mutex" ||
+         word == "CondVar" || word == "LockGuard";
 }
 
 bool segment_is_exempt(const std::vector<Tok>& seg) {
@@ -499,7 +506,95 @@ void check_header(const std::string& path, const std::vector<Tok>& toks,
 }
 
 // ---------------------------------------------------------------------------
-// V1: CS_* knobs referenced by the tree vs documented in README.md
+// B1: reactor threads must never block. Two layers:
+//  - sleep-family calls (sleep/usleep/nanosleep/sleep_for/sleep_until) are
+//    banned anywhere under src/netio/ — every wait there is either the
+//    reactor's own epoll timeout or a CondVar a *caller* thread parks on.
+//  - an inline lambda handed to Reactor::add_fd or Reactor::run_after runs
+//    on the reactor thread, so its body must not take an annotated lock
+//    (LockGuard / std::lock_guard / unique_lock / scoped_lock / .lock())
+//    or issue a blocking syscall (recv/recvfrom/recvmsg/poll/select/
+//    accept): a handler that blocks stalls every timer and socket behind
+//    it. Named handler *functions* registered as callbacks are outside
+//    this syntactic net — the thread-safety annotation layer covers them.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kB1Sleep = {
+    "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until"};
+const std::set<std::string, std::less<>> kB1Lock = {
+    "LockGuard", "lock_guard", "unique_lock", "scoped_lock"};
+const std::set<std::string, std::less<>> kB1Syscall = {
+    "recv", "recvfrom", "recvmsg", "poll", "select", "accept"};
+
+// Scans one inline-callback body (tokens in [begin, end)) for blockers.
+void check_callback_body(const std::string& path, const std::vector<Tok>& toks,
+                         std::size_t begin, std::size_t end, const char* sink,
+                         FileReport& report) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& t = toks[i].text;
+    if (kB1Lock.count(t)) {
+      add(report, path, toks[i].line, "B1",
+          "'" + t + "' inside a " + sink +
+              " callback: reactor handlers run on the event loop and must "
+              "not acquire locks (stage the work, or go lock-free)");
+    } else if (t == "lock" && is_member_access(toks, i) &&
+               next_is(toks, i, "(")) {
+      add(report, path, toks[i].line, "B1",
+          std::string("'.lock()' inside a ") + sink +
+              " callback: reactor handlers must not acquire locks");
+    } else if (kB1Syscall.count(t) && next_is(toks, i, "(") &&
+               !is_member_access(toks, i) && !is_declaration_name(toks, i)) {
+      add(report, path, toks[i].line, "B1",
+          "blocking call '" + t + "()' inside a " + sink +
+              " callback: reactor handlers must return immediately");
+    }
+  }
+}
+
+void check_reactor_blocking(const std::string& path,
+                            const std::vector<Tok>& toks, FileReport& report) {
+  if (!starts_with(path, "src/netio/")) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (kB1Sleep.count(t) && next_is(toks, i, "(") &&
+        !is_declaration_name(toks, i)) {
+      add(report, path, toks[i].line, "B1",
+          "'" + t +
+          "()' in src/netio/: nothing on the wire path sleeps — waits are "
+          "the reactor's epoll timeout or a caller-side CondVar");
+      continue;
+    }
+    if ((t != "add_fd" && t != "run_after") || !next_is(toks, i, "(")) continue;
+    // Walk the balanced argument list; any '{'..'}' region inside it is an
+    // inline lambda body that will run on the reactor thread.
+    int parens = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++parens;
+      if (toks[j].text == ")" && --parens == 0) break;
+      if (toks[j].text == "{") {
+        int braces = 1;
+        std::size_t body = j + 1;
+        while (body < toks.size() && braces > 0) {
+          if (toks[body].text == "{") ++braces;
+          if (toks[body].text == "}") --braces;
+          ++body;
+        }
+        check_callback_body(path, toks, j + 1, body - 1, t.c_str(), report);
+        j = body - 1;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// K1: the CS_* knob registry (src/util/knobs.def) vs the tree. Every CS_*
+// name the code references must be registered, every registered knob must
+// still be referenced (by env-var name or by its Knob enum id) and must be
+// documented in README.md, and the docs must not mention unregistered
+// knobs. CS_* tokens that are #define'd anywhere in the corpus (annotation
+// macros, the CS_KNOB X-macro itself) and prefix mentions ("CS_NETIO_…",
+// trailing underscore) are exempt.
 // ---------------------------------------------------------------------------
 
 struct KnobSite {
@@ -531,30 +626,339 @@ void collect_knobs(const Source& source, std::map<std::string, KnobSite>* out) {
   }
 }
 
-void check_doc_drift(const std::vector<Source>& sources,
-                     std::map<std::string, FileReport>& reports) {
-  std::map<std::string, KnobSite> referenced;
-  std::map<std::string, KnobSite> documented;
+struct RegistryEntry {
+  std::string id;    // Knob enum constant, e.g. kThreads
+  std::string name;  // env-var name, e.g. CS_THREADS
+  int line = 0;
+};
+
+// Parses `CS_KNOB(id, "NAME", kind, "default", "doc")` entries, one per
+// line, from the registry file's raw text. Comment lines never start with
+// CS_KNOB, so no stripping is needed (and the names live inside string
+// literals, which stripping would blank).
+std::vector<RegistryEntry> parse_registry(const Source& registry,
+                                          FileReport& report) {
+  std::vector<RegistryEntry> entries;
+  std::istringstream in{registry.text};
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::string text = trim(raw);
+    if (!starts_with(text, "CS_KNOB(")) continue;
+    RegistryEntry entry;
+    entry.line = line;
+    const std::size_t comma = text.find(',');
+    if (comma != std::string::npos)
+      entry.id = trim(text.substr(8, comma - 8));
+    const std::size_t open = text.find('"', comma);
+    const std::size_t close =
+        open == std::string::npos ? open : text.find('"', open + 1);
+    if (close != std::string::npos)
+      entry.name = text.substr(open + 1, close - open - 1);
+    if (entry.id.empty() || !starts_with(entry.name, "CS_")) {
+      // "CS_" + "NAME" is split so this placeholder never registers as a
+      // knob mention in cslint's own source.
+      add(report, registry.path, line, "K1",
+          std::string("malformed registry entry: want CS_KNOB(id, \"") +
+              "CS_" + "NAME\", kind, \"default\", \"doc\")");
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+// Whole-word occurrence of `word` anywhere in `text`.
+bool contains_word(std::string_view text, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !is_word(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+void check_knob_registry(const std::vector<Source>& sources,
+                         const std::set<std::string>& macro_defined,
+                         std::map<std::string, FileReport>& reports) {
+  const Source* registry = nullptr;
   const Source* readme = nullptr;
+  std::map<std::string, KnobSite> referenced;  // code-scope CS_* mentions
+  std::map<std::string, KnobSite> in_docs;     // README/DESIGN mentions
+  std::set<std::string> in_readme;
   for (const auto& source : sources) {
-    if (ends_with(source.path, "README.md")) {
+    if (ends_with(source.path, "knobs.def")) {
+      registry = &source;
+    } else if (ends_with(source.path, "README.md")) {
       readme = &source;
-      collect_knobs(source, &documented);
-    } else if (v1_scope(source.path)) {
+      std::map<std::string, KnobSite> only;
+      collect_knobs(source, &only);
+      for (const auto& [knob, site] : only) {
+        in_readme.insert(knob);
+        in_docs.emplace(knob, site);
+      }
+    } else if (ends_with(source.path, "DESIGN.md")) {
+      collect_knobs(source, &in_docs);
+    } else if (k1_code_scope(source.path)) {
       collect_knobs(source, &referenced);
     }
   }
-  if (readme == nullptr) return;  // partial corpus (tests): nothing to check
+  if (registry == nullptr) return;  // partial corpus (tests): K1 is off
+  std::vector<RegistryEntry> entries =
+      parse_registry(*registry, reports[registry->path]);
+  std::set<std::string> registered;
+  for (const auto& entry : entries) registered.insert(entry.name);
+
+  auto exempt = [&](const std::string& word) {
+    return word.back() == '_' ||  // prefix mention: "the CS_NETIO_ family"
+           macro_defined.count(word) != 0;
+  };
+
   for (const auto& [knob, site] : referenced)
-    if (!documented.count(knob))
-      add(reports[site.file], site.file, site.line, "V1",
-          "'" + knob + "' is referenced here but not documented in README.md");
-  for (const auto& [knob, site] : documented)
-    if (!referenced.count(knob))
-      add(reports[site.file], site.file, site.line, "V1",
+    if (!registered.count(knob) && !exempt(knob))
+      add(reports[site.file], site.file, site.line, "K1",
           "'" + knob +
-              "' is documented in README.md but no longer referenced "
-              "anywhere in the tree");
+              "' is referenced here but not registered in "
+              "src/util/knobs.def — every knob declares itself there");
+  for (const auto& [knob, site] : in_docs)
+    if (!registered.count(knob) && !exempt(knob))
+      add(reports[site.file], site.file, site.line, "K1",
+          "'" + knob +
+              "' is documented here but not registered in "
+              "src/util/knobs.def (stale docs, or an unregistered knob)");
+  for (const auto& entry : entries) {
+    bool alive = false;
+    for (const auto& source : sources) {
+      if (!k1_code_scope(source.path) || ends_with(source.path, "knobs.def"))
+        continue;
+      if (contains_word(source.text, entry.name) ||
+          (is_cpp_source(source.path) &&
+           contains_word(source.text, entry.id))) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive)
+      add(reports[registry->path], registry->path, entry.line, "K1",
+          "dead knob '" + entry.name +
+              "': registered but neither its name nor its enum id '" +
+              entry.id + "' appears anywhere in the tree");
+    if (readme != nullptr && !in_readme.count(entry.name))
+      add(reports[registry->path], registry->path, entry.line, "K1",
+          "'" + entry.name +
+              "' is registered but not documented in README.md's knob "
+              "table");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// G1: the include graph must respect the module layering DAG
+//
+//   util < obs < exec < fault < snap
+//        < {dns, pcap, synth, cloud, net, internet, proto}
+//        < {analysis, carto} < netio < core
+//
+// A file in src/<mod>/ may include project headers from its own module or
+// any strictly lower rank; within a rank band, cross-module includes are
+// fine as long as the band's module graph stays acyclic. File-level
+// include cycles are flagged regardless of module.
+// ---------------------------------------------------------------------------
+
+int module_rank(std::string_view module) {
+  if (module == "util") return 0;
+  if (module == "obs") return 1;
+  if (module == "exec") return 2;
+  if (module == "fault") return 3;
+  if (module == "snap") return 4;
+  if (module == "dns" || module == "pcap" || module == "synth" ||
+      module == "cloud" || module == "net" || module == "internet" ||
+      module == "proto")
+    return 5;
+  if (module == "analysis" || module == "carto") return 6;
+  if (module == "netio") return 7;
+  if (module == "core") return 8;
+  return -1;
+}
+
+// The first path component after src/, or "" when not under src/.
+std::string module_of(std::string_view path) {
+  if (!in_src(path)) return "";
+  const std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+struct IncludeEdge {
+  std::string from_file;
+  int line = 0;
+  std::string target;  // the quoted include path, e.g. "util/sync.h"
+};
+
+// Quoted project includes per file (angle includes are system headers).
+std::vector<IncludeEdge> collect_includes(const Source& source) {
+  std::vector<IncludeEdge> edges;
+  std::istringstream in{source.text};
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::string text = trim(raw);
+    if (!starts_with(text, "#")) continue;
+    const std::string after = trim(text.substr(1));
+    if (!starts_with(after, "include")) continue;
+    const std::size_t open = after.find('"');
+    const std::size_t close =
+        open == std::string::npos ? open : after.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    edges.push_back({source.path, line, after.substr(open + 1, close - open - 1)});
+  }
+  return edges;
+}
+
+// Tarjan strongly-connected components over a small string graph; returns
+// a component id per node. Edges inside a component of size > 1 lie on a
+// cycle.
+struct SccResult {
+  std::map<std::string, int> component;
+  std::vector<std::vector<std::string>> members;
+};
+
+SccResult strongly_connected(
+    const std::map<std::string, std::set<std::string>>& graph) {
+  SccResult out;
+  std::map<std::string, int> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next = 0;
+  // Iterative Tarjan: (node, child-iterator position) frames.
+  std::function<void(const std::string&)> visit = [&](const std::string& v) {
+    index[v] = low[v] = next++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    const auto it = graph.find(v);
+    if (it != graph.end()) {
+      for (const auto& w : it->second) {
+        if (!index.count(w)) {
+          visit(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack.count(w)) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> comp;
+      for (;;) {
+        const std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        out.component[w] = static_cast<int>(out.members.size());
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(comp.begin(), comp.end());
+      out.members.push_back(std::move(comp));
+    }
+  };
+  for (const auto& [node, _] : graph)
+    if (!index.count(node)) visit(node);
+  return out;
+}
+
+void check_layering(const std::vector<Source>& sources,
+                    std::map<std::string, FileReport>& reports) {
+  std::set<std::string> corpus;  // file paths, for resolving includes
+  for (const auto& source : sources)
+    if (is_cpp_source(source.path)) corpus.insert(source.path);
+
+  std::vector<IncludeEdge> edges;
+  for (const auto& source : sources) {
+    if (!is_cpp_source(source.path) || !in_src(source.path)) continue;
+    const auto file_edges = collect_includes(source);
+    edges.insert(edges.end(), file_edges.begin(), file_edges.end());
+  }
+
+  // Rank violations + the same-rank module graph.
+  std::map<std::string, std::set<std::string>> band_graph;
+  std::map<std::string, IncludeEdge> band_site;  // "from>to" -> first site
+  for (const auto& edge : edges) {
+    const std::string from = module_of(edge.from_file);
+    const std::string to = module_of("src/" + edge.target);
+    if (from.empty() || to.empty() || from == to) continue;
+    const int from_rank = module_rank(from);
+    const int to_rank = module_rank(to);
+    if (from_rank < 0 || to_rank < 0) continue;
+    if (to_rank > from_rank) {
+      add(reports[edge.from_file], edge.from_file, edge.line, "G1",
+          "include climbs the layer DAG: " + from + " (rank " +
+              std::to_string(from_rank) + ") must not include " +
+              edge.target + " (" + to + ", rank " + std::to_string(to_rank) +
+              ")");
+    } else if (to_rank == from_rank) {
+      band_graph[from].insert(to);
+      band_graph.try_emplace(to);
+      band_site.try_emplace(from + ">" + to, edge);
+    }
+  }
+
+  // Same-rank bands must stay acyclic: flag every edge inside a cycle.
+  const SccResult bands = strongly_connected(band_graph);
+  for (const auto& [from, outs] : band_graph) {
+    for (const auto& to : outs) {
+      if (bands.component.at(from) != bands.component.at(to)) continue;
+      const auto& comp = bands.members[bands.component.at(from)];
+      if (comp.size() < 2) continue;
+      std::string cycle;
+      for (const auto& m : comp) {
+        if (!cycle.empty()) cycle += ", ";
+        cycle += m;
+      }
+      const IncludeEdge& site = band_site.at(from + ">" + to);
+      add(reports[site.from_file], site.from_file, site.line, "G1",
+          "same-rank include cycle among {" + cycle + "}: " + from +
+              " -> " + to + " closes the loop — one of these modules must "
+              "move down a layer");
+    }
+  }
+
+  // File-level include cycles (headers including each other).
+  std::map<std::string, std::set<std::string>> file_graph;
+  std::map<std::string, IncludeEdge> file_site;
+  for (const auto& edge : edges) {
+    const std::string resolved = "src/" + edge.target;
+    if (!corpus.count(resolved)) continue;
+    file_graph[edge.from_file].insert(resolved);
+    file_graph.try_emplace(resolved);
+    file_site.try_emplace(edge.from_file + ">" + resolved, edge);
+  }
+  const SccResult files = strongly_connected(file_graph);
+  for (const auto& comp : files.members) {
+    if (comp.size() < 2) continue;
+    std::string cycle;
+    for (const auto& m : comp) {
+      if (!cycle.empty()) cycle += " -> ";
+      cycle += m;
+    }
+    // Report once, on the lexically-first edge that stays in the cycle.
+    for (const auto& from : comp) {
+      bool reported = false;
+      for (const auto& to : file_graph.at(from)) {
+        if (files.component.at(to) != files.component.at(from)) continue;
+        const IncludeEdge& site = file_site.at(from + ">" + to);
+        add(reports[site.from_file], site.from_file, site.line, "G1",
+            "include cycle: " + cycle + " — break the loop with a forward "
+            "declaration or an interface split");
+        reported = true;
+        break;
+      }
+      if (reported) break;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -620,17 +1024,24 @@ std::string json_escape(std::string_view s) {
 
 std::vector<Finding> lint(const std::vector<Source>& sources) {
   std::map<std::string, FileReport> reports;
+  std::set<std::string> macro_defined;  // #define'd CS_* names (K1-exempt)
   for (const auto& source : sources) {
     if (!is_cpp_source(source.path)) continue;
     const Stripped stripped = strip(source.text);
     const std::vector<Tok> toks = tokenize(stripped.code);
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i)
+      if (toks[i].text == "#" && toks[i + 1].text == "define" &&
+          starts_with(toks[i + 2].text, "CS_"))
+        macro_defined.insert(toks[i + 2].text);
     FileReport& report = reports[source.path];
     check_tokens(source.path, toks, report);
     check_shared_state(source.path, toks, report);
     check_header(source.path, toks, report);
+    check_reactor_blocking(source.path, toks, report);
     report.allows = parse_allows(stripped.comments);
   }
-  check_doc_drift(sources, reports);
+  check_knob_registry(sources, macro_defined, reports);
+  check_layering(sources, reports);
   std::vector<Finding> all;
   for (auto& [path, report] : reports) {
     for (auto& finding : report.findings)
@@ -690,9 +1101,11 @@ bool collect_sources(const std::filesystem::path& root,
       return false;
     }
   }
-  // V1 corpus: the knob documentation plus the build/CI metadata that
-  // legitimately references knobs (CS_SANITIZE lives in CMake and CI).
-  for (const char* extra : {"README.md", "CMakeLists.txt"}) {
+  // K1/G1 corpus: the knob registry, the knob documentation, and the
+  // build/CI metadata that legitimately references knobs (CS_SANITIZE
+  // lives in CMake and CI).
+  for (const char* extra : {"README.md", "DESIGN.md", "CMakeLists.txt",
+                            "src/util/knobs.def"}) {
     std::error_code ec;
     if (fs::is_regular_file(root / extra, ec))
       if (!load(root / extra, extra)) return false;
@@ -750,6 +1163,45 @@ std::string render_json(const std::vector<Finding>& findings) {
   out << "],\"total\":" << findings.size()
       << ",\"suppressed\":" << (findings.size() - unsuppressed)
       << ",\"unsuppressed\":" << unsuppressed << "}\n";
+  return out.str();
+}
+
+namespace {
+
+// GitHub workflow-command escaping: the message body escapes %, \r, \n;
+// property values (file, title) additionally escape ':' and ','.
+std::string gh_escape(std::string_view s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': out += property ? "%3A" : ":"; break;
+      case ',': out += property ? "%2C" : ","; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_github(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const auto& finding : findings) {
+    if (finding.suppressed) continue;
+    out << "::error file=" << gh_escape(finding.file, true)
+        << ",line=" << finding.line << ",title=cslint "
+        << gh_escape(finding.check, true)
+        << "::" << gh_escape(finding.message, false) << '\n';
+  }
+  const std::size_t unsuppressed = count_unsuppressed(findings);
+  out << "cslint: " << findings.size() << " finding"
+      << (findings.size() == 1 ? "" : "s") << " ("
+      << (findings.size() - unsuppressed) << " suppressed, " << unsuppressed
+      << " unsuppressed)\n";
   return out.str();
 }
 

@@ -26,9 +26,20 @@
 ///   C1  shared state: mutable namespace-scope (or class-static)
 ///       non-const, non-atomic variables in src/ are flagged unless
 ///       annotated — they are cross-thread determinism hazards.
-///   V1  doc drift: every CS_* knob referenced by the tree must appear
-///       in README.md, and every CS_* knob README documents must still
-///       be referenced somewhere.
+///   G1  layering: the include graph must respect the module DAG
+///       (util < obs < exec < fault < snap < the protocol band < the
+///       analysis band < netio < core); back-edges, same-rank module
+///       cycles, and file-level include cycles all fail.
+///   K1  knob registry: every CS_* knob the code references must be
+///       registered in src/util/knobs.def, every registered knob must
+///       still be referenced (by name or Knob enum id) and documented
+///       in README.md, and README/DESIGN must not mention unregistered
+///       knobs. #define'd CS_* macros and "CS_FOO_…" prefix mentions
+///       are exempt. (Subsumes the old V1 doc-drift check.)
+///   B1  reactor hygiene: no sleep-family calls anywhere in src/netio/,
+///       and inline lambdas handed to Reactor::add_fd / run_after must
+///       not take locks or issue blocking syscalls — they run on the
+///       event-loop thread.
 ///   S1  header hygiene: #pragma once present, no `using namespace`
 ///       in headers.
 ///   A1  suppression hygiene: inline allows must name known checks,
@@ -48,23 +59,27 @@ struct Source {
 struct Finding {
   std::string file;
   int line = 0;
-  std::string check;    // "D1", "E1", "L1", "C1", "V1", "S1", "A1"
+  std::string check;    // "B1", "C1", "D1", "E1", "G1", "K1", "L1", "S1", "A1"
   std::string message;
   bool suppressed = false;
   std::string reason;   // suppression reason when suppressed
 };
 
 /// Run every check over the given sources. Sources whose path ends in
-/// .h/.hpp/.cc/.cpp get the token checks; README.md and build/CI metadata
-/// (CMakeLists.txt, *.yml, *.cmake) participate only in the V1 CS_*
-/// cross-reference. Findings come back sorted by (file, line, check).
+/// .h/.hpp/.cc/.cpp get the token checks and the G1 include graph;
+/// README.md, DESIGN.md, src/util/knobs.def, and build/CI metadata
+/// (CMakeLists.txt, *.yml, *.cmake) participate only in the K1 CS_*
+/// cross-reference. K1 is skipped entirely when the corpus has no
+/// knobs.def (partial fixture corpora). Findings come back sorted by
+/// (file, line, check).
 std::vector<Finding> lint(const std::vector<Source>& sources);
 
 /// Load lintable sources from disk: each entry of `paths` (relative to
 /// `root`) is a file or a directory walked recursively for C++ sources;
-/// README.md, the root CMakeLists.txt, and .github/workflows/*.yml are
-/// added automatically for V1. Hidden directories and build*/ trees are
-/// skipped. Returns false and sets `error` on I/O failure.
+/// README.md, DESIGN.md, src/util/knobs.def, the root CMakeLists.txt, and
+/// .github/workflows/* are added automatically for K1. Hidden directories
+/// and build*/ trees are skipped. Returns false and sets `error` on I/O
+/// failure.
 bool collect_sources(const std::filesystem::path& root,
                      const std::vector<std::string>& paths,
                      std::vector<Source>* out, std::string* error);
@@ -79,5 +94,11 @@ std::string render_text(const std::vector<Finding>& findings);
 /// {"findings":[{file,line,check,message,suppressed,reason},...],
 ///  "total":N,"suppressed":M,"unsuppressed":K}
 std::string render_json(const std::vector<Finding>& findings);
+
+/// GitHub Actions workflow commands — one
+/// `::error file=...,line=...,title=cslint CHECK::message` per
+/// unsuppressed finding (so CI annotates the diff) plus the text summary
+/// line. Values are %-escaped per the workflow-command rules.
+std::string render_github(const std::vector<Finding>& findings);
 
 }  // namespace cs::lint
